@@ -1,0 +1,387 @@
+// Command massbft-bench regenerates the paper's evaluation figures
+// (MassBFT, ICDE 2025) on the deterministic WAN/LAN emulator. Each -fig
+// value prints the rows/series of one figure; absolute numbers depend on the
+// calibrated cost model, but the shapes (who wins, by what factor, where the
+// crossovers fall) reproduce the paper — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	massbft-bench -fig 8            # overall performance, nationwide
+//	massbft-bench -fig 13a -quick   # node-count scaling, shorter runs
+//	massbft-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"massbft"
+)
+
+var (
+	figFlag   = flag.String("fig", "all", "figure to regenerate: 1b,2,8,9,10,11,12,13a,13b,14,15 or all")
+	quickFlag = flag.Bool("quick", false, "shorter runs (less stable numbers)")
+	seedFlag  = flag.Int64("seed", 42, "simulation seed")
+)
+
+func main() {
+	flag.Parse()
+	figs := map[string]func(){
+		"1b": fig1b, "2": fig2, "7": fig7, "8": fig8, "9": fig9, "10": fig10,
+		"11": fig11, "12": fig12, "13a": fig13a, "13b": fig13b,
+		"14": fig14, "15": fig15,
+	}
+	if *figFlag == "all" {
+		for _, name := range []string{"1b", "2", "7", "8", "9", "10", "11", "12", "13a", "13b", "14", "15"} {
+			figs[name]()
+		}
+		return
+	}
+	fn, ok := figs[*figFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func runFor() time.Duration {
+	if *quickFlag {
+		return 4 * time.Second
+	}
+	return 8 * time.Second
+}
+
+func warmup() time.Duration {
+	if *quickFlag {
+		return 1 * time.Second
+	}
+	return 2 * time.Second
+}
+
+// run builds and runs one configuration, returning the result.
+func run(cfg massbft.Config) massbft.Result {
+	if cfg.Seed == 0 {
+		cfg.Seed = *seedFlag
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = warmup()
+	}
+	c, err := massbft.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "config error: %v\n", err)
+		os.Exit(1)
+	}
+	return c.Run(runFor())
+}
+
+// latencyProbe measures entry latency at the protocol's closed-loop
+// operating point: 80%% of the measured saturation throughput, with the
+// equilibrium batch size that a fixed 20 ms batch timeout yields at that
+// rate. The paper's closed-loop clients settle at this regime (e.g. its
+// Baseline batches 37 transactions where MassBFT batches 270, §VI-A); an
+// open-loop probe at saturation would measure queueing, not the protocol.
+func latencyProbe(cfg massbft.Config, satTput float64) time.Duration {
+	ng := len(cfg.Groups)
+	perGroup := satTput / float64(ng) * 0.8
+	if perGroup < 1 {
+		return 0
+	}
+	timeout := cfg.BatchTimeout
+	if timeout == 0 {
+		timeout = 20 * time.Millisecond
+	}
+	eqBatch := int(perGroup * timeout.Seconds())
+	if eqBatch < 1 {
+		eqBatch = 1
+	}
+	cfg.MaxBatch = eqBatch
+	rates := make([]float64, ng)
+	for i := range rates {
+		rates[i] = perGroup
+	}
+	cfg.GroupRate = rates
+	return run(cfg).AvgLatency
+}
+
+func header(fig, caption string) {
+	fmt.Printf("\n=== Figure %s: %s ===\n", fig, caption)
+}
+
+// fig1b reproduces Fig 1b: GeoBFT throughput collapsing as group size grows
+// (12 to 57 nodes across three data centers, 20 Mbps WAN per node).
+func fig1b() {
+	header("1b", "GeoBFT throughput under different group sizes (leader bottleneck)")
+	fmt.Printf("%-14s %-12s %s\n", "nodes/group", "total nodes", "throughput (tps)")
+	for _, n := range []int{4, 7, 13, 19} {
+		res := run(massbft.Config{
+			Groups:   []int{n, n, n},
+			Protocol: massbft.ProtocolGeoBFT,
+			Workload: "ycsb-a",
+		})
+		fmt.Printf("%-14d %-12d %.0f\n", n, 3*n, res.Throughput)
+	}
+}
+
+// fig2 reproduces Fig 2: with round-based ordering, a fast group is limited
+// by a slow one; with MassBFT's asynchronous ordering it is not. Group rates
+// mirror the paper's 20 vs 40 entries/second.
+func fig2() {
+	header("2", "fast group throttled by slow group (round-based vs asynchronous ordering)")
+	const batch = 50
+	rates := []float64{20 * batch, 40 * batch} // G1: 20 entries/s, G2: 40 entries/s
+	fmt.Printf("%-10s %-22s %s\n", "protocol", "offered (tps G1/G2)", "committed total (tps)")
+	for _, p := range []massbft.Protocol{massbft.ProtocolBaseline, massbft.ProtocolMassBFT} {
+		res := run(massbft.Config{
+			Groups:    []int{4, 4},
+			Protocol:  p,
+			Workload:  "ycsb-a",
+			MaxBatch:  batch,
+			GroupRate: rates,
+		})
+		fmt.Printf("%-10s %-22s %.0f\n", p, fmt.Sprintf("%.0f/%.0f", rates[0], rates[1]), res.Throughput)
+	}
+	fmt.Println("(round-based ordering caps the committed rate near 2x the slow group's offer;")
+	fmt.Println(" asynchronous ordering commits close to the full offered load)")
+}
+
+// fig7 is the §V-B ablation: overlapped (2-RTT) vs serial (3-RTT) vector
+// timestamp assignment. The paper illustrates it as Fig 7a/7b; the visible
+// effect is ~0.5-1 RTT of extra latency for the serial variant.
+func fig7() {
+	header("7", "VTS assignment: overlapped (Fig 7b) vs serial (Fig 7a)")
+	fmt.Printf("%-12s %-18s %s\n", "variant", "throughput (tps)", "latency")
+	for _, serial := range []bool{false, true} {
+		cfg := massbft.Config{
+			Groups:    []int{7, 7, 7},
+			Protocol:  massbft.ProtocolMassBFT,
+			Workload:  "ycsb-a",
+			SerialVTS: serial,
+		}
+		res := run(cfg)
+		lat := latencyProbe(cfg, res.Throughput)
+		name := "overlapped"
+		if serial {
+			name = "serial"
+		}
+		fmt.Printf("%-12s %-18.0f %v\n", name, res.Throughput, lat.Round(time.Millisecond))
+	}
+}
+
+var protocols = []massbft.Protocol{
+	massbft.ProtocolMassBFT, massbft.ProtocolBaseline, massbft.ProtocolGeoBFT,
+	massbft.ProtocolISS, massbft.ProtocolSteward,
+}
+
+func overall(fig string, latency massbft.LatencyModel, caption string) {
+	header(fig, caption)
+	for _, w := range []string{"ycsb-a", "ycsb-b", "smallbank", "tpcc"} {
+		fmt.Printf("\n-- workload %s --\n", w)
+		fmt.Printf("%-10s %-18s %-14s %s\n", "protocol", "throughput (tps)", "latency", "abort rate")
+		for _, p := range protocols {
+			cfg := massbft.Config{
+				Groups:   []int{7, 7, 7},
+				Protocol: p,
+				Workload: w,
+				Latency:  latency,
+			}
+			res := run(cfg)
+			lat := latencyProbe(cfg, res.Throughput)
+			fmt.Printf("%-10s %-18.0f %-14v %.3f\n", p, res.Throughput,
+				lat.Round(time.Millisecond), res.AbortRate)
+		}
+	}
+}
+
+// fig8 reproduces Fig 8: overall performance on the nationwide cluster.
+func fig8() {
+	overall("8", massbft.Nationwide, "overall performance, nationwide cluster (3x7, RTT 27-43 ms)")
+}
+
+// fig9 reproduces Fig 9: overall performance on the worldwide cluster.
+func fig9() {
+	overall("9", massbft.Worldwide, "overall performance, worldwide cluster (3x7, RTT 156-206 ms)")
+}
+
+// fig10 reproduces Fig 10: WAN traffic per replicated entry vs entry size,
+// MassBFT (erasure-coded chunks) vs Baseline (f+1 full copies per group).
+func fig10() {
+	header("10", "WAN traffic per entry vs batch size (fixed batch, not timeout)")
+	fmt.Printf("%-12s %-22s %-22s %s\n", "batch size", "massbft (KB/entry)", "baseline (KB/entry)", "ratio")
+	for _, batch := range []int{50, 100, 200, 400} {
+		per := map[massbft.Protocol]float64{}
+		for _, p := range []massbft.Protocol{massbft.ProtocolMassBFT, massbft.ProtocolBaseline} {
+			res := run(massbft.Config{
+				Groups:   []int{7, 7, 7},
+				Protocol: p,
+				Workload: "ycsb-a",
+				MaxBatch: batch,
+			})
+			if res.Entries > 0 {
+				per[p] = float64(res.WANBytesTotal) / float64(res.Entries) / 1024
+			}
+		}
+		m, b := per[massbft.ProtocolMassBFT], per[massbft.ProtocolBaseline]
+		ratio := 0.0
+		if m > 0 {
+			ratio = b / m
+		}
+		fmt.Printf("%-12d %-22.1f %-22.1f %.2fx\n", batch, m, b, ratio)
+	}
+}
+
+// fig11 reproduces Fig 11: MassBFT latency breakdown by pipeline stage.
+func fig11() {
+	header("11", "latency breakdown (MassBFT, YCSB-A, nationwide)")
+	res := run(massbft.Config{
+		Groups:   []int{7, 7, 7},
+		Protocol: massbft.ProtocolMassBFT,
+		Workload: "ycsb-a",
+	})
+	order := []string{"local-consensus", "encode", "global-replication", "rebuild", "ordering-execution"}
+	fmt.Printf("%-22s %s\n", "stage", "avg")
+	for _, name := range order {
+		if d, ok := res.Stages[name]; ok {
+			fmt.Printf("%-22s %v\n", name, d.Round(10*time.Microsecond))
+		}
+	}
+	fmt.Printf("%-22s %v\n", "end-to-end", res.AvgLatency.Round(time.Millisecond))
+}
+
+// fig12 reproduces Fig 12: heterogeneous group sizes (G1=4, G2=G3=7) across
+// the ablation ladder Baseline -> BR -> EBR -> MassBFT (EBR+A).
+func fig12() {
+	header("12", "different-sized groups (4,7,7): ablation ladder")
+	fmt.Printf("%-10s %-18s %s\n", "variant", "throughput (tps)", "latency (avg)")
+	for _, p := range []massbft.Protocol{
+		massbft.ProtocolBaseline, massbft.ProtocolBR, massbft.ProtocolEBR, massbft.ProtocolMassBFT,
+	} {
+		name := string(p)
+		if p == massbft.ProtocolMassBFT {
+			name = "ebr+a"
+		}
+		cfg := massbft.Config{
+			Groups:   []int{4, 7, 7},
+			Protocol: p,
+			Workload: "ycsb-a",
+			// A deep pipeline and large batches keep every group at its own
+			// bandwidth limit, exposing the asymmetry between the 4-node and
+			// 7-node groups (the paper's saturated regime): round-ordered
+			// variants get dragged to the slowest group's pace, EBR+A does
+			// not.
+			PipelineDepth: 48,
+			MaxBatch:      800,
+		}
+		res := run(cfg)
+		lat := latencyProbe(cfg, res.Throughput)
+		fmt.Printf("%-10s %-18.0f %v\n", name, res.Throughput, lat.Round(time.Millisecond))
+	}
+}
+
+// fig13a reproduces Fig 13a: throughput when scaling nodes per group.
+func fig13a() {
+	header("13a", "scaling nodes per group (MassBFT vs Baseline)")
+	sizes := []int{4, 7, 10, 16, 25, 40}
+	if *quickFlag {
+		sizes = []int{4, 7, 16, 28}
+	}
+	fmt.Printf("%-14s %-18s %s\n", "nodes/group", "massbft (tps)", "baseline (tps)")
+	for _, n := range sizes {
+		row := map[massbft.Protocol]float64{}
+		for _, p := range []massbft.Protocol{massbft.ProtocolMassBFT, massbft.ProtocolBaseline} {
+			res := run(massbft.Config{
+				Groups:   []int{n, n, n},
+				Protocol: p,
+				Workload: "ycsb-a",
+			})
+			row[p] = res.Throughput
+		}
+		fmt.Printf("%-14d %-18.0f %.0f\n", n, row[massbft.ProtocolMassBFT], row[massbft.ProtocolBaseline])
+	}
+}
+
+// fig13b reproduces Fig 13b: throughput when scaling the number of groups.
+func fig13b() {
+	header("13b", "scaling the number of groups (7 nodes each)")
+	fmt.Printf("%-10s %-18s %s\n", "groups", "massbft (tps)", "baseline (tps)")
+	for _, ng := range []int{3, 5, 7} {
+		groups := make([]int, ng)
+		for i := range groups {
+			groups[i] = 7
+		}
+		row := map[massbft.Protocol]float64{}
+		for _, p := range []massbft.Protocol{massbft.ProtocolMassBFT, massbft.ProtocolBaseline} {
+			res := run(massbft.Config{
+				Groups:   groups,
+				Protocol: p,
+				Workload: "ycsb-a",
+			})
+			row[p] = res.Throughput
+		}
+		fmt.Printf("%-10d %-18.0f %.0f\n", ng, row[massbft.ProtocolMassBFT], row[massbft.ProtocolBaseline])
+	}
+}
+
+// fig14 reproduces Fig 14: tolerance of slow nodes. All nodes start at
+// 40 Mbps; k nodes per group are limited to 20 Mbps.
+func fig14() {
+	header("14", "nodes with different bandwidths (40 Mbps base, k slow nodes at 20 Mbps)")
+	fmt.Printf("%-14s %-18s %s\n", "slow/group", "throughput (tps)", "latency (avg)")
+	for k := 0; k <= 7; k++ {
+		cfg := massbft.Config{
+			Groups:       []int{7, 7, 7},
+			Protocol:     massbft.ProtocolMassBFT,
+			Workload:     "ycsb-a",
+			WANBandwidth: 40e6 / 8,
+			Seed:         *seedFlag,
+			Warmup:       warmup(),
+		}
+		c, err := massbft.NewCluster(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for g := 0; g < 3; g++ {
+			for j := 0; j < k; j++ {
+				c.SetNodeBandwidth(g, j+1, 20e6/8) // keep the leader fast
+			}
+		}
+		res := c.Run(runFor())
+		fmt.Printf("%-14d %-18.0f %v\n", k, res.Throughput, res.AvgLatency.Round(time.Millisecond))
+	}
+}
+
+// fig15 reproduces Fig 15: performance under failures. Byzantine nodes start
+// tampering at 1/3 of the run; a whole group crashes at 2/3.
+func fig15() {
+	header("15", "performance under failures (Byzantine tampering, then group crash)")
+	total := 30 * time.Second
+	if *quickFlag {
+		total = 15 * time.Second
+	}
+	byzAt := total / 3
+	crashAt := 2 * total / 3
+	cfg := massbft.Config{
+		Groups:          []int{7, 7, 7},
+		Protocol:        massbft.ProtocolMassBFT,
+		Workload:        "ycsb-a",
+		Seed:            *seedFlag,
+		Warmup:          time.Second,
+		TakeoverTimeout: 2 * time.Second,
+	}
+	c, err := massbft.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c.MakeByzantine(byzAt, 2)
+	c.CrashGroup(crashAt, 0)
+	res := c.Run(total)
+	fmt.Printf("Byzantine nodes (2/group) active from t=%v; group 0 crashes at t=%v\n", byzAt, crashAt)
+	fmt.Printf("%-8s %-16s %s\n", "second", "throughput", "avg latency")
+	for _, p := range res.Series {
+		fmt.Printf("%-8d %-16.0f %v\n", p.Second, p.Throughput, p.AvgLatency.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,31 @@
+// Package massbft is a from-scratch Go implementation of MassBFT (Peng et
+// al., ICDE 2025): a geo-distributed Byzantine fault-tolerant consensus
+// protocol that combines encoded bijective log replication (erasure-coded
+// chunk transfer over every node's WAN link, §IV) with asynchronous log
+// ordering by vector timestamps (§V).
+//
+// The package exposes a deterministic simulation testbed: a cluster of
+// groups (data centers) of nodes wired over an emulated WAN/LAN (per-node
+// bandwidth limits, inter-region latency matrices), running the full
+// protocol stack — local PBFT consensus, erasure-coded global replication
+// with Merkle-authenticated optimistic rebuild, vector-timestamp ordering,
+// and Aria-style deterministic execution. The same stack also runs the
+// paper's competitor protocols (Baseline, GeoBFT, Steward, ISS) and ablations
+// (BR, EBR), selected by Config.Protocol.
+//
+// # Quick start
+//
+//	cfg := massbft.Config{
+//		Groups:   []int{4, 4, 4},
+//		Protocol: massbft.ProtocolMassBFT,
+//		Workload: "ycsb-a",
+//	}
+//	c, err := massbft.NewCluster(cfg)
+//	if err != nil { ... }
+//	res := c.Run(10 * time.Second)
+//	fmt.Printf("throughput: %.0f tps, latency: %v\n", res.Throughput, res.AvgLatency)
+//
+// Applications with their own transaction semantics implement
+// CustomWorkload; see examples/bank for a SmallBank-style ledger and
+// examples/geoledger for fault injection.
+package massbft

@@ -1,0 +1,55 @@
+// Quickstart: bring up a 3-data-center MassBFT deployment, push a key-value
+// workload through consensus, and confirm that every replica across every
+// region converged to the same state.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"massbft"
+)
+
+func main() {
+	// Three groups (data centers) of four nodes each, connected by the
+	// paper's nationwide latency matrix and 20 Mbps per-node WAN links.
+	cfg := massbft.Config{
+		Groups:   []int{4, 4, 4},
+		Protocol: massbft.ProtocolMassBFT,
+		Workload: "ycsb-a", // built-in key-value workload, Zipf 0.99
+		Seed:     1,
+		Warmup:   time.Second,
+	}
+	c, err := massbft.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running MassBFT on 3 groups x 4 nodes (YCSB-A)...")
+	res := c.Run(8 * time.Second)
+
+	fmt.Printf("throughput : %.0f committed txns/s\n", res.Throughput)
+	fmt.Printf("latency    : avg %v, p50 %v, p99 %v\n",
+		res.AvgLatency.Round(time.Millisecond),
+		res.P50Latency.Round(time.Millisecond),
+		res.P99Latency.Round(time.Millisecond))
+	fmt.Printf("entries    : %d ordered log entries, %.1f%% conflict aborts\n",
+		res.Entries, 100*res.AbortRate)
+	fmt.Printf("WAN        : %.1f MB total across all nodes\n", float64(res.WANBytesTotal)/1e6)
+
+	// The whole point of consensus: every node in every region holds the
+	// same state. Drain in-flight entries, then compare digests.
+	c.Drain(2 * time.Second)
+	ref := c.StateHash(0, 0)
+	for g := 0; g < 3; g++ {
+		for j := 0; j < 4; j++ {
+			if c.StateHash(g, j) != ref {
+				log.Fatalf("node %d,%d diverged!", g, j)
+			}
+		}
+	}
+	fmt.Printf("agreement  : all 12 replicas at state %x\n", ref[:8])
+}

@@ -1,0 +1,3 @@
+module massbft
+
+go 1.22

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"massbft/internal/aria"
+	"massbft/internal/keys"
+	"massbft/internal/metrics"
+	"massbft/internal/replication"
+	"massbft/internal/simnet"
+	"massbft/internal/statedb"
+	"massbft/internal/types"
+	"massbft/internal/workload"
+)
+
+// Node is one protocol participant. Start is called once after every node is
+// constructed and registered; message delivery happens through the
+// simnet.Handler interface.
+type Node interface {
+	simnet.Handler
+	Start()
+}
+
+// Factory constructs a protocol node for one cluster position.
+type Factory func(ctx *NodeCtx) Node
+
+// FaultPlan is the cluster-wide fault schedule, shared by reference with
+// every node (the simulation is single-threaded).
+type FaultPlan struct {
+	// ByzantineFrom, when non-zero, activates the Byzantine nodes at that
+	// virtual time (§VI-E "Node Failures").
+	ByzantineFrom time.Duration
+	// ByzantineNodes marks which nodes behave Byzantine once active.
+	ByzantineNodes map[keys.NodeID]bool
+}
+
+// IsByzantine reports whether id is actively Byzantine at virtual time now.
+func (f *FaultPlan) IsByzantine(id keys.NodeID, now time.Duration) bool {
+	if f == nil || f.ByzantineFrom == 0 || now < f.ByzantineFrom {
+		return false
+	}
+	return f.ByzantineNodes[id]
+}
+
+// NodeCtx is everything a protocol node needs from its environment.
+type NodeCtx struct {
+	ID  keys.NodeID
+	KP  *keys.KeyPair
+	Cfg *Config
+	Reg *keys.Registry
+	Net *simnet.Node
+	// Gen is the group-shared transaction generator (only the current group
+	// leader pulls from it).
+	Gen workload.Workload
+	// Engine executes ordered entries against this node's own state copy.
+	Engine *aria.Engine
+	// Metrics is the shared collector; only the observer node records
+	// throughput/latency into it (all correct nodes execute identically).
+	Metrics    *metrics.Collector
+	IsObserver bool
+	// EncodeCache and RebuildCache are cluster-wide memo tables for the
+	// deterministic erasure transforms (CPU is charged per node regardless).
+	EncodeCache  map[string]*replication.Encoded
+	RebuildCache *replication.RebuildCache
+	Faults       *FaultPlan
+}
+
+// Cluster is a fully wired experiment.
+type Cluster struct {
+	Cfg     Config
+	Net     *simnet.Network
+	Reg     *keys.Registry
+	Pairs   [][]*keys.KeyPair
+	Nodes   map[keys.NodeID]Node
+	Metrics *metrics.Collector
+	Faults  *FaultPlan
+
+	started bool
+}
+
+// New builds a cluster: keys, network, workload generators, state stores,
+// and one protocol node per position via factory.
+func New(cfg Config, factory Factory) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.GroupSizes) == 0 {
+		return nil, fmt.Errorf("cluster: no groups configured")
+	}
+	pairs, reg, err := keys.GenerateCluster(cfg.GroupSizes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg.SetTrustAll(cfg.TrustAll)
+	lat := cfg.WANLatency
+	nw := simnet.New(simnet.Config{
+		GroupSizes:     cfg.GroupSizes,
+		WANLatency:     func(a, b int) simnet.Time { return lat(a, b) },
+		LANLatency:     cfg.LANLatency,
+		WANBandwidth:   cfg.WANBandwidth,
+		LANBandwidth:   cfg.LANBandwidth,
+		Seed:           cfg.Seed,
+		Jitter:         cfg.Jitter,
+		GST:            cfg.GST,
+		UnstableFactor: cfg.UnstableFactor,
+	})
+	col := metrics.NewCollector()
+	col.SetWindow(cfg.Warmup, cfg.RunFor-cfg.Warmup/2)
+
+	c := &Cluster{
+		Cfg:     cfg,
+		Net:     nw,
+		Reg:     reg,
+		Pairs:   pairs,
+		Nodes:   make(map[keys.NodeID]Node),
+		Metrics: col,
+		Faults:  &FaultPlan{ByzantineNodes: make(map[keys.NodeID]bool)},
+	}
+	encodeCache := make(map[string]*replication.Encoded)
+	rebuildCache := replication.NewRebuildCache()
+
+	for g, n := range cfg.GroupSizes {
+		var gen workload.Workload
+		if cfg.WorkloadFactory != nil {
+			gen = cfg.WorkloadFactory(g, cfg.Seed+int64(g)*1000)
+		} else {
+			var err error
+			gen, err = workload.New(cfg.Workload, cfg.Seed+int64(g)*1000)
+			if err != nil {
+				return nil, err
+			}
+		}
+		exec := gen.Executor()
+		for j := 0; j < n; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			db := statedb.New()
+			gen.Load(db)
+			ctx := &NodeCtx{
+				ID:           id,
+				KP:           pairs[g][j],
+				Cfg:          &c.Cfg,
+				Reg:          reg,
+				Net:          nw.Node(id),
+				Gen:          gen,
+				Engine:       aria.NewEngine(db, exec),
+				Metrics:      col,
+				IsObserver:   id == cfg.Observer,
+				EncodeCache:  encodeCache,
+				RebuildCache: rebuildCache,
+				Faults:       c.Faults,
+			}
+			node := factory(ctx)
+			c.Nodes[id] = node
+			nw.SetHandler(id, node)
+		}
+	}
+	return c, nil
+}
+
+// ScheduleGroupCrash kills every node of group g at virtual time `at`
+// (§VI-E "Group Failures").
+func (c *Cluster) ScheduleGroupCrash(at time.Duration, g int) {
+	c.Net.Schedule(at, func() { c.Net.CrashGroup(g) })
+}
+
+// ScheduleByzantine makes the first `perGroup` follower nodes of every group
+// Byzantine from virtual time `at`: they replicate a tampered entry instead
+// of the correct one (§VI-E "Node Failures"). Leaders (index 0) stay correct
+// so local consensus continues; the paper's Byzantine nodes likewise "always
+// strictly follow the local consensus process".
+func (c *Cluster) ScheduleByzantine(at time.Duration, perGroup int) {
+	c.Faults.ByzantineFrom = at
+	for g, n := range c.Cfg.GroupSizes {
+		for j := 1; j <= perGroup && j < n; j++ {
+			c.Faults.ByzantineNodes[keys.NodeID{Group: g, Index: j}] = true
+		}
+	}
+}
+
+// Run starts every node and processes events until Cfg.RunFor of virtual
+// time, returning the metrics collector.
+func (c *Cluster) Run() *metrics.Collector {
+	c.RunUntil(c.Cfg.RunFor)
+	return c.Metrics
+}
+
+// RunUntil advances the simulation to the given virtual time (starting nodes
+// on first use); it can be called repeatedly with increasing times.
+func (c *Cluster) RunUntil(t time.Duration) {
+	if !c.started {
+		c.started = true
+		// Start in deterministic (group, index) order: timer creation order
+		// is part of the event schedule, and runs must be reproducible.
+		for g, n := range c.Cfg.GroupSizes {
+			for j := 0; j < n; j++ {
+				c.Nodes[keys.NodeID{Group: g, Index: j}].Start()
+			}
+		}
+	}
+	c.Net.Run(t)
+}
+
+// Drain stops client load and advances the simulation by d: leaders switch
+// to empty heartbeat entries so the clocks keep moving and every in-flight
+// entry executes on every live node. Use before comparing state hashes.
+func (c *Cluster) Drain(d time.Duration) {
+	c.Cfg.Draining = true
+	c.RunUntil(c.Net.Now() + d)
+}
+
+// WANBytesPerEntry returns average WAN bytes consumed per executed entry —
+// the Fig 10 metric.
+func (c *Cluster) WANBytesPerEntry() float64 {
+	entries := c.Metrics.Entries()
+	if entries == 0 {
+		return 0
+	}
+	return float64(c.Net.WANBytes(-1)) / float64(entries)
+}
+
+// StateHash returns the state digest of the given node, for cross-node
+// consistency assertions in tests.
+func (c *Cluster) StateHash(id keys.NodeID) [32]byte {
+	type engined interface{ DB() *statedb.Store }
+	n := c.Nodes[id]
+	if en, ok := n.(engined); ok {
+		return en.DB().Hash()
+	}
+	var zero [32]byte
+	return zero
+}
+
+// EntryIDFor is a convenience for tests.
+func EntryIDFor(g int, seq uint64) types.EntryID { return types.EntryID{GID: g, Seq: seq} }

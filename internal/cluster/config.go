@@ -1,0 +1,288 @@
+// Package cluster wires protocol nodes onto the network emulator and runs
+// timed experiments: it owns the cluster-wide configuration (group sizes,
+// WAN/LAN characteristics, batching, the CPU cost model), the shared message
+// envelope types, fault injection (Byzantine chunk tampering, group
+// crashes), and metrics collection. Protocol logic itself lives in
+// internal/core (MassBFT and the protocols derived from it by switching its
+// replication/ordering modes).
+package cluster
+
+import (
+	"time"
+
+	"massbft/internal/keys"
+	"massbft/internal/simnet"
+	"massbft/internal/workload"
+)
+
+// ReplMode selects the global log replication strategy (§IV).
+type ReplMode int
+
+// Replication strategies.
+const (
+	// ReplOneWay: only the group leader sends, one complete entry copy to
+	// f+1 nodes of each receiver group (Baseline/GeoBFT with the GeoBFT
+	// optimization, §II-A).
+	ReplOneWay ReplMode = iota
+	// ReplBijective: f1+f2+1 nodes each send a complete copy to distinct
+	// receivers (§IV-A; the BR ablation of Fig 12).
+	ReplBijective
+	// ReplEncoded: encoded bijective replication with erasure-coded chunks
+	// (§IV-B; EBR and MassBFT).
+	ReplEncoded
+)
+
+// OrderMode selects how entries from different groups are interleaved (§V).
+type OrderMode int
+
+// Ordering strategies.
+const (
+	// OrderRound: round-based synchronous ordering (Baseline/GeoBFT/ISS).
+	OrderRound OrderMode = iota
+	// OrderAsync: asynchronous ordering by vector timestamps (MassBFT).
+	OrderAsync
+)
+
+// Options selects the protocol variant a node runs. The named protocols of
+// the paper's evaluation (Table II) are fixed combinations; see the Preset*
+// functions.
+type Options struct {
+	Replication ReplMode
+	Ordering    OrderMode
+	// GlobalConsensus enables the Raft-style accept/commit phases. GeoBFT
+	// turns it off (direct broadcast, no group fault tolerance).
+	GlobalConsensus bool
+	// Serial allows only one entry proposal in flight globally (Steward).
+	Serial bool
+	// EpochLength > 0 enables ISS-style epoch barriers between batches of
+	// rounds.
+	EpochLength time.Duration
+	// OverlapVTS uses the overlapped (2-RTT) VTS assignment of §V-B; when
+	// false the serial 3-RTT variant runs (the ablation of Fig 7a vs 7b).
+	OverlapVTS bool
+}
+
+// Preset protocol option sets matching Table II.
+func PresetMassBFT() Options {
+	return Options{Replication: ReplEncoded, Ordering: OrderAsync, GlobalConsensus: true, OverlapVTS: true}
+}
+
+// PresetBaseline is the generic geo-consensus model of §II-A.
+func PresetBaseline() Options {
+	return Options{Replication: ReplOneWay, Ordering: OrderRound, GlobalConsensus: true}
+}
+
+// PresetGeoBFT broadcasts directly without global consensus.
+func PresetGeoBFT() Options {
+	return Options{Replication: ReplOneWay, Ordering: OrderRound, GlobalConsensus: false}
+}
+
+// PresetSteward allows only one group to propose at a time.
+func PresetSteward() Options {
+	return Options{Replication: ReplOneWay, Ordering: OrderRound, GlobalConsensus: true, Serial: true}
+}
+
+// PresetISS uses Steward-style hierarchical SB with epoch-based rotation.
+func PresetISS(epoch time.Duration) Options {
+	return Options{Replication: ReplOneWay, Ordering: OrderRound, GlobalConsensus: true, EpochLength: epoch}
+}
+
+// PresetBR is the Fig 12 bijective-only ablation.
+func PresetBR() Options {
+	return Options{Replication: ReplBijective, Ordering: OrderRound, GlobalConsensus: true}
+}
+
+// PresetEBR is the Fig 12 encoded-bijective ablation (still round-ordered).
+func PresetEBR() Options {
+	return Options{Replication: ReplEncoded, Ordering: OrderRound, GlobalConsensus: true}
+}
+
+// CostModel charges virtual CPU time for the operations the paper identifies
+// as compute-bound (§VI-B): per-transaction signature verification during
+// local consensus, erasure encode/rebuild, and deterministic execution.
+type CostModel struct {
+	// SigVerifyPerTxn is charged on every group node for every transaction
+	// in a locally-proposed entry (the dominant local-consensus cost).
+	SigVerifyPerTxn time.Duration
+	// ExecPerTxn is charged at execution on every node.
+	ExecPerTxn time.Duration
+	// EncodePerByte / RebuildPerByte are charged when erasure-coding or
+	// rebuilding an entry.
+	EncodePerByte time.Duration
+	// RebuildPerByte is the per-byte decode cost.
+	RebuildPerByte time.Duration
+	// MsgOverhead is charged per protocol message handled.
+	MsgOverhead time.Duration
+}
+
+// DefaultCostModel approximates the paper's 8-core ecs.c6.2xlarge nodes.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SigVerifyPerTxn: 12 * time.Microsecond,
+		ExecPerTxn:      2 * time.Microsecond,
+		EncodePerByte:   15 * time.Nanosecond,
+		RebuildPerByte:  25 * time.Nanosecond,
+		MsgOverhead:     3 * time.Microsecond,
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// GroupSizes[i] is the node count of group i (the paper's default is
+	// three groups of seven).
+	GroupSizes []int
+	// Protocol options (see Preset*).
+	Opts Options
+	// Workload name: "ycsb-a", "ycsb-b", "smallbank", "tpcc".
+	Workload string
+	// Seed drives all randomness (keys, workload, jitter).
+	Seed int64
+
+	// Network: WANLatency(i,j) is the one-way latency between groups; nil
+	// uses NationwideLatency. Bandwidths are bytes/second per node.
+	WANLatency   func(i, j int) time.Duration
+	LANLatency   time.Duration
+	WANBandwidth float64
+	LANBandwidth float64
+	Jitter       float64
+
+	// Batching: leaders cut an entry of up to MaxBatch transactions every
+	// BatchTimeout (the paper fixes 20 ms) while fewer than PipelineDepth
+	// of their entries are unexecuted.
+	BatchTimeout  time.Duration
+	MaxBatch      int
+	PipelineDepth int
+	// GroupRate[i], when non-zero, throttles group i's clients to that many
+	// transactions per second (Fig 2 / Fig 12); zero means saturation.
+	GroupRate []float64
+
+	Cost CostModel
+
+	// TrustAll skips real Ed25519 verification and charges the CPU model
+	// instead (benchmarks); correctness tests keep it false.
+	TrustAll bool
+
+	// RunFor is the virtual duration of the experiment; Warmup trims the
+	// measurement window on both sides.
+	RunFor time.Duration
+	Warmup time.Duration
+
+	// Observer is the node whose executions feed the metrics collector; it
+	// defaults to node 0 of the highest-numbered group (which Fig 15's
+	// group-0 crash leaves alive).
+	Observer keys.NodeID
+	// observerSet records whether Observer was set explicitly.
+	observerSet bool
+
+	// TakeoverTimeout is how long without stream records before another
+	// group takes over a crashed group's clock (§V-C); zero disables.
+	TakeoverTimeout time.Duration
+
+	// ViewChangeTimeout enables local PBFT view changes: replicas vote to
+	// replace a leader that stalls for this long. Zero disables (benchmark
+	// steady state).
+	ViewChangeTimeout time.Duration
+
+	// GST, when positive, models partial synchrony (§III-A): before this
+	// global stabilization time WAN latencies are multiplied by
+	// UnstableFactor (default 10).
+	GST            time.Duration
+	UnstableFactor float64
+
+	// WorkloadFactory, when set, overrides Workload with an
+	// application-defined generator+executor (built per group).
+	WorkloadFactory func(group int, seed int64) workload.Workload
+
+	// Draining, set by Cluster.Drain, stops client load: leaders propose
+	// only empty heartbeat entries, which keep the group clocks advancing so
+	// every already-proposed entry reaches execution on every node.
+	Draining bool
+}
+
+// SetObserver overrides the metrics observer node.
+func (c *Config) SetObserver(id keys.NodeID) {
+	c.Observer = id
+	c.observerSet = true
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workload == "" {
+		c.Workload = "ycsb-a"
+	}
+	if c.WANLatency == nil {
+		c.WANLatency = NationwideLatency
+	}
+	if c.LANLatency == 0 {
+		c.LANLatency = 200 * time.Microsecond
+	}
+	if c.WANBandwidth == 0 {
+		c.WANBandwidth = simnet.DefaultWANBandwidth
+	}
+	if c.LANBandwidth == 0 {
+		c.LANBandwidth = simnet.DefaultLANBandwidth
+	}
+	if c.BatchTimeout == 0 {
+		c.BatchTimeout = 20 * time.Millisecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 400
+	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 16
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	if c.RunFor == 0 {
+		c.RunFor = 10 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if !c.observerSet {
+		c.Observer = keys.NodeID{Group: len(c.GroupSizes) - 1, Index: 0}
+	}
+	return c
+}
+
+// NationwideLatency is the one-way latency matrix of the paper's nationwide
+// cluster (Zhangjiakou, Chengdu, Hangzhou, then Shenzhen, Beijing, Shanghai,
+// Guangzhou for the Fig 13b scale-out), with RTTs in the paper's 26.7-43.4 ms
+// range.
+func NationwideLatency(i, j int) time.Duration {
+	if i == j {
+		return 0
+	}
+	// Symmetric one-way latency matrix in milliseconds*10 (RTT = 2x).
+	m := [7][7]int{
+		{0, 217, 155, 180, 60, 140, 175},
+		{217, 0, 134, 120, 200, 150, 125},
+		{155, 134, 0, 90, 145, 35, 85},
+		{180, 120, 90, 0, 170, 80, 25},
+		{60, 200, 145, 170, 0, 120, 165},
+		{140, 150, 35, 80, 120, 0, 75},
+		{175, 125, 85, 25, 165, 75, 0},
+	}
+	if i < 7 && j < 7 {
+		return time.Duration(m[i][j]) * time.Millisecond / 10
+	}
+	return 15 * time.Millisecond
+}
+
+// WorldwideLatency is the worldwide cluster (Hong Kong, London, Silicon
+// Valley): RTTs 156-206 ms.
+func WorldwideLatency(i, j int) time.Duration {
+	if i == j {
+		return 0
+	}
+	m := [3][3]int{
+		{0, 980, 780},
+		{980, 0, 1030},
+		{780, 1030, 0},
+	}
+	if i < 3 && j < 3 {
+		return time.Duration(m[i][j]) * time.Millisecond / 10
+	}
+	return 90 * time.Millisecond
+}

@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecords checks that arbitrary bytes never panic the record
+// decoder and that accepted payloads are canonical.
+func FuzzDecodeRecords(f *testing.F) {
+	f.Add(EncodeRecords([]Record{{Kind: RecTS, Stream: 1, Entry: EntryIDFor(0, 3), TS: 2}}))
+	f.Add(EncodeRecords(nil))
+	f.Add([]byte{0, 0, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, ok := DecodeRecords(data)
+		if !ok {
+			return
+		}
+		if !bytes.Equal(EncodeRecords(recs), data) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"encoding/binary"
+
+	"massbft/internal/keys"
+	"massbft/internal/pbft"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// LocalMsg wraps a message of the local PBFT instance that certifies entries
+// (intra-group, LAN).
+type LocalMsg struct {
+	M pbft.Msg
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *LocalMsg) WireSize() int { return 1 + m.M.WireSize() }
+
+// MetaMsg wraps a message of the meta PBFT instance (skip-prepare) that
+// certifies accept/commit/timestamp records (intra-group, LAN).
+type MetaMsg struct {
+	M pbft.Msg
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *MetaMsg) WireSize() int { return 1 + m.M.WireSize() }
+
+// ChunkFwd is the LAN re-broadcast of a WAN-received chunk (§IV-B "exchange
+// their received chunks").
+type ChunkFwd struct {
+	C *replication.ChunkMsg
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ChunkFwd) WireSize() int { return 1 + m.C.WireSize() }
+
+// BatchFwd is the LAN re-broadcast of a WAN-received chunk batch.
+type BatchFwd struct {
+	B *replication.ChunkBatch
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *BatchFwd) WireSize() int { return 1 + m.B.WireSize() }
+
+// EntryWAN carries a complete entry copy between groups (one-way and
+// bijective replication).
+type EntryWAN struct {
+	E *replication.EntryMsg
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *EntryWAN) WireSize() int { return 1 + m.E.WireSize() }
+
+// EntryFwd is the LAN re-broadcast of a WAN-received entry copy.
+type EntryFwd struct {
+	E *replication.EntryMsg
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *EntryFwd) WireSize() int { return 1 + m.E.WireSize() }
+
+// Record kinds carried by the meta instance and MetaBatch messages.
+const (
+	// RecTS is a vector-timestamp assignment: group Stream assigned TS to
+	// Entry. In async mode it doubles as the group's accept.
+	RecTS = iota
+	// RecAccept is a round-mode accept: the sender group received Entry.
+	RecAccept
+	// RecCommit announces that Entry achieved global consensus.
+	RecCommit
+)
+
+// Record is one certified statement by a group.
+type Record struct {
+	Kind int
+	// Stream is the group clock the TS belongs to; normally the emitting
+	// group, but a takeover leader emits on a crashed group's stream (§V-C).
+	Stream int
+	Entry  types.EntryID
+	TS     uint64
+}
+
+const recordWire = 1 + 4 + 12 + 8
+
+// EncodeRecords serializes records as a meta-PBFT payload.
+func EncodeRecords(recs []Record) []byte {
+	buf := make([]byte, 0, 4+len(recs)*recordWire)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = append(buf, byte(r.Kind))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Stream))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Entry.GID))
+		buf = binary.BigEndian.AppendUint64(buf, r.Entry.Seq)
+		buf = binary.BigEndian.AppendUint64(buf, r.TS)
+	}
+	return buf
+}
+
+// DecodeRecords parses a meta-PBFT payload.
+func DecodeRecords(buf []byte) ([]Record, bool) {
+	if len(buf) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) != n*recordWire {
+		return nil, false
+	}
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i].Kind = int(buf[0])
+		recs[i].Stream = int(binary.BigEndian.Uint32(buf[1:]))
+		recs[i].Entry.GID = int(binary.BigEndian.Uint32(buf[5:]))
+		recs[i].Entry.Seq = binary.BigEndian.Uint64(buf[9:])
+		recs[i].TS = binary.BigEndian.Uint64(buf[17:])
+		buf = buf[recordWire:]
+	}
+	return recs, true
+}
+
+// MetaBatch carries a group's certified records to other groups (WAN,
+// leader-to-leader) and into their groups (LAN, leader-to-members). Seq
+// orders batches per origin group so receivers can process streams FIFO.
+type MetaBatch struct {
+	FromGroup int
+	Seq       uint64
+	Records   []Record
+	Cert      *keys.Certificate
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *MetaBatch) WireSize() int {
+	n := 1 + 4 + 8 + 4 + len(m.Records)*recordWire
+	if m.Cert != nil {
+		n += m.Cert.Size()
+	}
+	return n
+}
+
+// EntryFetch asks a group that stamped an entry for its full content — the
+// Lemma V.1 recovery path: a group that assigned its timestamp must hold the
+// entry, so others "can request the entry from G_j if group G_i crashes".
+type EntryFetch struct {
+	Entry types.EntryID
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *EntryFetch) WireSize() int { return 1 + 12 }

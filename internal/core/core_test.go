@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+)
+
+// smallCfg is a 3-groups-of-4 cluster with fast virtual timings so tests
+// finish quickly. Ed25519 verification uses the modeled-cost mode by
+// default; the security-critical tests (end-to-end, Byzantine tampering,
+// crash takeover, leader crash) flip RealCrypto on explicitly.
+func smallCfg() cluster.Config {
+	return cluster.Config{
+		GroupSizes:    []int{4, 4, 4},
+		Opts:          cluster.PresetMassBFT(),
+		Workload:      "ycsb-a",
+		Seed:          1,
+		MaxBatch:      20,
+		BatchTimeout:  10 * time.Millisecond,
+		PipelineDepth: 8,
+		RunFor:        3 * time.Second,
+		Warmup:        500 * time.Millisecond,
+		TrustAll:      true,
+	}
+}
+
+// realCryptoCfg is smallCfg with full Ed25519 verification.
+func realCryptoCfg() cluster.Config {
+	cfg := smallCfg()
+	cfg.TrustAll = false
+	return cfg
+}
+
+func runCluster(t *testing.T, cfg cluster.Config) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	// Drain in-flight entries so state hashes are comparable across nodes.
+	c.Drain(2 * time.Second)
+	return c
+}
+
+// assertConsistency checks every live node converged to the same state hash.
+func assertConsistency(t *testing.T, c *cluster.Cluster, skipGroups map[int]bool) {
+	t.Helper()
+	var ref [32]byte
+	var refSet bool
+	for g, n := range c.Cfg.GroupSizes {
+		if skipGroups[g] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			h := c.StateHash(keys.NodeID{Group: g, Index: j})
+			if !refSet {
+				ref, refSet = h, true
+				continue
+			}
+			if h != ref {
+				t.Fatalf("node N%d,%d state diverges", g, j)
+			}
+		}
+	}
+}
+
+func TestMassBFTEndToEnd(t *testing.T) {
+	c := runCluster(t, realCryptoCfg())
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no transactions committed: %s", m.Summary())
+	}
+	if m.AvgLatency() == 0 {
+		t.Fatal("no latency recorded")
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestMassBFTAllNodesExecuteSameOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	// Determinism: two identical runs produce identical metrics and states.
+	a := runCluster(t, smallCfg())
+	b := runCluster(t, smallCfg())
+	if a.Metrics.Committed() != b.Metrics.Committed() {
+		t.Fatalf("runs diverge: %d vs %d committed", a.Metrics.Committed(), b.Metrics.Committed())
+	}
+	ha := a.StateHash(keys.NodeID{Group: 0, Index: 0})
+	hb := b.StateHash(keys.NodeID{Group: 0, Index: 0})
+	if ha != hb {
+		t.Fatal("same seed produced different final states")
+	}
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Opts = cluster.PresetBaseline()
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("baseline committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestGeoBFTEndToEnd(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Opts = cluster.PresetGeoBFT()
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("geobft committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestStewardEndToEnd(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Opts = cluster.PresetSteward()
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("steward committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestISSEndToEnd(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Opts = cluster.PresetISS(100 * time.Millisecond)
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("iss committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestBRAndEBREndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	for _, opts := range []cluster.Options{cluster.PresetBR(), cluster.PresetEBR()} {
+		cfg := smallCfg()
+		cfg.Opts = opts
+		c := runCluster(t, cfg)
+		if c.Metrics.Committed() == 0 {
+			t.Fatalf("opts %+v committed nothing: %s", opts, c.Metrics.Summary())
+		}
+		assertConsistency(t, c, nil)
+	}
+}
+
+func TestMassBFTHeterogeneousGroupSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := smallCfg()
+	cfg.GroupSizes = []int{4, 7, 7} // the Fig 12 shape
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("heterogeneous cluster committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestSerialVTSMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	// Fig 7a ablation: serial (3-RTT) VTS assignment must still commit,
+	// order, and agree — just slower.
+	cfg := smallCfg()
+	cfg.Opts.OverlapVTS = false
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("serial VTS committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestWorldwideLatencyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := smallCfg()
+	cfg.WANLatency = cluster.WorldwideLatency
+	cfg.RunFor = 4 * time.Second
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("worldwide cluster committed nothing: %s", c.Metrics.Summary())
+	}
+	// End-to-end latency must reflect the higher RTTs (>= one worldwide
+	// one-way latency).
+	if c.Metrics.AvgLatency() < 78*time.Millisecond {
+		t.Fatalf("worldwide latency %v implausibly low", c.Metrics.AvgLatency())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestSingleGroupCluster(t *testing.T) {
+	// Degenerate deployment: one group, no WAN replication at all. The
+	// protocol must still batch, locally certify, order, and execute.
+	cfg := smallCfg()
+	cfg.GroupSizes = []int{4}
+	c := runCluster(t, cfg)
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("single group committed nothing: %s", c.Metrics.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+func TestRateLimitedGroups(t *testing.T) {
+	// Offered-load throttling: committed throughput must track the offer,
+	// not saturation.
+	cfg := smallCfg()
+	cfg.MaxBatch = 50
+	cfg.GroupRate = []float64{500, 500, 500}
+	c := runCluster(t, cfg)
+	tput := c.Metrics.Throughput()
+	if tput < 1200 || tput > 1600 {
+		t.Fatalf("throughput %.0f, want ~1500 (offered)", tput)
+	}
+}

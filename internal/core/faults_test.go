@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+)
+
+// TestByzantineChunkTampering reproduces §VI-E "Node Failures": f Byzantine
+// nodes per group collude to replicate a tampered entry. Throughput must be
+// unaffected (correct nodes blacklist the tamperers after the first failed
+// rebuild) and no tampered transaction may reach the state.
+func TestByzantineChunkTampering(t *testing.T) {
+	cfg := realCryptoCfg()
+	cfg.RunFor = 4 * time.Second
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f=1 Byzantine node per group (n=4), active from t=1s.
+	c.ScheduleByzantine(1*time.Second, 1)
+	c.Run()
+	c.Drain(2 * time.Second)
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no progress under Byzantine nodes: %s", m.Summary())
+	}
+	// Throughput must continue after the attack starts.
+	series := m.Series()
+	lateTps := 0.0
+	for _, p := range series {
+		if p.Second >= 2 {
+			lateTps += p.Throughput
+		}
+	}
+	if lateTps == 0 {
+		t.Fatal("throughput collapsed after Byzantine activation")
+	}
+	// All correct nodes still agree (Byzantine nodes run the same execution
+	// since they follow local consensus; their only deviation is tampered
+	// chunk transmission).
+	assertConsistency(t, c, nil)
+}
+
+// TestGroupCrashTakeover reproduces §VI-E "Group Failures": a whole data
+// center dies; after the takeover timeout another group assigns timestamps
+// from the crashed group's frozen clock and execution resumes.
+func TestGroupCrashTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := realCryptoCfg()
+	cfg.RunFor = 6 * time.Second
+	cfg.TakeoverTimeout = 300 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleGroupCrash(2*time.Second, 0)
+	c.Run()
+	c.Drain(2 * time.Second)
+	m := c.Metrics
+
+	series := m.Series()
+	var before, after float64
+	for _, p := range series {
+		if p.Second == 1 {
+			before += p.Throughput
+		}
+		if p.Second >= 4 {
+			after += p.Throughput
+		}
+	}
+	if before == 0 {
+		t.Fatalf("no throughput before crash: %s", m.Summary())
+	}
+	if after == 0 {
+		t.Fatalf("throughput never recovered after group crash: %s", m.Summary())
+	}
+	// The surviving groups must agree with each other — both state and the
+	// sealed ledger prefix.
+	assertConsistency(t, c, map[int]bool{0: true})
+	ref := c.Nodes[keys.NodeID{Group: 1, Index: 0}].(*Node).Ledger()
+	if ref.Height() == 0 {
+		t.Fatal("empty ledger after crash run")
+	}
+	if err := ref.Verify(); err != nil {
+		t.Fatalf("ledger integrity: %v", err)
+	}
+	for g := 1; g < 3; g++ {
+		for j := 0; j < 4; j++ {
+			l := c.Nodes[keys.NodeID{Group: g, Index: j}].(*Node).Ledger()
+			if l.Height() != ref.Height() || l.Head() != ref.Head() {
+				t.Fatalf("node %d,%d ledger diverged", g, j)
+			}
+		}
+	}
+}
+
+// TestMassBFTOutperformsBaselineUnderLeaderBottleneck checks the paper's
+// headline claim in miniature: with per-node WAN bandwidth as the
+// bottleneck, MassBFT's spread-out chunk replication beats Baseline's
+// leader-only copies by a wide margin (Fig 8).
+func TestMassBFTOutperformsBaselineUnderLeaderBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	run := func(opts cluster.Options) float64 {
+		cfg := cluster.Config{
+			GroupSizes:   []int{7, 7, 7},
+			Opts:         opts,
+			Workload:     "ycsb-a",
+			Seed:         3,
+			MaxBatch:     400,
+			BatchTimeout: 20 * time.Millisecond,
+			WANBandwidth: 20e6 / 8, // the paper's 20 Mbps
+			RunFor:       6 * time.Second,
+			Warmup:       2 * time.Second,
+			TrustAll:     true,
+		}
+		c, err := cluster.New(cfg, NewNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run().Throughput()
+	}
+	mass := run(cluster.PresetMassBFT())
+	base := run(cluster.PresetBaseline())
+	if mass <= base {
+		t.Fatalf("MassBFT (%.0f tps) did not beat Baseline (%.0f tps)", mass, base)
+	}
+	if mass < 2*base {
+		t.Fatalf("MassBFT (%.0f tps) should beat Baseline (%.0f tps) by a wide margin", mass, base)
+	}
+	t.Logf("MassBFT %.0f tps vs Baseline %.0f tps (%.1fx)", mass, base, mass/base)
+}
+
+// TestEncodedReplicationSavesWANTraffic checks the Fig 10 effect: per-entry
+// WAN bytes under MassBFT are well below Baseline's f+1 full copies.
+func TestEncodedReplicationSavesWANTraffic(t *testing.T) {
+	run := func(opts cluster.Options) float64 {
+		cfg := cluster.Config{
+			GroupSizes:   []int{7, 7, 7},
+			Opts:         opts,
+			Workload:     "ycsb-a",
+			Seed:         4,
+			MaxBatch:     100,
+			BatchTimeout: 20 * time.Millisecond,
+			RunFor:       3 * time.Second,
+			Warmup:       500 * time.Millisecond,
+			TrustAll:     true,
+		}
+		c, err := cluster.New(cfg, NewNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		return c.WANBytesPerEntry()
+	}
+	mass := run(cluster.PresetMassBFT())
+	base := run(cluster.PresetBaseline())
+	if mass >= base {
+		t.Fatalf("MassBFT WAN/entry (%.0f B) not below Baseline (%.0f B)", mass, base)
+	}
+	t.Logf("WAN bytes per entry: MassBFT %.0f vs Baseline %.0f", mass, base)
+}
+
+// TestLocalLeaderCrashViewChange crashes a group leader node (not the whole
+// group); the local view change must elect a new leader that resumes
+// proposing.
+func TestLocalLeaderCrashViewChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := realCryptoCfg()
+	cfg.RunFor = 6 * time.Second
+	cfg.ViewChangeTimeout = 200 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net.Schedule(2*time.Second, func() { c.Net.Crash(keys.NodeID{Group: 0, Index: 0}) })
+	c.Run()
+	if c.Metrics.Committed() == 0 {
+		t.Fatalf("no progress: %s", c.Metrics.Summary())
+	}
+	// Note: without a local view-change timeout configured the group simply
+	// stops proposing but others continue; the stronger property (new
+	// leader resumes) is exercised in the pbft package tests. Here we check
+	// the cluster does not wedge.
+	series := c.Metrics.Series()
+	late := 0.0
+	for _, p := range series {
+		if p.Second >= 4 {
+			late += p.Throughput
+		}
+	}
+	if late == 0 {
+		t.Fatal("cluster wedged after leader crash")
+	}
+}
+
+// TestPartialSynchronyUnstableStart runs MassBFT through an unstable period
+// (WAN latencies x10 before GST, §III-A): progress may be slow before GST
+// but must be normal after.
+func TestPartialSynchronyUnstableStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := smallCfg()
+	cfg.RunFor = 6 * time.Second
+	cfg.GST = 2 * time.Second
+	cfg.UnstableFactor = 10
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	c.Drain(2 * time.Second)
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no progress across GST: %s", m.Summary())
+	}
+	var late float64
+	for _, p := range m.Series() {
+		if p.Second >= 3 {
+			late += p.Throughput
+		}
+	}
+	if late == 0 {
+		t.Fatal("no post-GST throughput")
+	}
+	assertConsistency(t, c, nil)
+}
+
+// TestBaselineGroupCrashRoundSkip checks round-based ordering under a group
+// crash: peers time out and skip the crashed group's round slots so the
+// remaining groups keep executing.
+func TestBaselineGroupCrashRoundSkip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := smallCfg()
+	cfg.Opts = cluster.PresetBaseline()
+	cfg.RunFor = 6 * time.Second
+	cfg.TakeoverTimeout = 300 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleGroupCrash(2*time.Second, 0)
+	c.Run()
+	var after float64
+	for _, p := range c.Metrics.Series() {
+		if p.Second >= 4 {
+			after += p.Throughput
+		}
+	}
+	if after == 0 {
+		t.Fatalf("round ordering never skipped the crashed group: %s", c.Metrics.Summary())
+	}
+}

@@ -1,0 +1,389 @@
+// Package core implements the MassBFT protocol node — the paper's primary
+// contribution — together with the competitor protocols of the evaluation,
+// which its §VI "same codebase" methodology derives by switching the node's
+// replication and ordering modes (see cluster.Options and the Preset*
+// functions):
+//
+//   - MassBFT  = encoded bijective replication + asynchronous VTS ordering
+//   - EBR      = encoded bijective replication + round ordering (Fig 12)
+//   - BR       = plain bijective replication  + round ordering (Fig 12)
+//   - Baseline = one-way leader replication   + round ordering + global Raft
+//   - GeoBFT   = one-way leader replication   + round ordering, no global
+//     consensus (direct broadcast)
+//   - Steward  = Baseline + one proposal in flight globally
+//   - ISS      = Baseline + epoch barriers
+//
+// Each node runs two PBFT instances over its group: the *local* instance
+// certifies proposed entries (three-phase), and the *meta* instance
+// (skip-prepare, §II-A) certifies the group's outgoing records — timestamp
+// assignments, accepts, and commits — before they are broadcast to other
+// groups.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/ledger"
+	"massbft/internal/order"
+	"massbft/internal/pbft"
+	"massbft/internal/plan"
+	"massbft/internal/replication"
+	"massbft/internal/simnet"
+	"massbft/internal/statedb"
+	"massbft/internal/types"
+)
+
+// NewNode constructs a protocol node; use as the cluster.Factory.
+func NewNode(ctx *cluster.NodeCtx) cluster.Node {
+	return newNode(ctx)
+}
+
+type entrySt struct {
+	entry     *types.Entry
+	cert      *keys.Certificate
+	content   bool
+	contentAt time.Duration
+	committed bool
+	executed  bool
+	// stamps tracks which groups have stamped/accepted this entry (only
+	// used for entries proposed by this node's own group).
+	stamps map[int]bool
+	// tsSent marks that this node's group already emitted its timestamp or
+	// accept for the entry.
+	tsSent bool
+	// commitSeen marks that a majority of groups hold the entry.
+	commitSeen bool
+	// windowFreed marks that this (own-group) entry released its proposer
+	// pipeline slot.
+	windowFreed bool
+	// firstStampAt is when the first foreign stamp arrived without local
+	// content (drives the Lemma V.1 fetch path); stampedBy is a group known
+	// to hold the entry.
+	firstStampAt time.Duration
+	stampedBy    int
+	fetchSent    bool
+	// stampedStreams records which group clocks have stamped this entry.
+	stampedStreams map[int]bool
+}
+
+type streamIn struct {
+	next     uint64
+	buffered map[uint64]*cluster.MetaBatch
+}
+
+// Node is one protocol participant (exported only through cluster.Node).
+type Node struct {
+	ctx  *cluster.NodeCtx
+	cfg  *cluster.Config
+	opts cluster.Options
+	id   keys.NodeID
+	g    int
+	ng   int
+
+	members []keys.NodeID
+	local   *pbft.Instance
+	meta    *pbft.Instance
+
+	orderer   *order.Orderer
+	rounds    *order.RoundOrderer
+	collector *replication.Collector
+	ledger    *ledger.Ledger
+	// stateRoll is a rolling execution digest folded into each block; it
+	// certifies the executed prefix at O(1) per entry (the full state digest
+	// is only computed in tests).
+	stateRoll [32]byte
+
+	entries map[types.EntryID]*entrySt
+
+	// Proposer state.
+	nextSeq       uint64
+	inFlight      int
+	backlog       float64
+	lastTick      time.Duration
+	lastProposeAt time.Duration
+	// lastLocalProgress / lastMetaProgress timestamp the most recent
+	// delivery on each instance (leader-silence detection).
+	lastLocalProgress time.Duration
+	lastMetaProgress  time.Duration
+
+	// Own-group clock (§V-A): highest own seq with majority stamps,
+	// contiguous.
+	clk uint64
+
+	// Outgoing records awaiting meta certification (leader only).
+	pendingRecs []cluster.Record
+
+	// Incoming record streams, FIFO per origin group.
+	streams map[int]*streamIn
+	// lastStreamTS/lastStreamAt track each group clock stream for takeover.
+	lastStreamTS map[int]uint64
+	lastStreamAt map[int]time.Duration
+	// takeoverSent marks (stream, entry) stamps this node emitted on behalf
+	// of a crashed group.
+	takeoverSent map[int]map[types.EntryID]bool
+
+	// Byzantine defence: identified tampering senders (§VI-E).
+	blacklist map[keys.NodeID]bool
+	// chunkFrom remembers which transport peer supplied each chunk.
+	chunkFrom map[types.EntryID]map[int]keys.NodeID
+
+	// execCount counts executed entries (epoch gate); commitCount counts
+	// globally committed entries (Serial gate).
+	execCount   int
+	commitCount int
+	// executedSeq[g] is the highest executed seq per group (watermark for
+	// dropping late records).
+	executedSeq []uint64
+}
+
+func newNode(ctx *cluster.NodeCtx) *Node {
+	n := &Node{
+		ctx:          ctx,
+		cfg:          ctx.Cfg,
+		opts:         ctx.Cfg.Opts,
+		id:           ctx.ID,
+		g:            ctx.ID.Group,
+		ng:           len(ctx.Cfg.GroupSizes),
+		entries:      make(map[types.EntryID]*entrySt),
+		streams:      make(map[int]*streamIn),
+		lastStreamTS: make(map[int]uint64),
+		lastStreamAt: make(map[int]time.Duration),
+		takeoverSent: make(map[int]map[types.EntryID]bool),
+		blacklist:    make(map[keys.NodeID]bool),
+		chunkFrom:    make(map[types.EntryID]map[int]keys.NodeID),
+		nextSeq:      1,
+		ledger:       ledger.New(),
+	}
+	for j := 0; j < ctx.Cfg.GroupSizes[n.g]; j++ {
+		n.members = append(n.members, keys.NodeID{Group: n.g, Index: j})
+	}
+	n.local = pbft.New(pbft.Config{
+		Self:     ctx.KP,
+		Members:  n.members,
+		Registry: ctx.Reg,
+		Send: func(to keys.NodeID, m pbft.Msg) {
+			env := &cluster.LocalMsg{M: m}
+			ctx.Net.Send(to, env, env.WireSize())
+		},
+		Deliver:           n.onLocalCommit,
+		After:             ctx.Net.After,
+		ViewChangeTimeout: ctx.Cfg.ViewChangeTimeout,
+		OnViewChange:      n.onLocalViewChange,
+	})
+	n.meta = pbft.New(pbft.Config{
+		Self:        ctx.KP,
+		Members:     n.members,
+		Registry:    ctx.Reg,
+		SkipPrepare: true,
+		Send: func(to keys.NodeID, m pbft.Msg) {
+			env := &cluster.MetaMsg{M: m}
+			ctx.Net.Send(to, env, env.WireSize())
+		},
+		Deliver:           n.onMetaCommit,
+		After:             ctx.Net.After,
+		ViewChangeTimeout: ctx.Cfg.ViewChangeTimeout,
+		OnViewChange:      n.onMetaViewChange,
+	})
+	if n.opts.Ordering == cluster.OrderAsync {
+		n.orderer = order.NewOrderer(n.ng, n.execute)
+	} else {
+		n.rounds = order.NewRoundOrderer(n.ng, n.execute)
+	}
+	if n.opts.Replication == cluster.ReplEncoded {
+		n.collector = replication.NewCollector(ctx.Reg, n.recvPlan, n.onRebuilt)
+		n.collector.SetCache(ctx.RebuildCache)
+		n.collector.SetOnFailure(n.onRebuildFailure)
+	}
+	return n
+}
+
+// DB exposes the node's state store for consistency checks.
+func (n *Node) DB() *statedb.Store { return n.ctx.Engine.DB() }
+
+// Ledger exposes the node's copy of the global hash-chained ledger.
+func (n *Node) Ledger() *ledger.Ledger { return n.ledger }
+
+// sendPlan returns the Algorithm-1 plan for sending from this node's group
+// to group r.
+func (n *Node) sendPlan(r int) *plan.Plan {
+	p, err := plan.New(n.cfg.GroupSizes[n.g], n.cfg.GroupSizes[r])
+	if err != nil {
+		panic(fmt.Sprintf("core: plan %d->%d: %v", n.g, r, err))
+	}
+	return p
+}
+
+// recvPlan returns the plan for entries arriving from sender group s.
+func (n *Node) recvPlan(s int) *plan.Plan {
+	if s < 0 || s >= n.ng || s == n.g {
+		return nil
+	}
+	p, err := plan.New(n.cfg.GroupSizes[s], n.cfg.GroupSizes[n.g])
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// Start implements cluster.Node.
+func (n *Node) Start() {
+	n.lastTick = n.ctx.Net.Now()
+	// Stagger each group's batch phase so the groups' chunk bursts do not
+	// collide at receiver downlinks every tick (real deployments are never
+	// phase-locked).
+	phase := time.Duration(n.g) * n.cfg.BatchTimeout / time.Duration(n.ng)
+	n.ctx.Net.After(n.cfg.BatchTimeout+phase, n.batchTick)
+	n.ctx.Net.After(n.cfg.BatchTimeout/2, n.flushTick)
+	if n.cfg.TakeoverTimeout > 0 {
+		n.ctx.Net.After(n.cfg.TakeoverTimeout, n.takeoverTick)
+	}
+	if n.cfg.ViewChangeTimeout > 0 {
+		n.ctx.Net.After(n.cfg.ViewChangeTimeout, n.livenessTick)
+	}
+}
+
+// livenessTick lets followers suspect a leader that stopped driving the
+// instances entirely (a crashed leader with nothing in flight leaves PBFT's
+// own progress timers unarmed).
+func (n *Node) livenessTick() {
+	defer n.ctx.Net.After(n.cfg.ViewChangeTimeout, n.livenessTick)
+	now := n.now()
+	if now-n.lastLocalProgress > 3*n.cfg.ViewChangeTimeout && !n.local.IsLeader() {
+		n.local.SuspectLeader()
+	}
+	if now-n.lastMetaProgress > 3*n.cfg.ViewChangeTimeout && !n.meta.IsLeader() {
+		n.meta.SuspectLeader()
+	}
+}
+
+// onLocalViewChange resets proposer bookkeeping when local leadership moves;
+// the new leader continues the group sequence from what it has delivered.
+func (n *Node) onLocalViewChange(view uint64) {
+	n.inFlight = 0
+	n.lastLocalProgress = n.now()
+}
+
+// onMetaViewChange re-emits this node's view of pending records: the old
+// leader may have died holding queued (uncertified) stamps. Duplicates are
+// idempotent downstream.
+func (n *Node) onMetaViewChange(view uint64) {
+	n.lastMetaProgress = n.now()
+	if !n.meta.IsLeader() {
+		return
+	}
+	for id, st := range n.entries {
+		if id.GID != n.g && st.content && !st.tsSent &&
+			n.opts.Ordering == cluster.OrderAsync && n.opts.OverlapVTS {
+			st.tsSent = true
+			n.pendingRecs = append(n.pendingRecs, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
+		}
+		if id.GID == n.g && st.commitSeen && id.Seq <= n.clk &&
+			n.opts.Ordering == cluster.OrderAsync {
+			n.pendingRecs = append(n.pendingRecs, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: id.Seq})
+		}
+	}
+}
+
+// HandleMessage implements simnet.Handler: the top-level demultiplexer.
+func (n *Node) HandleMessage(sn *simnet.Node, msg simnet.Message) {
+	n.charge(n.cfg.Cost.MsgOverhead)
+	switch m := msg.Payload.(type) {
+	case *cluster.LocalMsg:
+		if pp, ok := m.M.(*pbft.PrePrepare); ok {
+			n.chargePrePrepare(pp)
+		}
+		n.local.Handle(msg.From, m.M)
+	case *cluster.MetaMsg:
+		n.meta.Handle(msg.From, m.M)
+	case *replication.ChunkMsg:
+		n.onChunk(msg.From, m, true)
+	case *cluster.ChunkFwd:
+		n.onChunk(msg.From, m.C, false)
+	case *replication.ChunkBatch:
+		n.onChunkBatch(msg.From, m, true)
+	case *cluster.BatchFwd:
+		n.onChunkBatch(msg.From, m.B, false)
+	case *cluster.EntryWAN:
+		n.onEntryCopy(m.E, true)
+	case *cluster.EntryFwd:
+		n.onEntryCopy(m.E, false)
+	case *cluster.MetaBatch:
+		n.onMetaBatch(msg.From, m)
+	case *cluster.EntryFetch:
+		n.onEntryFetch(msg.From, m)
+	}
+}
+
+func (n *Node) now() time.Duration { return n.ctx.Net.Now() }
+
+func (n *Node) charge(d time.Duration) {
+	if d > 0 {
+		n.ctx.Net.Charge(d)
+	}
+}
+
+// chargePrePrepare models the per-transaction signature verification the
+// paper identifies as the dominant local-consensus cost (§VI-B).
+func (n *Node) chargePrePrepare(pp *pbft.PrePrepare) {
+	if len(pp.Payload) == 0 {
+		return
+	}
+	e, err := types.DecodeEntry(pp.Payload)
+	if err != nil {
+		return
+	}
+	n.charge(time.Duration(len(e.Txns)) * n.cfg.Cost.SigVerifyPerTxn)
+}
+
+func (n *Node) st(id types.EntryID) *entrySt {
+	s, ok := n.entries[id]
+	if !ok {
+		s = &entrySt{stamps: make(map[int]bool)}
+		n.entries[id] = s
+	}
+	return s
+}
+
+// broadcastLocal sends a message to every other member of this group (LAN).
+func (n *Node) broadcastLocal(payload interface{ WireSize() int }) {
+	for _, m := range n.members {
+		if m != n.id {
+			n.ctx.Net.Send(m, payload, payload.WireSize())
+		}
+	}
+}
+
+// broadcastLocalPriority is broadcastLocal on the control lane.
+func (n *Node) broadcastLocalPriority(payload interface{ WireSize() int }) {
+	for _, m := range n.members {
+		if m != n.id {
+			n.ctx.Net.SendPriority(m, payload, payload.WireSize())
+		}
+	}
+}
+
+// sendToReceivers sends a control message to the first f+1 members of every
+// other group (WAN, priority lane) so that at least one correct, live node
+// receives it promptly even when bulk chunk traffic saturates the links.
+func (n *Node) sendToReceivers(payload interface{ WireSize() int }) {
+	for g := 0; g < n.ng; g++ {
+		if g == n.g {
+			continue
+		}
+		copies := n.ctx.Reg.Faulty(g) + 1
+		for j := 0; j < copies && j < n.cfg.GroupSizes[g]; j++ {
+			n.ctx.Net.SendPriority(keys.NodeID{Group: g, Index: j}, payload, payload.WireSize())
+		}
+	}
+}
+
+// ExecutedSeqs returns the highest executed sequence number per group —
+// per-group progress for tests and diagnostics.
+func (n *Node) ExecutedSeqs() []uint64 {
+	out := make([]uint64, n.ng)
+	copy(out, n.executedSeq)
+	return out
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"massbft/internal/aria"
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// flushTick proposes pending records through the meta instance (leader
+// only); records reach the whole group certified and in a deterministic
+// order, then fan out to other groups as MetaBatch messages.
+func (n *Node) flushTick() {
+	defer n.ctx.Net.After(n.cfg.BatchTimeout/2, n.flushTick)
+	if !n.meta.IsLeader() || len(n.pendingRecs) == 0 {
+		return
+	}
+	payload := cluster.EncodeRecords(n.pendingRecs)
+	n.pendingRecs = nil
+	if err := n.meta.Propose(payload); err != nil {
+		return
+	}
+}
+
+// onMetaCommit fires on every group member when the meta instance certifies
+// a record batch in slot order. The leader relays the certified batch to the
+// other groups (WAN); everyone applies it locally.
+func (n *Node) onMetaCommit(slot uint64, payload []byte, cert *keys.Certificate) {
+	n.lastMetaProgress = n.now()
+	var recs []cluster.Record
+	if payload != nil {
+		var ok bool
+		recs, ok = cluster.DecodeRecords(payload)
+		if !ok {
+			return
+		}
+	}
+	// Message flooding (§V-C "Byzantine Nodes"): the leader plus f followers
+	// broadcast the certified batch, so a crashed or stalling leader cannot
+	// orphan the group's record stream.
+	if n.id.Index <= n.ctx.Reg.Faulty(n.g) || n.meta.IsLeader() {
+		batch := &cluster.MetaBatch{FromGroup: n.g, Seq: slot, Records: recs, Cert: cert}
+		n.sendToReceivers(batch)
+	}
+	n.processRecords(n.g, recs)
+}
+
+// onMetaBatch ingests a certified record batch from another group. Batches
+// are processed strictly in per-origin sequence order so each group-clock
+// stream stays FIFO — the property the orderer's inference relies on.
+func (n *Node) onMetaBatch(from keys.NodeID, b *cluster.MetaBatch) {
+	if b.FromGroup == n.g || b.FromGroup < 0 || b.FromGroup >= n.ng {
+		return
+	}
+	// Validate the certificate binds these records to the origin group.
+	var payload []byte
+	if len(b.Records) > 0 {
+		payload = cluster.EncodeRecords(b.Records)
+	}
+	if b.Cert == nil || b.Cert.Group != b.FromGroup ||
+		b.Cert.Digest != keys.Hash(payload) ||
+		n.ctx.Reg.VerifyCertificate(b.Cert) != nil {
+		return
+	}
+	in := n.streams[b.FromGroup]
+	if in == nil {
+		in = &streamIn{buffered: make(map[uint64]*cluster.MetaBatch)}
+		n.streams[b.FromGroup] = in
+	}
+	if b.Seq < in.next {
+		return // duplicate
+	}
+	if _, dup := in.buffered[b.Seq]; dup {
+		return
+	}
+	// A WAN receiver relays the batch into its group (the flooding senders
+	// addressed only the first f+1 members).
+	if from.Group != n.g {
+		n.broadcastLocalPriority(b)
+	}
+	in.buffered[b.Seq] = b
+	for {
+		nb, ok := in.buffered[in.next]
+		if !ok {
+			return
+		}
+		delete(in.buffered, in.next)
+		in.next++
+		n.processRecords(nb.FromGroup, nb.Records)
+	}
+}
+
+// processRecords applies certified records from the given origin group.
+func (n *Node) processRecords(origin int, recs []cluster.Record) {
+	n.lastStreamAt[origin] = n.now()
+	for _, rec := range recs {
+		switch rec.Kind {
+		case cluster.RecTS:
+			n.onTSRecord(origin, rec)
+		case cluster.RecAccept:
+			n.onAcceptRecord(origin, rec)
+		case cluster.RecCommit:
+			n.onCommitRecord(rec)
+		}
+	}
+}
+
+func (n *Node) onTSRecord(origin int, rec cluster.Record) {
+	if rec.Stream < 0 || rec.Stream >= n.ng {
+		return
+	}
+	if rec.TS > n.lastStreamTS[rec.Stream] {
+		n.lastStreamTS[rec.Stream] = rec.TS
+	}
+	if n.orderer != nil {
+		// Conflicting values can only arise from a takeover racing the
+		// (supposedly crashed) owner; first delivery wins.
+		_ = n.orderer.OnTimestamp(rec.Stream, rec.TS, rec.Entry)
+	}
+	// A stamp from another group on one of OUR entries doubles as that
+	// group's accept (overlapped mode, §V-B).
+	if rec.Entry.GID == n.g && origin != n.g {
+		n.noteAccept(origin, rec.Entry)
+	}
+	if rec.Entry.Seq <= n.executedSeqOf(rec.Entry.GID) {
+		return
+	}
+	st := n.st(rec.Entry)
+	if st.stampedStreams == nil {
+		st.stampedStreams = make(map[int]bool)
+	}
+	st.stampedStreams[rec.Stream] = true
+	if origin != n.g {
+		st.stamps[origin] = true
+	}
+	if !st.content && st.firstStampAt == 0 && origin != n.g {
+		st.firstStampAt = n.now()
+		st.stampedBy = origin
+	}
+	// Slow-receiver handling (§V-C): once f_g+1 groups have the entry (their
+	// stamps double as accepts, broadcast to all groups), a group that has
+	// not yet received the entry itself assigns its clock immediately, so a
+	// congested downlink cannot stall the ordering of other groups.
+	if n.opts.Ordering == cluster.OrderAsync && n.opts.OverlapVTS &&
+		rec.Entry.GID != n.g && !st.content {
+		quorum := (n.ng-1)/2 + 1
+		if len(st.stamps) >= quorum {
+			n.emitStamp(rec.Entry)
+		}
+	}
+}
+
+func (n *Node) onAcceptRecord(origin int, rec cluster.Record) {
+	if rec.Entry.GID == n.g && origin != n.g {
+		n.noteAccept(origin, rec.Entry)
+	}
+}
+
+// noteAccept counts groups holding one of our entries; at a majority
+// (f_g+1, the Raft quorum over groups) the entry has achieved global
+// consensus: the clock advances (§V-A) and, in round/serial modes, the meta
+// leader announces the commit.
+func (n *Node) noteAccept(group int, id types.EntryID) {
+	if id.Seq <= n.executedSeqOf(id.GID) {
+		return
+	}
+	st := n.st(id)
+	st.stamps[group] = true
+	quorum := (n.ng-1)/2 + 1
+	if len(st.stamps) < quorum || st.commitSeen {
+		return
+	}
+	st.commitSeen = true
+	// Raft-style flow control: the proposer window advances at global
+	// commit, not at execution — execution is a downstream, per-node
+	// concern the paper deliberately decouples (§V).
+	n.freeWindow(id, st)
+	if n.opts.Ordering == cluster.OrderAsync {
+		n.advanceClock()
+		if !n.opts.OverlapVTS {
+			n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
+		}
+	} else if n.opts.GlobalConsensus {
+		n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
+		n.markCommitted(id, st)
+	}
+}
+
+// advanceClock moves this group's logical clock to the highest contiguous
+// own entry that achieved global consensus, emitting the deterministic
+// self-stamp for each step so other groups can advance their inference
+// (§V-B step 1).
+func (n *Node) advanceClock() {
+	for {
+		id := types.EntryID{GID: n.g, Seq: n.clk + 1}
+		st := n.entries[id]
+		if st == nil || !st.commitSeen {
+			return
+		}
+		n.clk++
+		if n.opts.OverlapVTS {
+			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
+		} else {
+			st.tsSent = true
+			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
+		}
+	}
+}
+
+// markCommitted transitions an entry to globally-committed exactly once.
+func (n *Node) markCommitted(id types.EntryID, st *entrySt) {
+	if !st.committed {
+		st.committed = true
+		n.commitCount++
+	}
+	n.maybeRoundReady(id, st)
+}
+
+// onCommitRecord finalizes an entry that achieved global consensus.
+func (n *Node) onCommitRecord(rec cluster.Record) {
+	if rec.Entry.Seq <= n.executedSeqOf(rec.Entry.GID) {
+		return
+	}
+	st := n.st(rec.Entry)
+	if !st.committed {
+		st.committed = true
+		n.commitCount++
+	}
+	if n.opts.Ordering == cluster.OrderAsync && !n.opts.OverlapVTS {
+		// Serial (3-RTT) VTS assignment: stamp only after global consensus
+		// (Fig 7a).
+		if rec.Entry.GID != n.g {
+			n.emitStamp(rec.Entry)
+		}
+		return
+	}
+	n.maybeRoundReady(rec.Entry, st)
+}
+
+// onEntryFetch serves a full entry copy to a node that learned of the entry
+// through a timestamp but never obtained its content (Lemma V.1).
+func (n *Node) onEntryFetch(from keys.NodeID, m *cluster.EntryFetch) {
+	st := n.entries[m.Entry]
+	if st == nil || !st.content || st.entry == nil {
+		return
+	}
+	env := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: st.entry, Cert: st.cert}}
+	n.ctx.Net.Send(from, env, env.WireSize())
+}
+
+// fetchMissing requests content for entries that some group stamped (so some
+// group provably holds them) but whose chunks never completed here — the
+// crash-recovery path of Lemma V.1.
+func (n *Node) fetchMissing(now time.Duration) {
+	if !n.local.IsLeader() {
+		return
+	}
+	for id, st := range n.entries {
+		if st.content || st.fetchSent || st.firstStampAt == 0 {
+			continue
+		}
+		if now-st.firstStampAt < n.cfg.TakeoverTimeout {
+			continue
+		}
+		st.fetchSent = true
+		req := &cluster.EntryFetch{Entry: id}
+		n.ctx.Net.SendPriority(keys.NodeID{Group: st.stampedBy, Index: 0}, req, req.WireSize())
+	}
+}
+
+// takeoverTick implements §V-C "Crashed Groups": when a group's clock stream
+// falls silent, the lowest-numbered live group's leader assigns that group's
+// frozen clock value to entries on its behalf, letting ordering proceed.
+func (n *Node) takeoverTick() {
+	defer n.ctx.Net.After(n.cfg.TakeoverTimeout/2, n.takeoverTick)
+	now := n.now()
+	n.fetchMissing(now)
+	if now < n.cfg.TakeoverTimeout*2 {
+		return // give every group time to start speaking
+	}
+	alive := func(g int) bool {
+		if g == n.g {
+			return true
+		}
+		return now-n.lastStreamAt[g] <= n.cfg.TakeoverTimeout
+	}
+	// Round mode: every node locally times out crashed groups and skips
+	// their round slots (each node reaches the same decision; skips are
+	// idempotent).
+	if n.rounds != nil {
+		for s := 0; s < n.ng; s++ {
+			if s != n.g && !alive(s) {
+				n.skipCrashedRounds(s)
+			}
+		}
+		return
+	}
+	// Async mode: the lowest-numbered live group's meta leader takes over
+	// the crashed group's clock (§V-C).
+	lowestAlive := -1
+	for g := 0; g < n.ng; g++ {
+		if alive(g) {
+			lowestAlive = g
+			break
+		}
+	}
+	if lowestAlive != n.g || !n.meta.IsLeader() {
+		return
+	}
+	for s := 0; s < n.ng; s++ {
+		if s == n.g || alive(s) {
+			continue
+		}
+		sent := n.takeoverSent[s]
+		if sent == nil {
+			sent = make(map[types.EntryID]bool)
+			n.takeoverSent[s] = sent
+		}
+		frozen := n.lastStreamTS[s]
+		for id, st := range n.entries {
+			if id.GID == s || st.executed || sent[id] || st.stampedStreams[s] {
+				continue
+			}
+			if id.Seq <= n.executedSeqOf(id.GID) {
+				continue
+			}
+			sent[id] = true
+			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: s, Entry: id, TS: frozen})
+		}
+	}
+}
+
+// skipCrashedRounds lets round-based ordering progress past a crashed
+// group's missing entries. It pre-skips a window of future rounds so
+// progress is not gated on the skip timer's period.
+func (n *Node) skipCrashedRounds(s int) {
+	base := n.rounds.Round()
+	for r := base; r < base+512; r++ {
+		n.rounds.Skip(types.EntryID{GID: s, Seq: r})
+	}
+}
+
+// execute applies an ordered, content-ready entry (Algorithm 2's Execute).
+func (n *Node) execute(id types.EntryID) {
+	st := n.entries[id]
+	if st == nil || st.entry == nil || st.executed {
+		return
+	}
+	st.executed = true
+	res, err := n.ctx.Engine.ExecuteBatch(st.entry.Txns)
+	if err != nil {
+		return
+	}
+	n.charge(time.Duration(len(st.entry.Txns)) * n.cfg.Cost.ExecPerTxn)
+	n.execCount++
+	n.setExecutedSeq(id)
+	// Seal the executed entry into the node's ledger copy (§VI: a single,
+	// globally ordered ledger), folding the outcome into the rolling digest.
+	// Empty heartbeat entries carry no payload and are not sealed.
+	if len(st.entry.Txns) > 0 {
+		n.sealBlock(id, st, res)
+	}
+	now := n.now()
+
+	if n.ctx.IsObserver {
+		n.ctx.Metrics.RecordExecution(now, res.Committed, len(res.Aborted))
+		n.ctx.Metrics.RecordLatency(now, now-time.Duration(st.entry.Term))
+		n.ctx.Metrics.RecordStage("ordering-execution", now-st.contentAt)
+	}
+	// Execution can precede commit-record processing (VTS inference orders
+	// eagerly), and GeoBFT has no commit at all — free the window here if
+	// the commit path has not already.
+	n.freeWindow(id, st)
+	if n.collector != nil {
+		n.collector.Forget(id)
+	}
+	delete(n.chunkFrom, id)
+	delete(n.entries, id)
+}
+
+// freeWindow releases the proposer pipeline slot of an own-group entry
+// exactly once (at global commit or execution, whichever this node sees
+// first).
+func (n *Node) freeWindow(id types.EntryID, st *entrySt) {
+	if id.GID != n.g || st.windowFreed {
+		return
+	}
+	st.windowFreed = true
+	if n.inFlight > 0 {
+		n.inFlight--
+	}
+}
+
+// sealBlock appends one executed entry to the node's ledger, folding the
+// outcome into the rolling execution digest.
+func (n *Node) sealBlock(id types.EntryID, st *entrySt, res aria.Result) {
+	d := st.cert.Digest
+	roll := sha256.New()
+	roll.Write(n.stateRoll[:])
+	roll.Write(d[:])
+	var cnt [8]byte
+	binary.BigEndian.PutUint32(cnt[:4], uint32(res.Committed))
+	binary.BigEndian.PutUint32(cnt[4:], uint32(len(res.Aborted)))
+	roll.Write(cnt[:])
+	roll.Sum(n.stateRoll[:0])
+	n.ledger.Append(id, d, res.Committed, len(res.Aborted), n.stateRoll)
+}
+
+// executedSeq watermarks let late records for already-executed entries be
+// dropped instead of resurrecting state.
+func (n *Node) executedSeqOf(g int) uint64 {
+	if n.executedSeq == nil {
+		return 0
+	}
+	return n.executedSeq[g]
+}
+
+func (n *Node) setExecutedSeq(id types.EntryID) {
+	if n.executedSeq == nil {
+		n.executedSeq = make([]uint64, n.ng)
+	}
+	if id.Seq > n.executedSeq[id.GID] {
+		n.executedSeq[id.GID] = id.Seq
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/plan"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// batchTick fires every BatchTimeout on every node; the current local leader
+// cuts a batch when the protocol gate allows (§II-A "Batching").
+func (n *Node) batchTick() {
+	defer n.ctx.Net.After(n.cfg.BatchTimeout, n.batchTick)
+	now := n.now()
+	dt := now - n.lastTick
+	n.lastTick = now
+	// Rate-limited groups accumulate client transactions continuously
+	// (Fig 2 / Fig 12); saturated groups always have a full batch.
+	if rate := n.groupRate(); rate > 0 {
+		n.backlog += rate * dt.Seconds()
+		if n.backlog > 4*float64(n.cfg.MaxBatch) {
+			n.backlog = 4 * float64(n.cfg.MaxBatch)
+		}
+	}
+	if !n.local.IsLeader() || !n.gateOpen() {
+		return
+	}
+	size := n.cfg.MaxBatch
+	if n.cfg.Draining {
+		// Heartbeats only: no client transactions, clocks keep advancing.
+		if now-n.lastProposeAt < 5*n.cfg.BatchTimeout {
+			return
+		}
+		size = 0
+	} else if rate := n.groupRate(); rate > 0 {
+		if int(n.backlog) < size {
+			size = int(n.backlog)
+		}
+		if size < n.cfg.MaxBatch && now-n.lastProposeAt < 5*n.cfg.BatchTimeout {
+			// Wait to fill the batch: a rate-limited group proposes full
+			// entries less often (the Fig 2 entry-rate model), with partial
+			// heartbeat entries only after an idle period — those keep the
+			// group clock advancing so other groups' tails can be ordered
+			// (Theorem V.6's termination requires ongoing proposals).
+			return
+		}
+		n.backlog -= float64(size)
+	}
+	n.lastProposeAt = now
+	e := &types.Entry{
+		ID:   types.EntryID{GID: n.g, Seq: n.nextSeq},
+		Term: uint64(now), // propose time, for end-to-end latency measurement
+	}
+	for i := 0; i < size; i++ {
+		e.Txns = append(e.Txns, n.ctx.Gen.Next(uint64(n.id.Index)))
+	}
+	n.nextSeq++
+	n.inFlight++
+	if err := n.local.Propose(e.Encode()); err != nil {
+		// Lost leadership between the check and the call; retry next tick.
+		n.nextSeq--
+		n.inFlight--
+	}
+}
+
+func (n *Node) groupRate() float64 {
+	if n.g < len(n.cfg.GroupRate) {
+		return n.cfg.GroupRate[n.g]
+	}
+	return 0
+}
+
+// gateOpen applies the protocol's proposal gate (§II-B Ordering column):
+// pipeline depth for MassBFT/Baseline/GeoBFT, strict serialization for
+// Steward, epoch barriers for ISS.
+func (n *Node) gateOpen() bool {
+	if n.inFlight >= n.cfg.PipelineDepth {
+		return false
+	}
+	if n.opts.Serial {
+		// One entry in flight globally: e_{g,s} may start only when every
+		// entry of an earlier global slot has committed. The global slot of
+		// e_{g,s} is (s-1)*ng + g. (Execution still happens per round, so
+		// the gate waits on commits, not executions.)
+		slot := int(n.nextSeq-1)*n.ng + n.g
+		return n.commitCount >= slot
+	}
+	if n.opts.EpochLength > 0 {
+		// ISS: an entry of epoch k may be proposed only when all epochs < k
+		// have fully executed (epoch barrier).
+		perEpoch := int(n.opts.EpochLength / n.cfg.BatchTimeout)
+		if perEpoch < 1 {
+			perEpoch = 1
+		}
+		epoch := int(n.nextSeq-1) / perEpoch
+		return n.execCount >= epoch*perEpoch*n.ng
+	}
+	return true
+}
+
+// onLocalCommit receives entries certified by the local PBFT instance: every
+// correct group member now holds (entry, certificate) and starts global
+// replication (§III-B).
+func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate) {
+	if payload == nil {
+		return // view-change no-op filler
+	}
+	e, err := types.DecodeEntry(payload)
+	if err != nil || e.ID.GID != n.g {
+		return
+	}
+	st := n.st(e.ID)
+	st.entry, st.cert = e, cert
+	st.content = true
+	st.contentAt = n.now()
+	st.stamps[n.g] = true // our own group holds the entry
+	n.lastLocalProgress = n.now()
+	if n.nextSeq <= e.ID.Seq {
+		n.nextSeq = e.ID.Seq + 1 // keep followers ready to take over
+	}
+
+	if n.ctx.IsObserver {
+		n.ctx.Metrics.RecordStage("local-consensus", n.now()-time.Duration(e.Term))
+	}
+
+	n.replicate(e, cert, payload)
+
+	switch {
+	case n.opts.Ordering == cluster.OrderAsync:
+		// Own entries are content-ready immediately; their self timestamp
+		// is deterministic (vts[g] = seq) and flows to other groups when
+		// the clock advances.
+		n.orderer.MarkReady(e.ID)
+	case n.opts.GlobalConsensus:
+		// Round mode with global consensus: wait for the commit record.
+		n.maybeRoundReady(e.ID, st)
+	default:
+		// GeoBFT: no global consensus; the entry is final after local
+		// consensus + broadcast.
+		st.committed = true
+		n.maybeRoundReady(e.ID, st)
+	}
+}
+
+// replicate transmits the entry to every other group using the configured
+// strategy (§IV).
+func (n *Node) replicate(e *types.Entry, cert *keys.Certificate, enc []byte) {
+	switch n.opts.Replication {
+	case cluster.ReplEncoded:
+		n.replicateEncoded(e, cert, enc)
+	case cluster.ReplBijective:
+		n.replicateBijective(e, cert)
+	case cluster.ReplOneWay:
+		n.replicateOneWay(e, cert)
+	}
+}
+
+// replicateEncoded is the paper's encoded bijective log replication (§IV-B):
+// every node sends its Algorithm-1 chunk assignment to each receiver group.
+func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []byte) {
+	byz := n.ctx.Faults.IsByzantine(n.id, n.now())
+	src := enc
+	id := e.ID
+	if byz {
+		// Byzantine senders encode a tampered entry instead (§VI-E); the
+		// honest certificate is replayed with it.
+		src = n.tamper(e)
+	}
+	for r := 0; r < n.ng; r++ {
+		if r == n.g {
+			continue
+		}
+		p := n.sendPlan(r)
+		encd := n.encodeCached(src, p)
+		if encd == nil {
+			continue
+		}
+		n.charge(time.Duration(len(src)) * n.cfg.Cost.EncodePerByte)
+		if n.ctx.IsObserver {
+			n.ctx.Metrics.RecordStage("encode", time.Duration(len(src))*n.cfg.Cost.EncodePerByte)
+		}
+		batches, recvs, err := encd.Batches(n.id.Index, id, cert)
+		if err != nil {
+			continue
+		}
+		for k := range batches {
+			to := keys.NodeID{Group: r, Index: recvs[k]}
+			n.ctx.Net.Send(to, &batches[k], batches[k].WireSize())
+		}
+	}
+}
+
+// tamper deterministically corrupts the entry body (same ID) the way the
+// paper's colluding Byzantine nodes do.
+func (n *Node) tamper(e *types.Entry) []byte {
+	evil := *e
+	evil.Txns = append([]types.Transaction(nil), e.Txns...)
+	if len(evil.Txns) > 0 {
+		t := evil.Txns[0]
+		t.Payload = append([]byte("tampered"), t.Payload...)
+		evil.Txns[0] = t
+	}
+	return evil.Encode()
+}
+
+// encodeCached returns the deterministic encoding of enc under plan p. The
+// result is memoized cluster-wide (every correct node derives the identical
+// encoding; see replication.RebuildCache for the rationale) while the CPU
+// cost is charged by the caller per node.
+func (n *Node) encodeCached(enc []byte, p *plan.Plan) *replication.Encoded {
+	d := keys.Hash(enc)
+	key := string(d[:]) + "/" + p.String()
+	if cached, ok := n.ctx.EncodeCache[key]; ok {
+		return cached
+	}
+	encd, err := replication.Encode(enc, p)
+	if err != nil {
+		return nil
+	}
+	// Bound the memo table: entries are re-derivable, and long benchmark
+	// runs must not accumulate every encoding ever produced.
+	if len(n.ctx.EncodeCache) >= 512 {
+		for k := range n.ctx.EncodeCache {
+			delete(n.ctx.EncodeCache, k)
+			if len(n.ctx.EncodeCache) < 256 {
+				break
+			}
+		}
+	}
+	n.ctx.EncodeCache[key] = encd
+	return encd
+}

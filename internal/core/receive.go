@@ -1,0 +1,289 @@
+package core
+
+import (
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// replicateBijective is the plain bijective approach of §IV-A (the BR
+// ablation): f1+f2+1 sender nodes each transmit a complete entry copy to a
+// distinct receiver node.
+func (n *Node) replicateBijective(e *types.Entry, cert *keys.Certificate) {
+	msg := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: e, Cert: cert}}
+	for r := 0; r < n.ng; r++ {
+		if r == n.g {
+			continue
+		}
+		for _, pair := range replication.BijectiveSenders(n.cfg.GroupSizes[n.g], n.cfg.GroupSizes[r]) {
+			if pair[0] == n.id.Index {
+				n.ctx.Net.Send(keys.NodeID{Group: r, Index: pair[1]}, msg, msg.WireSize())
+			}
+		}
+	}
+}
+
+// replicateOneWay is the leader-only strategy of Baseline/GeoBFT (§II-A,
+// with the GeoBFT optimization): the group leader sends the entry to f+1
+// nodes of each receiver group.
+func (n *Node) replicateOneWay(e *types.Entry, cert *keys.Certificate) {
+	if !n.local.IsLeader() {
+		return
+	}
+	msg := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: e, Cert: cert}}
+	for r := 0; r < n.ng; r++ {
+		if r == n.g {
+			continue
+		}
+		copies := n.ctx.Reg.Faulty(r) + 1
+		for j := 0; j < copies && j < n.cfg.GroupSizes[r]; j++ {
+			n.ctx.Net.Send(keys.NodeID{Group: r, Index: j}, msg, msg.WireSize())
+		}
+	}
+}
+
+// onChunk ingests one erasure-coded chunk, either from WAN (fromRemote) or
+// re-broadcast over LAN by a group peer.
+func (n *Node) onChunk(from keys.NodeID, c *replication.ChunkMsg, fromRemote bool) {
+	if n.collector == nil || n.blacklist[from] {
+		return
+	}
+	// Byzantine receivers substitute their own tampered chunks when
+	// re-broadcasting (§VI-E): handled in forwardChunk below.
+	senders := n.chunkFrom[c.Entry]
+	if senders == nil {
+		senders = make(map[int]keys.NodeID)
+		n.chunkFrom[c.Entry] = senders
+	}
+	if _, seen := senders[c.Index]; !seen {
+		senders[c.Index] = from
+	}
+	fwd, err := n.collector.AddChunk(c)
+	if err != nil {
+		return
+	}
+	if fwd && fromRemote {
+		n.forwardChunk(c)
+	}
+}
+
+// onChunkBatch ingests a multiproof-authenticated chunk batch, either from
+// WAN (fromRemote) or re-broadcast over LAN by a group peer.
+func (n *Node) onChunkBatch(from keys.NodeID, b *replication.ChunkBatch, fromRemote bool) {
+	if n.collector == nil || n.blacklist[from] {
+		return
+	}
+	senders := n.chunkFrom[b.Entry]
+	if senders == nil {
+		senders = make(map[int]keys.NodeID)
+		n.chunkFrom[b.Entry] = senders
+	}
+	for _, idx := range b.Indices {
+		if _, seen := senders[idx]; !seen {
+			senders[idx] = from
+		}
+	}
+	fwd, err := n.collector.AddBatch(b)
+	if err != nil {
+		return
+	}
+	if fwd && fromRemote {
+		out := b
+		if n.ctx.Faults.IsByzantine(n.id, n.now()) {
+			if evil := n.tamperedBatch(b); evil != nil {
+				out = evil
+			}
+		}
+		env := &cluster.BatchFwd{B: out}
+		n.broadcastLocal(env)
+	}
+}
+
+// tamperedBatch substitutes the matching chunks of the tampered entry into a
+// batch a Byzantine receiver re-broadcasts (§VI-E).
+func (n *Node) tamperedBatch(b *replication.ChunkBatch) *replication.ChunkBatch {
+	st := n.entries[b.Entry]
+	if st == nil || st.entry == nil {
+		return nil
+	}
+	p := n.recvPlan(b.Entry.GID)
+	if p == nil {
+		return nil
+	}
+	encd := n.encodeCached(n.tamper(st.entry), p)
+	if encd == nil {
+		return nil
+	}
+	proof, err := encd.Tree.ProveMulti(b.Indices)
+	if err != nil {
+		return nil
+	}
+	evil := *b
+	evil.Root = encd.Tree.Root()
+	evil.Proof = proof
+	evil.Chunks = make([][]byte, len(proof.Indices))
+	for k, idx := range proof.Indices {
+		evil.Chunks[k] = encd.Shards[idx]
+	}
+	evil.Indices = proof.Indices
+	return &evil
+}
+
+// forwardChunk re-broadcasts a WAN-received chunk to the LAN peers (§IV-B).
+// A Byzantine receiver broadcasts the matching chunk of its tampered entry
+// instead.
+func (n *Node) forwardChunk(c *replication.ChunkMsg) {
+	out := c
+	if n.ctx.Faults.IsByzantine(n.id, n.now()) {
+		if evil := n.tamperedChunk(c); evil != nil {
+			out = evil
+		}
+	}
+	env := &cluster.ChunkFwd{C: out}
+	n.broadcastLocal(env)
+}
+
+// tamperedChunk produces the same-index chunk of the tampered version of the
+// entry, if this node can derive it (it needs the entry content, which a
+// Byzantine receiver of a foreign entry does not have until rebuild; in that
+// case it simply drops the honest chunk, which the parity budget already
+// covers).
+func (n *Node) tamperedChunk(c *replication.ChunkMsg) *replication.ChunkMsg {
+	st := n.entries[c.Entry]
+	if st == nil || st.entry == nil {
+		return nil
+	}
+	p := n.recvPlan(c.Entry.GID)
+	if p == nil {
+		return nil
+	}
+	encd := n.encodeCached(n.tamper(st.entry), p)
+	if encd == nil || c.Index >= len(encd.Shards) {
+		return nil
+	}
+	proof, err := encd.Tree.Prove(c.Index)
+	if err != nil {
+		return nil
+	}
+	evil := *c
+	evil.Root = encd.Tree.Root()
+	evil.Proof = proof
+	evil.Chunk = encd.Shards[c.Index]
+	return &evil
+}
+
+// onRebuilt fires when the collector delivers a rebuilt, certificate-valid
+// foreign entry (§IV-C).
+func (n *Node) onRebuilt(senderGroup int, r replication.Rebuilt) {
+	n.charge(time.Duration(r.Entry.WireSize()) * n.cfg.Cost.RebuildPerByte)
+	if n.ctx.IsObserver {
+		n.ctx.Metrics.RecordStage("rebuild", time.Duration(r.Entry.WireSize())*n.cfg.Cost.RebuildPerByte)
+	}
+	n.onContent(r.Entry, r.Cert)
+}
+
+// onRebuildFailure blacklists the peers that supplied the fake bucket's
+// chunks; afterwards "a correct node can only receive chunks from other
+// correct nodes" (§VI-E).
+func (n *Node) onRebuildFailure(id types.EntryID, chunkIDs []int) {
+	senders := n.chunkFrom[id]
+	for _, idx := range chunkIDs {
+		if from, ok := senders[idx]; ok {
+			n.blacklist[from] = true
+		}
+	}
+}
+
+// onEntryCopy ingests a complete entry copy (one-way/bijective replication).
+func (n *Node) onEntryCopy(m *replication.EntryMsg, fromRemote bool) {
+	if m.Entry == nil || m.Entry.ID.GID == n.g {
+		return
+	}
+	st := n.st(m.Entry.ID)
+	if st.content {
+		return
+	}
+	n.charge(time.Duration(len(m.Entry.Txns)) * time.Microsecond / 2) // copy/validate overhead
+	if err := replication.ValidateEntryMsg(n.ctx.Reg, m); err != nil {
+		return
+	}
+	if fromRemote {
+		// First correct receiver forwards the copy to the whole group (§II-A).
+		env := &cluster.EntryFwd{E: m}
+		n.broadcastLocal(env)
+	}
+	n.onContent(m.Entry, m.Cert)
+}
+
+// onContent runs once per foreign entry when its content becomes available
+// and validated on this node.
+func (n *Node) onContent(e *types.Entry, cert *keys.Certificate) {
+	st := n.st(e.ID)
+	if st.content {
+		return
+	}
+	st.entry, st.cert = e, cert
+	st.content = true
+	st.contentAt = n.now()
+	if n.ctx.IsObserver {
+		n.ctx.Metrics.RecordStage("global-replication", n.now()-time.Duration(e.Term))
+	}
+	if n.opts.Ordering == cluster.OrderAsync {
+		n.orderer.MarkReady(e.ID)
+		if n.opts.OverlapVTS {
+			// Overlapped VTS assignment (§V-B): stamp on receipt of the
+			// propose, not after global consensus.
+			n.emitStamp(e.ID)
+		} else {
+			n.emitRecord(cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: e.ID})
+		}
+		return
+	}
+	// Round mode.
+	if n.opts.GlobalConsensus {
+		n.emitRecord(cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: e.ID})
+		n.maybeRoundReady(e.ID, st)
+	} else {
+		st.committed = true
+		n.maybeRoundReady(e.ID, st)
+	}
+}
+
+// emitStamp queues this group's timestamp assignment for the entry: the
+// current group clock value (§V-A "Vector Timestamp Assignment").
+func (n *Node) emitStamp(id types.EntryID) {
+	// Only the meta leader emits; followers must NOT mark tsSent, or a
+	// follower promoted by a view change would skip re-emitting stamps the
+	// dead leader never certified (see onMetaViewChange).
+	if !n.meta.IsLeader() {
+		return
+	}
+	st := n.st(id)
+	if st.tsSent {
+		return
+	}
+	st.tsSent = true
+	n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
+}
+
+// emitRecord queues a record for meta certification; only the current meta
+// leader proposes, so followers simply remember nothing (the leader observes
+// the same protocol events and queues the same records).
+func (n *Node) emitRecord(rec cluster.Record) {
+	if !n.meta.IsLeader() {
+		return
+	}
+	n.pendingRecs = append(n.pendingRecs, rec)
+}
+
+// maybeRoundReady marks an entry executable in round mode once both its
+// content and (when global consensus is on) its commit have arrived.
+func (n *Node) maybeRoundReady(id types.EntryID, st *entrySt) {
+	if n.rounds == nil || !st.content || !st.committed || st.executed {
+		return
+	}
+	n.rounds.MarkReady(id)
+}

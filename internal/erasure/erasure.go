@@ -1,0 +1,255 @@
+// Package erasure implements a systematic Reed-Solomon erasure code over
+// GF(2^8), equivalent in semantics to the coding library used by the MassBFT
+// paper (§VI "Implementation"): a message is split into dataShards chunks and
+// parityShards additional chunks are computed such that any dataShards of the
+// dataShards+parityShards total chunks suffice to rebuild the message.
+//
+// The construction is the standard systematic Vandermonde one: start from a
+// total x data Vandermonde matrix, left-multiply by the inverse of its top
+// square so the first dataShards rows become the identity. Data shards are
+// then verbatim slices of the message and every square submatrix of the
+// encoding matrix remains invertible, which is what Reconstruct relies on.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"massbft/internal/gf256"
+)
+
+// Limits of the GF(2^8) construction.
+const (
+	// MaxShards is the maximum total number of shards (data+parity).
+	MaxShards = 256
+)
+
+// Errors returned by the codec.
+var (
+	ErrInvalidShardCount = errors.New("erasure: shard counts must be positive and total at most 256")
+	ErrTooFewShards      = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardSizeMismatch = errors.New("erasure: shards have inconsistent sizes")
+	ErrShortData         = errors.New("erasure: data shorter than implied by shard size")
+)
+
+// Encoder encodes and reconstructs shard sets for one (dataShards,
+// parityShards) geometry. An Encoder is safe for concurrent use after
+// construction: all fields are read-only.
+type Encoder struct {
+	dataShards   int
+	parityShards int
+	total        int
+	// matrix is the total x dataShards systematic encoding matrix.
+	matrix *gf256.Matrix
+}
+
+// New returns an Encoder for the given geometry.
+func New(dataShards, parityShards int) (*Encoder, error) {
+	if dataShards <= 0 || parityShards < 0 || dataShards+parityShards > MaxShards {
+		return nil, ErrInvalidShardCount
+	}
+	total := dataShards + parityShards
+	vm := gf256.Vandermonde(total, dataShards)
+	top := vm.SubMatrix(identityRows(dataShards))
+	topInv, err := top.Invert()
+	if err != nil {
+		// Vandermonde tops are always invertible; this is unreachable for
+		// valid geometries but kept as defence in depth.
+		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
+	}
+	return &Encoder{
+		dataShards:   dataShards,
+		parityShards: parityShards,
+		total:        total,
+		matrix:       vm.Mul(topInv),
+	}, nil
+}
+
+func identityRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// DataShards returns the number of data shards.
+func (e *Encoder) DataShards() int { return e.dataShards }
+
+// ParityShards returns the number of parity shards.
+func (e *Encoder) ParityShards() int { return e.parityShards }
+
+// TotalShards returns dataShards+parityShards.
+func (e *Encoder) TotalShards() int { return e.total }
+
+// ShardSize returns the per-shard size used for a message of dataLen bytes:
+// ceil(dataLen / dataShards).
+func (e *Encoder) ShardSize(dataLen int) int {
+	return (dataLen + e.dataShards - 1) / e.dataShards
+}
+
+// Split encodes data into the full set of total shards. The message is padded
+// with zeros to a multiple of the shard size; callers must remember the
+// original length to undo the padding (see Join).
+func (e *Encoder) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("erasure: empty data")
+	}
+	size := e.ShardSize(len(data))
+	shards := make([][]byte, e.total)
+	// Data shards: verbatim slices (copied, so shards don't alias data).
+	for i := 0; i < e.dataShards; i++ {
+		shards[i] = make([]byte, size)
+		start := i * size
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	// Parity shards: rows dataShards..total-1 of the matrix times data.
+	for i := e.dataShards; i < e.total; i++ {
+		shards[i] = make([]byte, size)
+		row := e.matrix.Row(i)
+		for j := 0; j < e.dataShards; j++ {
+			gf256.MulAddSlice(row[j], shards[j], shards[i])
+		}
+	}
+	return shards, nil
+}
+
+// Join reverses Split: it concatenates the data shards and trims to dataLen.
+// The shards slice must contain at least the first dataShards entries, all
+// non-nil (call Reconstruct first if some are missing).
+func (e *Encoder) Join(shards [][]byte, dataLen int) ([]byte, error) {
+	if len(shards) < e.dataShards {
+		return nil, ErrTooFewShards
+	}
+	size := -1
+	for i := 0; i < e.dataShards; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("erasure: data shard %d missing (reconstruct first)", i)
+		}
+		if size == -1 {
+			size = len(shards[i])
+		} else if len(shards[i]) != size {
+			return nil, ErrShardSizeMismatch
+		}
+	}
+	if size*e.dataShards < dataLen {
+		return nil, ErrShortData
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < e.dataShards && len(out) < dataLen; i++ {
+		need := dataLen - len(out)
+		if need > size {
+			need = size
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	return out, nil
+}
+
+// Reconstruct fills in all missing shards (nil entries) in place. It needs at
+// least dataShards present shards; otherwise it returns ErrTooFewShards.
+// Present shards are trusted to be correct — callers verify chunk integrity
+// separately (Merkle proofs in MassBFT, §IV-C).
+func (e *Encoder) Reconstruct(shards [][]byte) error {
+	if len(shards) != e.total {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), e.total)
+	}
+	present := make([]int, 0, e.dataShards)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSizeMismatch
+		}
+		if len(present) < e.dataShards {
+			present = append(present, i)
+		}
+	}
+	if len(present) < e.dataShards {
+		return ErrTooFewShards
+	}
+
+	// Fast path: all data shards present — only parity may be missing.
+	allData := true
+	for i := 0; i < e.dataShards; i++ {
+		if shards[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if !allData {
+		// Solve for the original data from any dataShards present rows.
+		sub := e.matrix.SubMatrix(present)
+		inv, err := sub.Invert()
+		if err != nil {
+			return fmt.Errorf("erasure: reconstruct: %w", err)
+		}
+		data := make([][]byte, e.dataShards)
+		for r := 0; r < e.dataShards; r++ {
+			data[r] = make([]byte, size)
+			row := inv.Row(r)
+			for c := 0; c < e.dataShards; c++ {
+				gf256.MulAddSlice(row[c], shards[present[c]], data[r])
+			}
+		}
+		for i := 0; i < e.dataShards; i++ {
+			if shards[i] == nil {
+				shards[i] = data[i]
+			}
+		}
+	}
+	// Recompute any missing parity from the (now complete) data shards.
+	for i := e.dataShards; i < e.total; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		shards[i] = make([]byte, size)
+		row := e.matrix.Row(i)
+		for j := 0; j < e.dataShards; j++ {
+			gf256.MulAddSlice(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data shards.
+// All shards must be present. It returns true when every parity shard matches
+// a fresh re-encode of the data shards.
+func (e *Encoder) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != e.total {
+		return false, fmt.Errorf("erasure: got %d shards, want %d", len(shards), e.total)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			return false, fmt.Errorf("erasure: shard %d missing", i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return false, ErrShardSizeMismatch
+		}
+	}
+	buf := make([]byte, size)
+	for i := e.dataShards; i < e.total; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		row := e.matrix.Row(i)
+		for j := 0; j < e.dataShards; j++ {
+			gf256.MulAddSlice(row[j], shards[j], buf)
+		}
+		for j := range buf {
+			if buf[j] != shards[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

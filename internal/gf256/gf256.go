@@ -1,0 +1,114 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) used by
+// the Reed-Solomon codec in package erasure.
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same polynomial used by most
+// storage-oriented Reed-Solomon implementations. Multiplication and division
+// are table-driven: exp/log tables are built once at package init.
+package gf256
+
+// Polynomial is the primitive polynomial generating the field, without the
+// leading x^8 term (0x11d & 0xff = 0x1d retained implicitly during table
+// construction).
+const Polynomial = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [512]byte // doubled so exp[logA+logB] avoids a mod
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse, so Add
+// doubles as subtraction.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). Div panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns the generator (x=2) raised to the power n, with n reduced
+// modulo 255. Exp(0) == 1.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// MulSlice computes dst[i] = c * src[i] for all i. dst and src must have the
+// same length.
+func MulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c * src[i] for all i; this is the inner loop
+// of matrix-vector products over the field.
+func MulAddSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXorAndSelfInverse(t *testing.T) {
+	f := func(a, b byte) bool {
+		s := Add(a, b)
+		return s == (a^b) && Add(s, b) == a && Add(s, a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		a := byte(i)
+		if Mul(a, 1) != a {
+			t.Fatalf("Mul(%d,1) = %d", a, Mul(a, 1))
+		}
+		if Mul(a, 0) != 0 {
+			t.Fatalf("Mul(%d,0) = %d", a, Mul(a, 0))
+		}
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for i := 1; i < 256; i++ {
+		a := byte(i)
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("a*Inv(a) != 1 for a=%d", a)
+		}
+		for j := 0; j < 256; j++ {
+			b := byte(j)
+			if got := Mul(Div(b, a), a); got != b {
+				t.Fatalf("Div(%d,%d)*%d = %d, want %d", b, a, a, got, b)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpCycle(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0) = %d, want 1", Exp(0))
+	}
+	if Exp(255) != 1 {
+		t.Fatalf("Exp(255) = %d, want 1 (generator order 255)", Exp(255))
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatalf("negative exponent not reduced")
+	}
+	// The generator must produce all 255 nonzero elements.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator cycle covers %d elements, want 255", len(seen))
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, 256)
+	for c := 0; c < 256; c++ {
+		MulSlice(byte(c), src, dst)
+		for i := range src {
+			if dst[i] != Mul(byte(c), src[i]) {
+				t.Fatalf("MulSlice c=%d i=%d: got %d want %d", c, i, dst[i], Mul(byte(c), src[i]))
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	src := []byte{1, 2, 3, 250, 255, 0, 17}
+	dst := []byte{9, 9, 9, 9, 9, 9, 9}
+	want := make([]byte, len(dst))
+	for i := range want {
+		want[i] = dst[i] ^ Mul(7, src[i])
+	}
+	MulAddSlice(7, src, dst)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("MulAddSlice i=%d: got %d want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMatrixIdentityMul(t *testing.T) {
+	v := Vandermonde(5, 5)
+	id := Identity(5)
+	got := id.Mul(v)
+	for i, b := range got.Data {
+		if b != v.Data[i] {
+			t.Fatal("I*V != V")
+		}
+	}
+	got = v.Mul(id)
+	for i, b := range got.Data {
+		if b != v.Data[i] {
+			t.Fatal("V*I != V")
+		}
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		v := Vandermonde(n, n)
+		inv, err := v.Invert()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prod := v.Mul(inv)
+		id := Identity(n)
+		for i := range prod.Data {
+			if prod.Data[i] != id.Data[i] {
+				t.Fatalf("n=%d: V*V^-1 != I at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("got %v, want ErrSingular", err)
+	}
+}
+
+func TestVandermondeSubmatrixInvertible(t *testing.T) {
+	// Any square submatrix of distinct Vandermonde rows must be invertible.
+	v := Vandermonde(20, 6)
+	rowSets := [][]int{{0, 1, 2, 3, 4, 5}, {3, 7, 9, 12, 15, 19}, {14, 2, 8, 19, 0, 5}}
+	for _, rows := range rowSets {
+		sub := v.SubMatrix(rows)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("rows %v: %v", rows, err)
+		}
+	}
+}
+
+func TestSubMatrixContents(t *testing.T) {
+	v := Vandermonde(4, 3)
+	sub := v.SubMatrix([]int{2, 0})
+	for c := 0; c < 3; c++ {
+		if sub.At(0, c) != v.At(2, c) || sub.At(1, c) != v.At(0, c) {
+			t.Fatal("SubMatrix rows wrong")
+		}
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x53, src, dst)
+	}
+}

@@ -1,0 +1,138 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns a rows x cols Vandermonde matrix with element (r,c) =
+// Exp(r*c). Any square submatrix formed from distinct rows is invertible,
+// which is the property the Reed-Solomon construction relies on.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}
+
+// At returns element (r,c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r,c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("gf256: shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		orow := out.Row(r)
+		for k := 0; k < m.Cols; k++ {
+			MulAddSlice(m.At(r, k), other.Row(k), orow)
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the matrix consisting of the given rows (in order).
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix inversion fails because the matrix is
+// not invertible.
+var ErrSingular = errors.New("gf256: singular matrix")
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan elimination,
+// or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("gf256: invert of non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row to 1.
+		if pv := work.At(col, col); pv != 1 {
+			ipv := Inv(pv)
+			MulSlice(ipv, work.Row(col), work.Row(col))
+			MulSlice(ipv, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				MulAddSlice(f, work.Row(col), work.Row(r))
+				MulAddSlice(f, inv.Row(col), inv.Row(r))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

@@ -1,0 +1,209 @@
+// Package keys provides the public-key infrastructure MassBFT assumes
+// (§III-A): every node holds an Ed25519 key pair, and a Registry maps node
+// identities to public keys so any node can verify any other node's
+// signatures. Quorum certificates (2f+1 signatures over a digest) are the
+// artifact local PBFT consensus produces and global replication carries.
+package keys
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies node j in group i, matching the paper's N_{i,j} notation.
+type NodeID struct {
+	Group int
+	Index int
+}
+
+// String formats the ID like the paper: N{group},{index}.
+func (n NodeID) String() string { return fmt.Sprintf("N%d,%d", n.Group, n.Index) }
+
+// Less orders NodeIDs lexicographically (group, then index).
+func (n NodeID) Less(o NodeID) bool {
+	if n.Group != o.Group {
+		return n.Group < o.Group
+	}
+	return n.Index < o.Index
+}
+
+// KeyPair holds one node's signing identity.
+type KeyPair struct {
+	ID      NodeID
+	Public  ed25519.PublicKey
+	Private ed25519.PrivateKey
+}
+
+// Sign signs msg with the node's private key.
+func (kp *KeyPair) Sign(msg []byte) []byte { return ed25519.Sign(kp.Private, msg) }
+
+// Registry maps node IDs to public keys. It is immutable after construction
+// (except for SetTrustAll, set once before a run) and safe for concurrent
+// use.
+type Registry struct {
+	keys map[NodeID]ed25519.PublicKey
+	// groupSizes[i] is the number of nodes in group i.
+	groupSizes []int
+	// trustAll, when set, skips the cryptographic check in Verify (the
+	// signer must still be a registered node). Benchmarks enable it and
+	// charge the verification cost to the simulated CPU model instead —
+	// running real Ed25519 for millions of simulated verifications would
+	// measure the host, not the protocol. Correctness tests leave it off.
+	trustAll bool
+}
+
+// SetTrustAll toggles benchmark mode (see the field comment). Call before
+// the run starts.
+func (r *Registry) SetTrustAll(v bool) { r.trustAll = v }
+
+// GenerateCluster deterministically generates key pairs for a cluster with
+// the given group sizes, seeded so tests and benchmarks are reproducible.
+// It returns the per-node key pairs and a shared registry.
+func GenerateCluster(groupSizes []int, seed int64) ([][]*KeyPair, *Registry, error) {
+	if len(groupSizes) == 0 {
+		return nil, nil, errors.New("keys: no groups")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reg := &Registry{
+		keys:       make(map[NodeID]ed25519.PublicKey),
+		groupSizes: append([]int(nil), groupSizes...),
+	}
+	pairs := make([][]*KeyPair, len(groupSizes))
+	for g, n := range groupSizes {
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("keys: group %d has invalid size %d", g, n)
+		}
+		pairs[g] = make([]*KeyPair, n)
+		for j := 0; j < n; j++ {
+			pub, priv, err := ed25519.GenerateKey(rng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("keys: generating key for N%d,%d: %w", g, j, err)
+			}
+			id := NodeID{Group: g, Index: j}
+			pairs[g][j] = &KeyPair{ID: id, Public: pub, Private: priv}
+			reg.keys[id] = pub
+		}
+	}
+	return pairs, reg, nil
+}
+
+// Verify reports whether sig is a valid signature by node id over msg.
+func (r *Registry) Verify(id NodeID, msg, sig []byte) bool {
+	pub, ok := r.keys[id]
+	if !ok {
+		return false
+	}
+	if r.trustAll {
+		return len(sig) == ed25519.SignatureSize
+	}
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// GroupSize returns the number of nodes in group g, or 0 if g is unknown.
+func (r *Registry) GroupSize(g int) int {
+	if g < 0 || g >= len(r.groupSizes) {
+		return 0
+	}
+	return r.groupSizes[g]
+}
+
+// Groups returns the number of groups.
+func (r *Registry) Groups() int { return len(r.groupSizes) }
+
+// Faulty returns f = floor((n-1)/3) for group g, the number of Byzantine
+// nodes the group tolerates.
+func (r *Registry) Faulty(g int) int { return (r.GroupSize(g) - 1) / 3 }
+
+// QuorumSize returns 2f+1 for group g, the certificate threshold.
+func (r *Registry) QuorumSize(g int) int { return 2*r.Faulty(g) + 1 }
+
+// Digest is a SHA-256 digest of a message payload.
+type Digest [sha256.Size]byte
+
+// Hash computes the digest of data.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// String returns a short hex prefix for logging.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// Signature pairs a signer identity with its signature bytes.
+type Signature struct {
+	Signer NodeID
+	Sig    []byte
+}
+
+// Certificate is a quorum certificate: at least 2f+1 signatures from distinct
+// nodes of one group over the same digest. It is the proof of local PBFT
+// consensus that protects entries from tampering during global replication
+// (§II-A).
+type Certificate struct {
+	Group  int
+	Digest Digest
+	Sigs   []Signature
+}
+
+// certMessage is the byte string every certificate signature covers. It binds
+// the group so a certificate from one group cannot be replayed as another's.
+func certMessage(group int, d Digest) []byte {
+	msg := make([]byte, 0, 5+len(d))
+	msg = append(msg, 'c', 'e', 'r', 't', byte(group))
+	msg = append(msg, d[:]...)
+	return msg
+}
+
+// SignCertificate produces a node's signature share for a certificate.
+func SignCertificate(kp *KeyPair, group int, d Digest) Signature {
+	return Signature{Signer: kp.ID, Sig: kp.Sign(certMessage(group, d))}
+}
+
+// Errors returned by certificate verification.
+var (
+	ErrCertTooFewSigs   = errors.New("keys: certificate has fewer than 2f+1 valid signatures")
+	ErrCertWrongGroup   = errors.New("keys: certificate signer from wrong group")
+	ErrCertDuplicateSig = errors.New("keys: certificate has duplicate signer")
+	ErrCertBadSig       = errors.New("keys: certificate has invalid signature")
+)
+
+// VerifyCertificate checks that cert carries at least QuorumSize(cert.Group)
+// valid signatures from distinct nodes of cert.Group over cert.Digest.
+func (r *Registry) VerifyCertificate(cert *Certificate) error {
+	if cert == nil {
+		return errors.New("keys: nil certificate")
+	}
+	msg := certMessage(cert.Group, cert.Digest)
+	seen := make(map[NodeID]bool, len(cert.Sigs))
+	valid := 0
+	for _, s := range cert.Sigs {
+		if s.Signer.Group != cert.Group {
+			return ErrCertWrongGroup
+		}
+		if seen[s.Signer] {
+			return ErrCertDuplicateSig
+		}
+		seen[s.Signer] = true
+		if !r.Verify(s.Signer, msg, s.Sig) {
+			return ErrCertBadSig
+		}
+		valid++
+	}
+	if valid < r.QuorumSize(cert.Group) {
+		return ErrCertTooFewSigs
+	}
+	return nil
+}
+
+// Size returns the serialized size of the certificate in bytes, used for WAN
+// traffic accounting. Each signature is 64 bytes plus an 8-byte signer ID.
+func (c *Certificate) Size() int {
+	return 4 + len(c.Digest) + len(c.Sigs)*(ed25519.SignatureSize+8)
+}
+
+// SortSigs orders the signatures deterministically by signer; certificates
+// compared byte-for-byte across nodes must serialize identically.
+func (c *Certificate) SortSigs() {
+	sort.Slice(c.Sigs, func(i, j int) bool { return c.Sigs[i].Signer.Less(c.Sigs[j].Signer) })
+}

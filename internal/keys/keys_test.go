@@ -1,0 +1,216 @@
+package keys
+
+import (
+	"testing"
+)
+
+func genTestCluster(t *testing.T) ([][]*KeyPair, *Registry) {
+	t.Helper()
+	pairs, reg, err := GenerateCluster([]int{4, 7}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, reg
+}
+
+func TestGenerateClusterShape(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	if len(pairs) != 2 || len(pairs[0]) != 4 || len(pairs[1]) != 7 {
+		t.Fatal("wrong cluster shape")
+	}
+	if reg.Groups() != 2 || reg.GroupSize(0) != 4 || reg.GroupSize(1) != 7 {
+		t.Fatal("registry shape wrong")
+	}
+	if reg.GroupSize(9) != 0 || reg.GroupSize(-1) != 0 {
+		t.Fatal("unknown group size should be 0")
+	}
+}
+
+func TestGenerateClusterErrors(t *testing.T) {
+	if _, _, err := GenerateCluster(nil, 1); err == nil {
+		t.Fatal("expected error for no groups")
+	}
+	if _, _, err := GenerateCluster([]int{4, 0}, 1); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+}
+
+func TestGenerateClusterDeterministic(t *testing.T) {
+	a, _, _ := GenerateCluster([]int{3}, 7)
+	b, _, _ := GenerateCluster([]int{3}, 7)
+	for i := range a[0] {
+		if string(a[0][i].Public) != string(b[0][i].Public) {
+			t.Fatal("same seed produced different keys")
+		}
+	}
+	c, _, _ := GenerateCluster([]int{3}, 8)
+	if string(a[0][0].Public) == string(c[0][0].Public) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	msg := []byte("entry e1,10")
+	sig := pairs[0][1].Sign(msg)
+	if !reg.Verify(NodeID{0, 1}, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if reg.Verify(NodeID{0, 2}, msg, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+	if reg.Verify(NodeID{0, 1}, []byte("other"), sig) {
+		t.Fatal("signature verified over wrong message")
+	}
+	if reg.Verify(NodeID{5, 5}, msg, sig) {
+		t.Fatal("unknown node verified")
+	}
+}
+
+func TestFaultyAndQuorum(t *testing.T) {
+	_, reg := genTestCluster(t)
+	if reg.Faulty(0) != 1 || reg.QuorumSize(0) != 3 {
+		t.Fatalf("group 0 (n=4): f=%d q=%d", reg.Faulty(0), reg.QuorumSize(0))
+	}
+	if reg.Faulty(1) != 2 || reg.QuorumSize(1) != 5 {
+		t.Fatalf("group 1 (n=7): f=%d q=%d", reg.Faulty(1), reg.QuorumSize(1))
+	}
+}
+
+func buildCert(pairs [][]*KeyPair, group int, d Digest, signers []int) *Certificate {
+	cert := &Certificate{Group: group, Digest: d}
+	for _, j := range signers {
+		cert.Sigs = append(cert.Sigs, SignCertificate(pairs[group][j], group, d))
+	}
+	return cert
+}
+
+func TestCertificateValid(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 4})
+	if err := reg.VerifyCertificate(cert); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateTooFew(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3}) // need 5 for n=7
+	if err := reg.VerifyCertificate(cert); err != ErrCertTooFewSigs {
+		t.Fatalf("got %v, want ErrCertTooFewSigs", err)
+	}
+}
+
+func TestCertificateDuplicateSigner(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 3})
+	if err := reg.VerifyCertificate(cert); err != ErrCertDuplicateSig {
+		t.Fatalf("got %v, want ErrCertDuplicateSig", err)
+	}
+}
+
+func TestCertificateWrongGroupSigner(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3})
+	cert.Sigs = append(cert.Sigs, SignCertificate(pairs[0][0], 0, d))
+	if err := reg.VerifyCertificate(cert); err != ErrCertWrongGroup {
+		t.Fatalf("got %v, want ErrCertWrongGroup", err)
+	}
+}
+
+func TestCertificateTamperedDigest(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 4})
+	cert.Digest = Hash([]byte("tampered"))
+	if err := reg.VerifyCertificate(cert); err != ErrCertBadSig {
+		t.Fatalf("got %v, want ErrCertBadSig", err)
+	}
+}
+
+func TestCertificateCrossGroupReplay(t *testing.T) {
+	// Signatures bind the group: a group-0 certificate must not verify when
+	// relabeled as group 1 even if the signers were valid there.
+	pairs, _, _ := GenerateCluster([]int{4, 4}, 9)
+	_, reg, _ := GenerateCluster([]int{4, 4}, 9)
+	d := Hash([]byte("x"))
+	cert := buildCert(pairs, 0, d, []int{0, 1, 2})
+	cert.Group = 1
+	for i := range cert.Sigs {
+		cert.Sigs[i].Signer.Group = 1
+	}
+	if err := reg.VerifyCertificate(cert); err == nil {
+		t.Fatal("cross-group replay verified")
+	}
+}
+
+func TestCertificateNil(t *testing.T) {
+	_, reg := genTestCluster(t)
+	if err := reg.VerifyCertificate(nil); err == nil {
+		t.Fatal("nil certificate verified")
+	}
+}
+
+func TestNodeIDOrdering(t *testing.T) {
+	a := NodeID{0, 5}
+	b := NodeID{1, 0}
+	c := NodeID{1, 2}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("NodeID ordering wrong")
+	}
+	if a.String() != "N0,5" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestCertificateSortAndSize(t *testing.T) {
+	pairs, _ := genTestCluster(t)
+	d := Hash([]byte("p"))
+	cert := buildCert(pairs, 1, d, []int{4, 2, 0, 3, 1})
+	cert.SortSigs()
+	for i := 1; i < len(cert.Sigs); i++ {
+		if !cert.Sigs[i-1].Signer.Less(cert.Sigs[i].Signer) {
+			t.Fatal("sigs not sorted")
+		}
+	}
+	if cert.Size() <= 0 {
+		t.Fatal("size should be positive")
+	}
+}
+
+func BenchmarkSignVerify(b *testing.B) {
+	pairs, reg, _ := GenerateCluster([]int{4}, 1)
+	msg := make([]byte, 201) // YCSB-A average transaction size
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := pairs[0][0].Sign(msg)
+		if !reg.Verify(NodeID{0, 0}, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func TestTrustAllMode(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	reg.SetTrustAll(true)
+	// Any 64-byte blob from a registered node passes; unknown nodes and
+	// wrong-size blobs still fail.
+	if !reg.Verify(NodeID{Group: 0, Index: 1}, []byte("m"), make([]byte, 64)) {
+		t.Fatal("trust-all rejected registered node")
+	}
+	if reg.Verify(NodeID{Group: 5, Index: 5}, []byte("m"), make([]byte, 64)) {
+		t.Fatal("trust-all accepted unknown node")
+	}
+	if reg.Verify(NodeID{Group: 0, Index: 1}, []byte("m"), []byte("short")) {
+		t.Fatal("trust-all accepted malformed signature")
+	}
+	reg.SetTrustAll(false)
+	if reg.Verify(NodeID{Group: 0, Index: 1}, []byte("m"), make([]byte, 64)) {
+		t.Fatal("disabling trust-all did not restore real verification")
+	}
+	_ = pairs
+}

@@ -1,0 +1,178 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiProofSingleLeafMatchesSingleProof(t *testing.T) {
+	leaves := makeLeaves(13, 32, 21)
+	tr, _ := NewTree(leaves)
+	mp, err := tr.ProveMulti([]int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyMulti(tr.Root(), 13, mp, [][]byte{leaves[5]}) {
+		t.Fatal("single-leaf multiproof rejected")
+	}
+	sp, _ := tr.Prove(5)
+	if len(mp.Siblings) != len(sp.Siblings) {
+		t.Fatalf("single-leaf multiproof has %d siblings, plain proof %d",
+			len(mp.Siblings), len(sp.Siblings))
+	}
+}
+
+func TestMultiProofAllLeaves(t *testing.T) {
+	// Proving every leaf needs zero sibling hashes.
+	leaves := makeLeaves(8, 16, 22)
+	tr, _ := NewTree(leaves)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	mp, err := tr.ProveMulti(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Siblings) != 0 {
+		t.Fatalf("full multiproof carries %d siblings, want 0", len(mp.Siblings))
+	}
+	if !VerifyMulti(tr.Root(), 8, mp, leaves) {
+		t.Fatal("full multiproof rejected")
+	}
+}
+
+func TestMultiProofCompactness(t *testing.T) {
+	// k adjacent leaves: the multiproof must be smaller than k single
+	// proofs (the paper's motivation for batching chunks per receiver).
+	leaves := makeLeaves(28, 64, 23)
+	tr, _ := NewTree(leaves)
+	idx := []int{8, 9, 10, 11}
+	mp, err := tr.ProveMulti(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	for _, i := range idx {
+		p, _ := tr.Prove(i)
+		single += len(p.Siblings)
+	}
+	if len(mp.Siblings) >= single {
+		t.Fatalf("multiproof %d siblings, %d singles — no compaction", len(mp.Siblings), single)
+	}
+	batch := make([][]byte, len(idx))
+	for k, i := range idx {
+		batch[k] = leaves[i]
+	}
+	if !VerifyMulti(tr.Root(), 28, mp, batch) {
+		t.Fatal("compact multiproof rejected")
+	}
+}
+
+func TestMultiProofRejectsTampering(t *testing.T) {
+	leaves := makeLeaves(16, 32, 24)
+	tr, _ := NewTree(leaves)
+	idx := []int{2, 7, 11}
+	mp, _ := tr.ProveMulti(idx)
+	batch := [][]byte{leaves[2], leaves[7], leaves[11]}
+
+	if !VerifyMulti(tr.Root(), 16, mp, batch) {
+		t.Fatal("honest multiproof rejected")
+	}
+	bad := [][]byte{leaves[2], append([]byte{0xFF}, leaves[7]...), leaves[11]}
+	if VerifyMulti(tr.Root(), 16, mp, bad) {
+		t.Fatal("tampered leaf verified")
+	}
+	// Swapped leaves must fail (indices bind positions).
+	swapped := [][]byte{leaves[7], leaves[2], leaves[11]}
+	if VerifyMulti(tr.Root(), 16, mp, swapped) {
+		t.Fatal("swapped leaves verified")
+	}
+	// Wrong count.
+	if VerifyMulti(tr.Root(), 16, mp, batch[:2]) {
+		t.Fatal("short batch verified")
+	}
+	// Truncated siblings.
+	trunc := mp
+	if len(trunc.Siblings) > 0 {
+		trunc.Siblings = trunc.Siblings[:len(trunc.Siblings)-1]
+		if VerifyMulti(tr.Root(), 16, trunc, batch) {
+			t.Fatal("truncated multiproof verified")
+		}
+	}
+	// Extra trailing sibling.
+	extra := mp
+	extra.Siblings = append(append([][HashSize]byte{}, mp.Siblings...), [HashSize]byte{1})
+	if VerifyMulti(tr.Root(), 16, extra, batch) {
+		t.Fatal("padded multiproof verified")
+	}
+	// Non-increasing indices.
+	dup := mp
+	dup.Indices = append([]int{}, mp.Indices...)
+	dup.Indices[1] = dup.Indices[0]
+	if VerifyMulti(tr.Root(), 16, dup, batch) {
+		t.Fatal("duplicate indices verified")
+	}
+}
+
+func TestMultiProofErrors(t *testing.T) {
+	tr, _ := NewTree(makeLeaves(4, 8, 25))
+	if _, err := tr.ProveMulti(nil); err == nil {
+		t.Fatal("empty index set accepted")
+	}
+	if _, err := tr.ProveMulti([]int{4}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	mp, _ := tr.ProveMulti([]int{1, 1, 1})
+	if len(mp.Indices) != 1 {
+		t.Fatalf("duplicates not collapsed: %v", mp.Indices)
+	}
+}
+
+func TestMultiProofProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw)%n + 1
+		leaves := makeLeaves(n, 24, seed)
+		tr, err := NewTree(leaves)
+		if err != nil {
+			return false
+		}
+		idx := rng.Perm(n)[:k]
+		mp, err := tr.ProveMulti(idx)
+		if err != nil {
+			return false
+		}
+		batch := make([][]byte, len(mp.Indices))
+		for j, i := range mp.Indices {
+			batch[j] = leaves[i]
+		}
+		if !VerifyMulti(tr.Root(), n, mp, batch) {
+			return false
+		}
+		// Corrupting any single leaf must break it.
+		j := rng.Intn(len(batch))
+		tampered := append([][]byte{}, batch...)
+		tampered[j] = append([]byte{0xAA}, batch[j]...)
+		return !VerifyMulti(tr.Root(), n, mp, tampered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMultiProof4of28(b *testing.B) {
+	leaves := makeLeaves(28, 4096, 1)
+	tr, _ := NewTree(leaves)
+	idx := []int{0, 1, 2, 3}
+	batch := [][]byte{leaves[0], leaves[1], leaves[2], leaves[3]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := tr.ProveMulti(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !VerifyMulti(tr.Root(), 28, mp, batch) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// committed-transaction throughput, end-to-end entry latency (average and
+// percentiles), per-stage latency breakdowns (Fig 11), per-second time
+// series (Fig 15), and WAN traffic (Fig 10). All timestamps are virtual
+// simulation time.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Collector accumulates measurements for one run. It is single-threaded
+// (driven by the simulation event loop).
+type Collector struct {
+	start, end time.Duration
+
+	committedTxns int64
+	abortedTxns   int64
+	entries       int64
+
+	latencies []time.Duration
+
+	// stages accumulates per-stage totals for the latency breakdown.
+	stages map[string]time.Duration
+	// stageCount counts samples per stage.
+	stageCount map[string]int64
+
+	// series buckets committed txns and latency sums per second.
+	seriesTxns map[int]int64
+	seriesLat  map[int]time.Duration
+	seriesLatN map[int]int64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		stages:     make(map[string]time.Duration),
+		stageCount: make(map[string]int64),
+		seriesTxns: make(map[int]int64),
+		seriesLat:  make(map[int]time.Duration),
+		seriesLatN: make(map[int]int64),
+	}
+}
+
+// SetWindow restricts throughput accounting to [start, end] of virtual time;
+// samples outside the window (warm-up / cool-down) still count into the time
+// series but not into aggregate throughput and latency.
+func (c *Collector) SetWindow(start, end time.Duration) { c.start, c.end = start, end }
+
+func (c *Collector) inWindow(at time.Duration) bool {
+	if c.end == 0 {
+		return true
+	}
+	return at >= c.start && at <= c.end
+}
+
+// RecordExecution records an executed entry: n committed transactions and a
+// aborted ones at virtual time `at`.
+func (c *Collector) RecordExecution(at time.Duration, committed, aborted int) {
+	sec := int(at / time.Second)
+	c.seriesTxns[sec] += int64(committed)
+	if !c.inWindow(at) {
+		return
+	}
+	c.entries++
+	c.committedTxns += int64(committed)
+	c.abortedTxns += int64(aborted)
+}
+
+// RecordLatency records one entry's end-to-end latency observed at `at`.
+func (c *Collector) RecordLatency(at, lat time.Duration) {
+	sec := int(at / time.Second)
+	c.seriesLat[sec] += lat
+	c.seriesLatN[sec]++
+	if !c.inWindow(at) {
+		return
+	}
+	c.latencies = append(c.latencies, lat)
+}
+
+// RecordStage adds one sample of a named pipeline stage (Fig 11 breakdown).
+func (c *Collector) RecordStage(name string, d time.Duration) {
+	c.stages[name] += d
+	c.stageCount[name]++
+}
+
+// Throughput returns committed transactions per second over the window.
+func (c *Collector) Throughput() float64 {
+	w := c.end - c.start
+	if w <= 0 {
+		return 0
+	}
+	return float64(c.committedTxns) / w.Seconds()
+}
+
+// Committed returns the number of committed transactions in the window.
+func (c *Collector) Committed() int64 { return c.committedTxns }
+
+// Aborted returns the number of conflict-aborted transactions in the window.
+func (c *Collector) Aborted() int64 { return c.abortedTxns }
+
+// Entries returns the number of executed entries in the window.
+func (c *Collector) Entries() int64 { return c.entries }
+
+// AbortRate returns aborted/(committed+aborted), the §VI-A abort metric.
+func (c *Collector) AbortRate() float64 {
+	total := c.committedTxns + c.abortedTxns
+	if total == 0 {
+		return 0
+	}
+	return float64(c.abortedTxns) / float64(total)
+}
+
+// AvgLatency returns the mean entry latency over the window.
+func (c *Collector) AvgLatency() time.Duration {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range c.latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(c.latencies))
+}
+
+// PercentileLatency returns the p-th percentile latency (p in (0,100]).
+func (c *Collector) PercentileLatency(p float64) time.Duration {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), c.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// StageBreakdown returns the average duration per named stage.
+func (c *Collector) StageBreakdown() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(c.stages))
+	for name, total := range c.stages {
+		out[name] = total / time.Duration(c.stageCount[name])
+	}
+	return out
+}
+
+// SeriesPoint is one second of the Fig 15 time series.
+type SeriesPoint struct {
+	Second     int
+	Throughput float64 // committed txns in that second
+	AvgLatency time.Duration
+}
+
+// Series returns the per-second time series from second 0 through the last
+// recorded second.
+func (c *Collector) Series() []SeriesPoint {
+	last := 0
+	for s := range c.seriesTxns {
+		if s > last {
+			last = s
+		}
+	}
+	for s := range c.seriesLatN {
+		if s > last {
+			last = s
+		}
+	}
+	out := make([]SeriesPoint, 0, last+1)
+	for s := 0; s <= last; s++ {
+		p := SeriesPoint{Second: s, Throughput: float64(c.seriesTxns[s])}
+		if n := c.seriesLatN[s]; n > 0 {
+			p.AvgLatency = c.seriesLat[s] / time.Duration(n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Summary formats the headline numbers.
+func (c *Collector) Summary() string {
+	return fmt.Sprintf("throughput=%.0f tps latency(avg)=%v p50=%v entries=%d abortRate=%.3f",
+		c.Throughput(), c.AvgLatency().Round(time.Millisecond),
+		c.PercentileLatency(50).Round(time.Millisecond), c.entries, c.AbortRate())
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThroughputWindow(t *testing.T) {
+	c := NewCollector()
+	c.SetWindow(1*time.Second, 3*time.Second)
+	c.RecordExecution(500*time.Millisecond, 100, 0) // warm-up, excluded
+	c.RecordExecution(1500*time.Millisecond, 100, 5)
+	c.RecordExecution(2500*time.Millisecond, 100, 5)
+	c.RecordExecution(3500*time.Millisecond, 100, 0) // cool-down, excluded
+	if got := c.Committed(); got != 200 {
+		t.Fatalf("Committed = %d, want 200", got)
+	}
+	if got := c.Throughput(); got != 100 {
+		t.Fatalf("Throughput = %v, want 100", got)
+	}
+	if got := c.Aborted(); got != 10 {
+		t.Fatalf("Aborted = %d, want 10", got)
+	}
+	if got := c.Entries(); got != 2 {
+		t.Fatalf("Entries = %d, want 2", got)
+	}
+	if r := c.AbortRate(); r < 0.047 || r > 0.048 {
+		t.Fatalf("AbortRate = %v", r)
+	}
+}
+
+func TestNoWindowCountsEverything(t *testing.T) {
+	c := NewCollector()
+	c.RecordExecution(0, 10, 0)
+	c.RecordExecution(10*time.Second, 10, 0)
+	if c.Committed() != 20 {
+		t.Fatal("unwindowed collector dropped samples")
+	}
+	if c.Throughput() != 0 {
+		t.Fatal("throughput undefined without window must be 0")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	c := NewCollector()
+	c.SetWindow(0, 10*time.Second)
+	for _, ms := range []int{10, 20, 30, 40, 100} {
+		c.RecordLatency(time.Second, time.Duration(ms)*time.Millisecond)
+	}
+	if got := c.AvgLatency(); got != 40*time.Millisecond {
+		t.Fatalf("AvgLatency = %v", got)
+	}
+	if got := c.PercentileLatency(50); got != 20*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := c.PercentileLatency(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := c.PercentileLatency(1); got != 10*time.Millisecond {
+		t.Fatalf("p1 = %v", got)
+	}
+}
+
+func TestEmptyLatency(t *testing.T) {
+	c := NewCollector()
+	if c.AvgLatency() != 0 || c.PercentileLatency(50) != 0 {
+		t.Fatal("empty latency stats not zero")
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	c := NewCollector()
+	c.RecordStage("encode", 2*time.Millisecond)
+	c.RecordStage("encode", 4*time.Millisecond)
+	c.RecordStage("rebuild", 1*time.Millisecond)
+	b := c.StageBreakdown()
+	if b["encode"] != 3*time.Millisecond {
+		t.Fatalf("encode avg = %v", b["encode"])
+	}
+	if b["rebuild"] != time.Millisecond {
+		t.Fatalf("rebuild avg = %v", b["rebuild"])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := NewCollector()
+	c.SetWindow(0, 100*time.Second)
+	c.RecordExecution(500*time.Millisecond, 10, 0)
+	c.RecordExecution(2500*time.Millisecond, 30, 0)
+	c.RecordLatency(2600*time.Millisecond, 50*time.Millisecond)
+	s := c.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	if s[0].Throughput != 10 || s[1].Throughput != 0 || s[2].Throughput != 30 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s[2].AvgLatency != 50*time.Millisecond {
+		t.Fatalf("series latency = %v", s[2].AvgLatency)
+	}
+	// Out-of-window samples must still appear in the series (Fig 15 plots
+	// the whole run including the fault window).
+	c2 := NewCollector()
+	c2.SetWindow(5*time.Second, 6*time.Second)
+	c2.RecordExecution(1*time.Second, 42, 0)
+	if c2.Series()[1].Throughput != 42 {
+		t.Fatal("out-of-window execution missing from series")
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	c := NewCollector()
+	if c.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,73 @@
+package order
+
+import "massbft/internal/types"
+
+// RoundOrderer implements the round-based synchronous ordering used by
+// Baseline, GeoBFT, RCanopus, and ISS (§II-A): in each round every group
+// proposes exactly one entry (seq == round), and a node executes the round's
+// entries in group-ID order only after all of them have arrived. This is the
+// mechanism that lets a slow group throttle fast groups (Fig 2), which
+// MassBFT's asynchronous ordering removes.
+type RoundOrderer struct {
+	ng      int
+	execute func(types.EntryID)
+	round   uint64
+	ready   map[types.EntryID]bool
+	skipped map[types.EntryID]bool
+	count   int
+}
+
+// NewRoundOrderer creates a synchronous orderer for ng groups. Rounds (and
+// entry sequence numbers) start at 1.
+func NewRoundOrderer(ng int, execute func(types.EntryID)) *RoundOrderer {
+	return &RoundOrderer{
+		ng:      ng,
+		execute: execute,
+		round:   1,
+		ready:   make(map[types.EntryID]bool),
+		skipped: make(map[types.EntryID]bool),
+	}
+}
+
+// MarkReady records that entry id has arrived and is valid; it triggers
+// execution of any now-complete rounds.
+func (r *RoundOrderer) MarkReady(id types.EntryID) {
+	r.ready[id] = true
+	r.drain()
+}
+
+// Skip records that group gid will not produce an entry for round seq (e.g.
+// a crashed group after its peers time out); the round proceeds without it.
+func (r *RoundOrderer) Skip(id types.EntryID) {
+	r.skipped[id] = true
+	r.drain()
+}
+
+func (r *RoundOrderer) drain() {
+	for {
+		// The round completes only when every group's entry is present (or
+		// explicitly skipped).
+		for g := 0; g < r.ng; g++ {
+			id := types.EntryID{GID: g, Seq: r.round}
+			if !r.ready[id] && !r.skipped[id] {
+				return
+			}
+		}
+		for g := 0; g < r.ng; g++ {
+			id := types.EntryID{GID: g, Seq: r.round}
+			if r.ready[id] {
+				r.execute(id)
+				r.count++
+			}
+			delete(r.ready, id)
+			delete(r.skipped, id)
+		}
+		r.round++
+	}
+}
+
+// Round returns the current (incomplete) round number.
+func (r *RoundOrderer) Round() uint64 { return r.round }
+
+// Executed returns the number of entries executed so far.
+func (r *RoundOrderer) Executed() int { return r.count }

@@ -1,0 +1,571 @@
+// Package pbft implements the local intra-group consensus MassBFT and all
+// competitor protocols use (§II-A "Local Replication"): Practical Byzantine
+// Fault Tolerance with pre-prepare/prepare/commit phases, 2f+1 quorum
+// certificates, and view changes to replace a faulty leader.
+//
+// The paper also uses a two-phase variant for the global accept phase that
+// skips prepare "because nodes do not need to agree on the consensus input,
+// as it has already been certified" (Ziziphus-style); Config.SkipPrepare
+// selects it.
+//
+// An Instance is a single-group replica state machine. It is transport
+// agnostic: outgoing messages go through Config.Send, timers through
+// Config.After, and committed slots are handed to Config.Deliver in strict
+// slot order together with their quorum Certificate.
+package pbft
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"massbft/internal/keys"
+)
+
+// Phase labels for signed phase messages.
+const (
+	phasePrePrepare = iota
+	phasePrepare
+)
+
+// Msg is the interface implemented by all PBFT wire messages.
+type Msg interface {
+	WireSize() int
+	pbftMsg()
+}
+
+// PrePrepare is the leader's proposal for a slot in a view. An empty payload
+// is a no-op proposal used to fill slot gaps after a view change; Deliver
+// reports it with a nil payload and upper layers skip it.
+type PrePrepare struct {
+	View    uint64
+	Slot    uint64
+	Digest  keys.Digest
+	Payload []byte
+	Sig     keys.Signature
+}
+
+// Prepare is a replica's echo of the proposal digest.
+type Prepare struct {
+	View   uint64
+	Slot   uint64
+	Digest keys.Digest
+	Sig    keys.Signature
+}
+
+// Commit carries the replica's certificate share for the digest. Shares sign
+// the view-independent certificate message, so shares collected across a
+// view change still assemble into one valid certificate.
+type Commit struct {
+	View   uint64
+	Slot   uint64
+	Digest keys.Digest
+	Share  keys.Signature
+}
+
+// PreparedInfo describes one slot a replica prepared but has not committed.
+type PreparedInfo struct {
+	Slot    uint64
+	Digest  keys.Digest
+	Payload []byte
+}
+
+// ViewChange votes to replace the current leader. It reports every slot the
+// sender prepared but has not yet committed so the new leader can re-propose
+// them (classic PBFT's P set).
+type ViewChange struct {
+	NewView  uint64
+	Prepared []PreparedInfo
+	Sig      keys.Signature
+}
+
+// NewView announces the new leader's installed view together with
+// re-proposals for all potentially-committed slots and no-op fillers for
+// gaps.
+type NewView struct {
+	View        uint64
+	Reproposals []*PrePrepare
+	Sig         keys.Signature
+}
+
+func (*PrePrepare) pbftMsg() {}
+func (*Prepare) pbftMsg()    {}
+func (*Commit) pbftMsg()     {}
+func (*ViewChange) pbftMsg() {}
+func (*NewView) pbftMsg()    {}
+
+const sigWire = ed25519.SignatureSize + 8 // signature + signer id
+
+// WireSize returns the serialized size in bytes.
+func (m *PrePrepare) WireSize() int { return 16 + 32 + len(m.Payload) + sigWire }
+
+// WireSize returns the serialized size in bytes.
+func (m *Prepare) WireSize() int { return 16 + 32 + sigWire }
+
+// WireSize returns the serialized size in bytes.
+func (m *Commit) WireSize() int { return 16 + 32 + sigWire }
+
+// WireSize returns the serialized size in bytes.
+func (m *ViewChange) WireSize() int {
+	n := 8 + sigWire
+	for _, p := range m.Prepared {
+		n += 8 + 32 + len(p.Payload)
+	}
+	return n
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *NewView) WireSize() int {
+	n := 8 + sigWire
+	for _, pp := range m.Reproposals {
+		n += pp.WireSize()
+	}
+	return n
+}
+
+// Config wires an Instance to its environment.
+type Config struct {
+	// Self is this replica's key pair; Self.ID.Group selects the group.
+	Self *keys.KeyPair
+	// Members lists the group's node IDs in index order.
+	Members []keys.NodeID
+	// Registry verifies member signatures.
+	Registry *keys.Registry
+	// Send transmits a message to one member (the transport models size).
+	Send func(to keys.NodeID, m Msg)
+	// Deliver is called exactly once per slot, in slot order, on every
+	// correct replica, with the committed payload (nil for no-op slots) and
+	// its quorum certificate.
+	Deliver func(slot uint64, payload []byte, cert *keys.Certificate)
+	// After schedules fn after d of virtual time; required when
+	// ViewChangeTimeout is set.
+	After func(d time.Duration, fn func())
+	// ViewChangeTimeout is how long a replica waits for an outstanding
+	// proposal to commit before voting to change views. Zero disables view
+	// changes.
+	ViewChangeTimeout time.Duration
+	// SkipPrepare selects the two-phase variant used for the global accept
+	// phase (§II-A): pre-prepare then commit.
+	SkipPrepare bool
+	// OnViewChange, when non-nil, is notified after a new view installs.
+	OnViewChange func(view uint64)
+}
+
+type slotState struct {
+	digest     keys.Digest
+	payload    []byte
+	prePrepare bool
+	prepares   map[keys.NodeID]bool
+	commits    map[keys.NodeID]keys.Signature
+	committed  bool
+	delivered  bool
+}
+
+// Instance is one replica's PBFT state machine.
+type Instance struct {
+	cfg   Config
+	n, f  int
+	group int
+
+	view     uint64
+	nextSlot uint64 // next unassigned slot (leader) / highest seen+1
+	execSlot uint64 // next slot to deliver
+	slots    map[uint64]*slotState
+	vcVotes  map[uint64]map[keys.NodeID]*ViewChange
+	timerSeq uint64 // invalidates stale progress timers
+	vcTarget uint64 // highest view we have voted for
+}
+
+// New creates a PBFT replica instance.
+func New(cfg Config) *Instance {
+	n := len(cfg.Members)
+	return &Instance{
+		cfg:     cfg,
+		n:       n,
+		f:       (n - 1) / 3,
+		group:   cfg.Self.ID.Group,
+		slots:   make(map[uint64]*slotState),
+		vcVotes: make(map[uint64]map[keys.NodeID]*ViewChange),
+	}
+}
+
+// Quorum returns the 2f+1 threshold.
+func (in *Instance) Quorum() int { return 2*in.f + 1 }
+
+// View returns the current view number.
+func (in *Instance) View() uint64 { return in.view }
+
+// Leader returns the leader of the given view.
+func (in *Instance) Leader(view uint64) keys.NodeID {
+	return in.cfg.Members[int(view)%in.n]
+}
+
+// IsLeader reports whether this replica leads the current view.
+func (in *Instance) IsLeader() bool { return in.Leader(in.view) == in.cfg.Self.ID }
+
+// Propose starts consensus on payload. Only the current leader may call it;
+// other callers get an error so the protocol layer can forward the request.
+func (in *Instance) Propose(payload []byte) error {
+	if !in.IsLeader() {
+		return fmt.Errorf("pbft: %v is not the leader of view %d", in.cfg.Self.ID, in.view)
+	}
+	slot := in.nextSlot
+	in.nextSlot++
+	in.proposeAt(slot, payload)
+	return nil
+}
+
+func (in *Instance) proposeAt(slot uint64, payload []byte) {
+	d := keys.Hash(payload)
+	pp := &PrePrepare{
+		View:    in.view,
+		Slot:    slot,
+		Digest:  d,
+		Payload: payload,
+		Sig:     in.sign(phaseMsg(phasePrePrepare, in.view, slot, d)),
+	}
+	in.broadcast(pp)
+	in.onPrePrepare(in.cfg.Self.ID, pp)
+}
+
+func (in *Instance) sign(msg []byte) keys.Signature {
+	return keys.Signature{Signer: in.cfg.Self.ID, Sig: in.cfg.Self.Sign(msg)}
+}
+
+func (in *Instance) verify(sig keys.Signature, msg []byte) bool {
+	return in.cfg.Registry.Verify(sig.Signer, msg, sig.Sig)
+}
+
+// phaseMsg is the canonical byte string signed for each phase message.
+func phaseMsg(phase int, view, slot uint64, d keys.Digest) []byte {
+	buf := make([]byte, 0, 1+16+len(d))
+	buf = append(buf, byte(phase))
+	buf = appendUint64(buf, view)
+	buf = appendUint64(buf, slot)
+	buf = append(buf, d[:]...)
+	return buf
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	for i := 7; i >= 0; i-- {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func (in *Instance) broadcast(m Msg) {
+	for _, id := range in.cfg.Members {
+		if id != in.cfg.Self.ID {
+			in.cfg.Send(id, m)
+		}
+	}
+}
+
+func (in *Instance) slot(s uint64) *slotState {
+	st, ok := in.slots[s]
+	if !ok {
+		st = &slotState{
+			prepares: make(map[keys.NodeID]bool),
+			commits:  make(map[keys.NodeID]keys.Signature),
+		}
+		in.slots[s] = st
+	}
+	return st
+}
+
+// Handle processes a message from another replica. from must be the verified
+// transport-level sender; signatures inside the message are checked against
+// the registry regardless.
+func (in *Instance) Handle(from keys.NodeID, m Msg) {
+	switch msg := m.(type) {
+	case *PrePrepare:
+		in.onPrePrepare(from, msg)
+	case *Prepare:
+		in.onPrepare(msg)
+	case *Commit:
+		in.onCommit(msg)
+	case *ViewChange:
+		in.onViewChange(msg)
+	case *NewView:
+		in.onNewView(msg)
+	}
+}
+
+func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
+	if pp.View != in.view {
+		return
+	}
+	if from != in.Leader(pp.View) && from != in.cfg.Self.ID {
+		return // only the leader may pre-prepare
+	}
+	if pp.Sig.Signer != in.Leader(pp.View) ||
+		!in.verify(pp.Sig, phaseMsg(phasePrePrepare, pp.View, pp.Slot, pp.Digest)) {
+		return
+	}
+	if keys.Hash(pp.Payload) != pp.Digest {
+		return // payload does not match digest
+	}
+	st := in.slot(pp.Slot)
+	if st.prePrepare {
+		return // duplicate (first proposal for the slot wins in this view)
+	}
+	st.prePrepare = true
+	st.digest = pp.Digest
+	st.payload = pp.Payload
+	if in.nextSlot <= pp.Slot {
+		in.nextSlot = pp.Slot + 1
+	}
+	in.armProgressTimer(pp.Slot)
+
+	if in.cfg.SkipPrepare {
+		in.sendCommit(pp.Slot, pp.Digest, st)
+		return
+	}
+	p := &Prepare{
+		View: pp.View, Slot: pp.Slot, Digest: pp.Digest,
+		Sig: in.sign(phaseMsg(phasePrepare, pp.View, pp.Slot, pp.Digest)),
+	}
+	in.broadcast(p)
+	in.onPrepare(p) // count own prepare
+}
+
+func (in *Instance) onPrepare(p *Prepare) {
+	if p.View != in.view || in.cfg.SkipPrepare {
+		return
+	}
+	if !in.verify(p.Sig, phaseMsg(phasePrepare, p.View, p.Slot, p.Digest)) {
+		return
+	}
+	st := in.slot(p.Slot)
+	if st.prePrepare && st.digest != p.Digest {
+		return
+	}
+	st.prepares[p.Sig.Signer] = true
+	in.maybeCommitPhase(p.Slot, st)
+}
+
+func (in *Instance) maybeCommitPhase(slot uint64, st *slotState) {
+	// Prepared: pre-prepare plus 2f+1 matching prepares (incl. our own).
+	if !st.prePrepare || len(st.prepares) < in.Quorum() || st.committed {
+		return
+	}
+	if _, already := st.commits[in.cfg.Self.ID]; already {
+		return
+	}
+	in.sendCommit(slot, st.digest, st)
+}
+
+func (in *Instance) sendCommit(slot uint64, d keys.Digest, st *slotState) {
+	share := keys.SignCertificate(in.cfg.Self, in.group, d)
+	c := &Commit{View: in.view, Slot: slot, Digest: d, Share: share}
+	in.broadcast(c)
+	in.onCommit(c)
+}
+
+func (in *Instance) onCommit(c *Commit) {
+	if c.View != in.view {
+		return
+	}
+	st := in.slot(c.Slot)
+	if st.prePrepare && st.digest != c.Digest {
+		return
+	}
+	// Commit shares double as certificate signatures; verify as such.
+	probe := &keys.Certificate{Group: in.group, Digest: c.Digest, Sigs: []keys.Signature{c.Share}}
+	if err := in.cfg.Registry.VerifyCertificate(probe); err != nil &&
+		err != keys.ErrCertTooFewSigs {
+		return
+	}
+	st.commits[c.Share.Signer] = c.Share
+	if !st.committed && st.prePrepare && len(st.commits) >= in.Quorum() {
+		st.committed = true
+		in.timerSeq++ // progress: cancel pending view-change timers
+		in.deliverReady()
+	}
+}
+
+func (in *Instance) deliverReady() {
+	for {
+		st, ok := in.slots[in.execSlot]
+		if !ok || !st.committed || st.delivered {
+			return
+		}
+		st.delivered = true
+		cert := &keys.Certificate{Group: in.group, Digest: st.digest}
+		for _, sig := range st.commits {
+			cert.Sigs = append(cert.Sigs, sig)
+		}
+		cert.SortSigs()
+		payload := st.payload
+		if len(payload) == 0 {
+			payload = nil // no-op filler slot
+		}
+		in.cfg.Deliver(in.execSlot, payload, cert)
+		in.execSlot++
+	}
+}
+
+// --- View change ---
+
+func (in *Instance) armProgressTimer(slot uint64) {
+	if in.cfg.ViewChangeTimeout <= 0 || in.cfg.After == nil {
+		return
+	}
+	seq := in.timerSeq
+	in.cfg.After(in.cfg.ViewChangeTimeout, func() {
+		if in.timerSeq != seq {
+			return // progress was made since
+		}
+		if st := in.slots[slot]; st != nil && st.committed {
+			return
+		}
+		in.voteViewChange(in.view + 1)
+	})
+}
+
+func (in *Instance) voteViewChange(newView uint64) {
+	if newView <= in.view || newView <= in.vcTarget {
+		return
+	}
+	in.vcTarget = newView
+	vc := &ViewChange{NewView: newView}
+	// Report every prepared-but-uncommitted slot (classic PBFT P set).
+	for s := in.execSlot; s < in.nextSlot; s++ {
+		st := in.slots[s]
+		if st == nil || st.committed || !st.prePrepare {
+			continue
+		}
+		if in.cfg.SkipPrepare || len(st.prepares) >= in.Quorum() {
+			vc.Prepared = append(vc.Prepared, PreparedInfo{Slot: s, Digest: st.digest, Payload: st.payload})
+		}
+	}
+	vc.Sig = in.sign(viewChangeMsg(vc))
+	in.broadcast(vc)
+	in.onViewChange(vc)
+	// Escalate if this view change does not complete either.
+	if in.cfg.After != nil && in.cfg.ViewChangeTimeout > 0 {
+		seq := in.timerSeq
+		in.cfg.After(2*in.cfg.ViewChangeTimeout, func() {
+			if in.timerSeq == seq && in.view < newView {
+				in.voteViewChange(newView + 1)
+			}
+		})
+	}
+}
+
+func viewChangeMsg(vc *ViewChange) []byte {
+	buf := []byte{0x10}
+	buf = appendUint64(buf, vc.NewView)
+	for _, p := range vc.Prepared {
+		buf = appendUint64(buf, p.Slot)
+		buf = append(buf, p.Digest[:]...)
+	}
+	return buf
+}
+
+func (in *Instance) onViewChange(vc *ViewChange) {
+	if vc.NewView <= in.view {
+		return
+	}
+	if !in.verify(vc.Sig, viewChangeMsg(vc)) {
+		return
+	}
+	votes := in.vcVotes[vc.NewView]
+	if votes == nil {
+		votes = make(map[keys.NodeID]*ViewChange)
+		in.vcVotes[vc.NewView] = votes
+	}
+	votes[vc.Sig.Signer] = vc
+	// Join the view change once f+1 replicas vote: at least one is correct.
+	if len(votes) == in.f+1 {
+		in.voteViewChange(vc.NewView)
+	}
+	if len(votes) >= in.Quorum() && in.Leader(vc.NewView) == in.cfg.Self.ID {
+		in.installNewView(vc.NewView, votes)
+	}
+}
+
+func (in *Instance) installNewView(view uint64, votes map[keys.NodeID]*ViewChange) {
+	if view <= in.view {
+		return
+	}
+	// Union of prepared slots across votes; highest-digest-per-slot is
+	// unambiguous because a slot can only prepare one digest per view and
+	// conflicting views cannot both prepare (quorum intersection).
+	prepared := make(map[uint64]PreparedInfo)
+	maxSlot := in.execSlot
+	for _, vc := range votes {
+		for _, p := range vc.Prepared {
+			prepared[p.Slot] = p
+			if p.Slot+1 > maxSlot {
+				maxSlot = p.Slot + 1
+			}
+		}
+	}
+	nv := &NewView{View: view, Sig: in.sign(newViewMsg(view))}
+	for s := in.execSlot; s < maxSlot; s++ {
+		var payload []byte
+		var d keys.Digest
+		if p, ok := prepared[s]; ok {
+			payload, d = p.Payload, p.Digest
+		} else {
+			payload, d = nil, keys.Hash(nil) // no-op filler for gap slots
+		}
+		pp := &PrePrepare{
+			View: view, Slot: s, Digest: d, Payload: payload,
+			Sig: in.sign(phaseMsg(phasePrePrepare, view, s, d)),
+		}
+		nv.Reproposals = append(nv.Reproposals, pp)
+	}
+	in.enterView(view)
+	in.broadcast(nv)
+	for _, pp := range nv.Reproposals {
+		in.onPrePrepare(in.cfg.Self.ID, pp)
+	}
+}
+
+func newViewMsg(view uint64) []byte {
+	return appendUint64([]byte{0x11}, view)
+}
+
+func (in *Instance) onNewView(nv *NewView) {
+	if nv.View <= in.view {
+		return
+	}
+	if nv.Sig.Signer != in.Leader(nv.View) || !in.verify(nv.Sig, newViewMsg(nv.View)) {
+		return
+	}
+	in.enterView(nv.View)
+	for _, pp := range nv.Reproposals {
+		in.onPrePrepare(in.Leader(nv.View), pp)
+	}
+}
+
+func (in *Instance) enterView(view uint64) {
+	in.view = view
+	in.timerSeq++
+	// Uncommitted slot state from the old view is invalid in the new view.
+	for s, st := range in.slots {
+		if !st.committed {
+			delete(in.slots, s)
+		}
+	}
+	in.nextSlot = in.execSlot
+	for s, st := range in.slots {
+		if st.committed && s+1 > in.nextSlot {
+			in.nextSlot = s + 1
+		}
+	}
+	delete(in.vcVotes, view)
+	if in.cfg.OnViewChange != nil {
+		in.cfg.OnViewChange(view)
+	}
+}
+
+// SuspectLeader votes to replace the current leader (view+1). Protocol
+// layers call it when they observe leader silence that the instance's own
+// progress timers cannot see (e.g. the leader stops proposing entirely).
+// The view changes only if f+1 replicas concur.
+func (in *Instance) SuspectLeader() {
+	in.voteViewChange(in.view + 1)
+}

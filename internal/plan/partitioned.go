@@ -1,0 +1,72 @@
+package plan
+
+import "fmt"
+
+// BijectiveTransfer is one complete-entry-copy send in a (partitioned)
+// bijective plan: sender node i of G1 transmits a full copy to receiver node
+// j of G2 (§IV-A).
+type BijectiveTransfer struct {
+	Sender, Receiver int
+}
+
+// Bijective computes a reliable full-copy sending plan for n1 senders (f1
+// faulty) and n2 receivers (f2 faulty) per the cluster-sending problem
+// ([23], [24]): after any f1 sender failures and f2 receiver failures, at
+// least one transfer still connects a correct sender to a correct receiver.
+//
+// When n1 >= f1+f2+1 this is the plain bijective scheme (f1+f2+1 transfers,
+// distinct senders, distinct receivers). When the groups differ so much that
+// n1 < f1+f2+1 (n2 > 2*n1-1), the plan is *partitioned*: senders transmit
+// sigma copies each, to distinct receivers, with sigma chosen minimally such
+// that the worst case — every faulty sender silent, every faulty receiver
+// deaf, adversarially placed — still leaves a correct delivery. This costs
+// more than f1+f2+1 copies, matching the §IV-A observation that a lower
+// bound greater than f1+f2+1 applies in that regime.
+func Bijective(n1, n2 int) ([]BijectiveTransfer, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return nil, fmt.Errorf("plan: group sizes must be positive, got %d and %d", n1, n2)
+	}
+	f1, f2 := Faulty(n1), Faulty(n2)
+	need := f1 + f2 + 1
+	if n1 >= need && n2 >= need {
+		// Plain bijective: f1+f2+1 pairwise-distinct transfers.
+		out := make([]BijectiveTransfer, need)
+		for i := 0; i < need; i++ {
+			out[i] = BijectiveTransfer{Sender: i, Receiver: i}
+		}
+		return out, nil
+	}
+	// Partitioned: every sender sends sigma copies, receivers assigned
+	// round-robin so each receiver takes at most ceil(sigma*n1/n2) copies
+	// and a sender never repeats a receiver (sigma <= n2 always holds
+	// because sigma <= need <= n2 in this regime... enforced below).
+	for sigma := 1; sigma <= n2; sigma++ {
+		total := sigma * n1
+		perReceiver := (total + n2 - 1) / n2
+		// Worst case loss: f1 silent senders lose sigma copies each; f2
+		// deaf receivers lose at most perReceiver copies each, disjointly.
+		if total-sigma*f1-f2*perReceiver >= 1 {
+			out := make([]BijectiveTransfer, 0, total)
+			r := 0
+			for k := 0; k < sigma; k++ {
+				for i := 0; i < n1; i++ {
+					out = append(out, BijectiveTransfer{Sender: i, Receiver: r % n2})
+					r++
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: no reliable bijective plan for %d->%d", n1, n2)
+}
+
+// BijectiveCopies returns the number of entry copies the (partitioned)
+// bijective plan transmits — the cost the encoded approach undercuts
+// (compare Plan.Redundancy).
+func BijectiveCopies(n1, n2 int) int {
+	plan, err := Bijective(n1, n2)
+	if err != nil {
+		return 0
+	}
+	return len(plan)
+}

@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBijectivePlainRegime(t *testing.T) {
+	// 4 -> 7 (Fig 5a): f1+f2+1 = 4 transfers, distinct senders/receivers.
+	trs, err := Bijective(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 4 {
+		t.Fatalf("got %d transfers, want 4", len(trs))
+	}
+	seenS, seenR := map[int]bool{}, map[int]bool{}
+	for _, tr := range trs {
+		if seenS[tr.Sender] || seenR[tr.Receiver] {
+			t.Fatal("plain regime must use distinct senders and receivers")
+		}
+		seenS[tr.Sender] = true
+		seenR[tr.Receiver] = true
+	}
+}
+
+func TestBijectivePartitionedRegime(t *testing.T) {
+	// n1=4 (f1=1), n2=13 (f2=4): need = 6 > 4 senders, so the plan must be
+	// partitioned and cost more than f1+f2+1 copies (§IV-A).
+	trs, err := Bijective(4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) <= 6 {
+		t.Fatalf("partitioned regime should exceed f1+f2+1=6 copies, got %d", len(trs))
+	}
+	// Each transfer in range; each sender sends the same count.
+	perSender := map[int]int{}
+	for _, tr := range trs {
+		if tr.Sender < 0 || tr.Sender >= 4 || tr.Receiver < 0 || tr.Receiver >= 13 {
+			t.Fatalf("out of range: %+v", tr)
+		}
+		perSender[tr.Sender]++
+	}
+	for i := 0; i < 4; i++ {
+		if perSender[i] != perSender[0] {
+			t.Fatal("uneven sender load")
+		}
+	}
+}
+
+func TestBijectiveInvalidSizes(t *testing.T) {
+	if _, err := Bijective(0, 5); err == nil {
+		t.Fatal("zero sender group accepted")
+	}
+	if _, err := Bijective(5, -1); err == nil {
+		t.Fatal("negative receiver group accepted")
+	}
+}
+
+// TestBijectiveSurvivesWorstCase is the cluster-sending safety property:
+// for any f1 faulty senders and f2 faulty receivers, at least one transfer
+// connects a correct sender to a correct receiver.
+func TestBijectiveSurvivesWorstCase(t *testing.T) {
+	f := func(aRaw, bRaw uint8, mask uint32) bool {
+		n1 := int(aRaw)%25 + 1
+		n2 := int(bRaw)%25 + 1
+		trs, err := Bijective(n1, n2)
+		if err != nil {
+			return false
+		}
+		badS := pickSet(n1, Faulty(n1), mask)
+		badR := pickSet(n2, Faulty(n2), mask>>7)
+		for _, tr := range trs {
+			if !badS[tr.Sender] && !badR[tr.Receiver] {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBijectiveAdversarialGreedy attacks the plan with a greedy adversary
+// (silence the busiest senders, deafen the busiest receivers) — stronger
+// than random faults for partitioned plans.
+func TestBijectiveAdversarialGreedy(t *testing.T) {
+	for n1 := 1; n1 <= 20; n1++ {
+		for n2 := 1; n2 <= 40; n2++ {
+			trs, err := Bijective(n1, n2)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", n1, n2, err)
+			}
+			// Greedy: kill the f1 senders with most transfers, then the f2
+			// receivers covering most of the remainder.
+			sendCount := map[int]int{}
+			for _, tr := range trs {
+				sendCount[tr.Sender]++
+			}
+			badS := topK(sendCount, Faulty(n1))
+			recvCount := map[int]int{}
+			for _, tr := range trs {
+				if !badS[tr.Sender] {
+					recvCount[tr.Receiver]++
+				}
+			}
+			badR := topK(recvCount, Faulty(n2))
+			ok := false
+			for _, tr := range trs {
+				if !badS[tr.Sender] && !badR[tr.Receiver] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("%d->%d: greedy adversary disconnects the plan (%d transfers)",
+					n1, n2, len(trs))
+			}
+		}
+	}
+}
+
+func topK(count map[int]int, k int) map[int]bool {
+	out := make(map[int]bool)
+	for len(out) < k {
+		best, bestC := -1, -1
+		for id, c := range count {
+			if !out[id] && c > bestC {
+				best, bestC = id, c
+			}
+		}
+		if best < 0 {
+			// Fewer distinct ids than k: pad with unused ids (still counts
+			// as a failure budget spent).
+			for id := 0; len(out) < k; id++ {
+				if !out[id] {
+					out[id] = true
+				}
+			}
+			return out
+		}
+		out[best] = true
+	}
+	return out
+}
+
+func TestBijectiveCopiesVsEncodedRedundancy(t *testing.T) {
+	// §IV-B's headline: the encoded approach's redundancy stays below the
+	// (partitioned) bijective copy count across realistic geometries.
+	for _, pair := range [][2]int{{4, 7}, {7, 7}, {4, 13}, {7, 19}, {10, 25}} {
+		copies := BijectiveCopies(pair[0], pair[1])
+		p, err := New(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Redundancy() > float64(copies) {
+			t.Fatalf("%v: encoded redundancy %.2f exceeds bijective %d copies",
+				pair, p.Redundancy(), copies)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package plan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestFig5CaseStudy checks the paper's §IV-B case study exactly: a 4-node
+// group sending to a 7-node group yields 28 total chunks, 15 parity, 13 data,
+// 7 chunks per sender, 4 per receiver, and redundancy ≈ 2.15.
+func TestFig5CaseStudy(t *testing.T) {
+	p, err := New(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 28 {
+		t.Fatalf("Total = %d, want 28", p.Total)
+	}
+	if p.Parity != 15 { // 1*7 + 2*4
+		t.Fatalf("Parity = %d, want 15", p.Parity)
+	}
+	if p.Data != 13 {
+		t.Fatalf("Data = %d, want 13", p.Data)
+	}
+	if p.PerSender != 7 || p.PerReceiver != 4 {
+		t.Fatalf("PerSender=%d PerReceiver=%d, want 7/4", p.PerSender, p.PerReceiver)
+	}
+	if math.Abs(p.Redundancy()-28.0/13.0) > 1e-9 {
+		t.Fatalf("Redundancy = %v, want ~2.15", p.Redundancy())
+	}
+	if p.WorstCaseSurvivors() != 13 {
+		t.Fatalf("WorstCaseSurvivors = %d, want 13", p.WorstCaseSurvivors())
+	}
+}
+
+func TestFaulty(t *testing.T) {
+	cases := map[int]int{1: 0, 3: 0, 4: 1, 6: 1, 7: 2, 10: 3, 40: 13}
+	for n, want := range cases {
+		if got := Faulty(n); got != want {
+			t.Fatalf("Faulty(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if GCD(12, 18) != 6 || GCD(7, 13) != 1 || GCD(5, 0) != 5 {
+		t.Fatal("GCD wrong")
+	}
+	if LCM(4, 7) != 28 || LCM(6, 4) != 12 || LCM(7, 7) != 7 {
+		t.Fatal("LCM wrong")
+	}
+}
+
+func TestEqualSizedGroups(t *testing.T) {
+	// 7→7: each node sends exactly one chunk to its counterpart.
+	p, err := New(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 7 || p.PerSender != 1 || p.PerReceiver != 1 {
+		t.Fatalf("%s", p)
+	}
+	if p.Parity != 4 { // 1*2 + 1*2
+		t.Fatalf("Parity = %d, want 4", p.Parity)
+	}
+	for c, tr := range p.Transfers {
+		if tr.Sender != c || tr.Receiver != c {
+			t.Fatalf("chunk %d: %+v, want identity mapping", c, tr)
+		}
+	}
+}
+
+func TestInvalidSizes(t *testing.T) {
+	if _, err := New(0, 7); err == nil {
+		t.Fatal("accepted zero sender group")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Fatal("accepted negative receiver group")
+	}
+}
+
+func TestEveryChunkSentAndReceivedExactlyOnce(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		n1 := int(aRaw)%30 + 1
+		n2 := int(bRaw)%30 + 1
+		p, err := New(n1, n2)
+		if err == ErrUnrebuildable {
+			return true // geometry legitimately impossible; checked elsewhere
+		}
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		sendCount := make(map[int]int)
+		recvCount := make(map[int]int)
+		for _, tr := range p.Transfers {
+			if seen[tr.Chunk] {
+				return false // duplicate chunk
+			}
+			seen[tr.Chunk] = true
+			if tr.Sender < 0 || tr.Sender >= n1 || tr.Receiver < 0 || tr.Receiver >= n2 {
+				return false
+			}
+			sendCount[tr.Sender]++
+			recvCount[tr.Receiver]++
+		}
+		if len(seen) != p.Total {
+			return false
+		}
+		for i := 0; i < n1; i++ {
+			if sendCount[i] != p.PerSender {
+				return false // uneven sender load
+			}
+		}
+		for j := 0; j < n2; j++ {
+			if recvCount[j] != p.PerReceiver {
+				return false // uneven receiver load
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorstCaseLossStillRebuildable is the paper's central safety claim for
+// Algorithm 1: with any f1 faulty senders and any f2 faulty receivers, the
+// chunks that still flow from correct senders to correct receivers number at
+// least n_data.
+func TestWorstCaseLossStillRebuildable(t *testing.T) {
+	f := func(aRaw, bRaw uint8, mask uint32) bool {
+		n1 := int(aRaw)%20 + 1
+		n2 := int(bRaw)%20 + 1
+		p, err := New(n1, n2)
+		if err == ErrUnrebuildable {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		f1, f2 := Faulty(n1), Faulty(n2)
+		// Choose faulty sets pseudo-randomly from mask.
+		badSend := pickSet(n1, f1, mask)
+		badRecv := pickSet(n2, f2, mask>>8)
+		survive := 0
+		for _, tr := range p.Transfers {
+			if !badSend[tr.Sender] && !badRecv[tr.Receiver] {
+				survive++
+			}
+		}
+		return survive >= p.Data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pickSet(n, k int, seed uint32) map[int]bool {
+	set := make(map[int]bool)
+	x := seed
+	for len(set) < k {
+		x = x*1664525 + 1013904223
+		set[int(x)%n] = true
+	}
+	return set
+}
+
+func TestSenderReceiverTransferSlices(t *testing.T) {
+	p, _ := New(4, 7)
+	for i := 0; i < 4; i++ {
+		trs := p.SenderTransfers(i)
+		if len(trs) != 7 {
+			t.Fatalf("sender %d has %d transfers", i, len(trs))
+		}
+		for _, tr := range trs {
+			if tr.Sender != i {
+				t.Fatalf("sender %d slice contains %+v", i, tr)
+			}
+		}
+	}
+	for j := 0; j < 7; j++ {
+		trs := p.ReceiverTransfers(j)
+		if len(trs) != 4 {
+			t.Fatalf("receiver %d has %d transfers", j, len(trs))
+		}
+		for _, tr := range trs {
+			if tr.Receiver != j {
+				t.Fatalf("receiver %d slice contains %+v", j, tr)
+			}
+		}
+	}
+	if p.SenderTransfers(-1) != nil || p.SenderTransfers(4) != nil {
+		t.Fatal("out-of-range sender slice not nil")
+	}
+	if p.ReceiverTransfers(-1) != nil || p.ReceiverTransfers(7) != nil {
+		t.Fatal("out-of-range receiver slice not nil")
+	}
+}
+
+// TestRedundancyBeatsPlainBijective verifies §IV-B's efficiency claim across
+// realistic geometries: the encoded plan's redundancy (entry copies sent) is
+// at most the plain bijective approach's f1+f2+1 copies.
+func TestRedundancyBeatsPlainBijective(t *testing.T) {
+	for n1 := 4; n1 <= 40; n1++ {
+		for n2 := 4; n2 <= 40; n2++ {
+			p, err := New(n1, n2)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", n1, n2, err)
+			}
+			plain := float64(Faulty(n1) + Faulty(n2) + 1)
+			if p.Redundancy() > plain+1e-9 {
+				t.Fatalf("%d->%d: encoded redundancy %.3f worse than plain %.0f",
+					n1, n2, p.Redundancy(), plain)
+			}
+		}
+	}
+}
+
+func TestUnrebuildableGeometry(t *testing.T) {
+	// Coprime large groups can blow the parity budget past the total: e.g.
+	// n1=13 (f=4), n2=19 (f=6): total=247, parity=19*4+13*6=154 < 247, fine.
+	// Construct a genuinely impossible case: n1=7,n2=13 => total=91,
+	// parity=13*2+7*4=54 < 91, still fine. The even-distribution scheme in
+	// fact guarantees data>0 whenever f<n/3 strictly... verify no supported
+	// geometry under 64 nodes errors.
+	for n1 := 1; n1 <= 64; n1++ {
+		for n2 := 1; n2 <= 64; n2++ {
+			if _, err := New(n1, n2); err != nil && err != ErrUnrebuildable {
+				t.Fatalf("%d->%d: unexpected error %v", n1, n2, err)
+			}
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p, _ := New(4, 7)
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func BenchmarkPlanGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(19, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

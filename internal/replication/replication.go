@@ -1,0 +1,597 @@
+// Package replication implements MassBFT's encoded bijective log replication
+// (§IV-B) and the optimistic entry rebuild (§IV-C).
+//
+// Sender side: after local PBFT consensus every correct node of the sender
+// group holds the entry. Each node deterministically erasure-codes the
+// entry's canonical encoding into n_total chunks per Algorithm 1 (package
+// plan), builds a Merkle tree over the chunks, and transmits only its
+// assigned chunks — each with a Merkle proof and the entry's PBFT
+// certificate — to its assigned peers in the receiver group.
+//
+// Receiver side: a Collector groups arriving chunks into buckets keyed by
+// Merkle root (chunks whose proof does not verify against their claimed root
+// are discarded outright). When a bucket reaches n_data chunks the collector
+// optimistically rebuilds the entry and validates it against the embedded
+// certificate. On failure every chunk ID in the bucket is banned for this
+// entry (DoS protection); on success the entry is delivered exactly once.
+package replication
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"massbft/internal/erasure"
+	"massbft/internal/keys"
+	"massbft/internal/merkle"
+	"massbft/internal/plan"
+	"massbft/internal/types"
+)
+
+// ChunkMsg is one erasure-coded chunk in flight from a sender-group node to a
+// receiver-group node, or re-broadcast over LAN inside the receiver group.
+type ChunkMsg struct {
+	// Entry identifies the entry the chunk belongs to.
+	Entry types.EntryID
+	// Root is the Merkle root committing to the full chunk set; it is the
+	// bucket key at receivers.
+	Root merkle.Root
+	// Total and Data are the plan's n_total and n_data; receivers derive
+	// them independently but carry them for validation.
+	Total, Data int
+	// DataLen is the byte length of the encoded entry before padding.
+	DataLen int
+	// Index is the chunk ID c in the transfer plan.
+	Index int
+	// Proof is the Merkle proof that Chunk is leaf Index under Root.
+	Proof merkle.Proof
+	// Chunk is the shard payload.
+	Chunk []byte
+	// Cert is the entry's local-PBFT certificate, used to validate the
+	// rebuilt entry.
+	Cert *keys.Certificate
+}
+
+// WireSize returns the serialized size in bytes, matching the paper's traffic
+// accounting: chunk + Merkle proof + certificate + fixed metadata.
+func (m *ChunkMsg) WireSize() int {
+	n := 12 /*entry id*/ + merkle.HashSize + 4 + 4 + 4 + 4 + len(m.Chunk)
+	n += 8 + len(m.Proof.Siblings)*merkle.HashSize
+	if m.Cert != nil {
+		n += m.Cert.Size()
+	}
+	return n
+}
+
+// Encoded is a fully encoded entry ready for transmission: the shards and
+// the Merkle tree over them. Every correct node of the sender group derives
+// an identical Encoded for the same entry.
+type Encoded struct {
+	Plan    *plan.Plan
+	Shards  [][]byte
+	Tree    *merkle.Tree
+	DataLen int
+}
+
+// Encode erasure-codes entryEnc (the entry's canonical encoding) according to
+// the transfer plan p.
+func Encode(entryEnc []byte, p *plan.Plan) (*Encoded, error) {
+	if p.Total > erasure.MaxShards {
+		return nil, fmt.Errorf("replication: plan needs %d shards, max %d", p.Total, erasure.MaxShards)
+	}
+	enc, err := erasure.New(p.Data, p.Parity)
+	if err != nil {
+		return nil, fmt.Errorf("replication: %w", err)
+	}
+	shards, err := enc.Split(entryEnc)
+	if err != nil {
+		return nil, fmt.Errorf("replication: %w", err)
+	}
+	tree, err := merkle.NewTree(shards)
+	if err != nil {
+		return nil, fmt.Errorf("replication: %w", err)
+	}
+	return &Encoded{Plan: p, Shards: shards, Tree: tree, DataLen: len(entryEnc)}, nil
+}
+
+// Messages builds the ChunkMsgs that sender node i must transmit, paired with
+// the receiver node index for each. The certificate is attached to every
+// chunk (the receiver needs it no matter which chunks arrive first).
+func (e *Encoded) Messages(senderIndex int, id types.EntryID, cert *keys.Certificate) ([]ChunkMsg, []int, error) {
+	transfers := e.Plan.SenderTransfers(senderIndex)
+	if transfers == nil {
+		return nil, nil, fmt.Errorf("replication: sender index %d out of range", senderIndex)
+	}
+	msgs := make([]ChunkMsg, 0, len(transfers))
+	receivers := make([]int, 0, len(transfers))
+	for _, tr := range transfers {
+		proof, err := e.Tree.Prove(tr.Chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		msgs = append(msgs, ChunkMsg{
+			Entry:   id,
+			Root:    e.Tree.Root(),
+			Total:   e.Plan.Total,
+			Data:    e.Plan.Data,
+			DataLen: e.DataLen,
+			Index:   tr.Chunk,
+			Proof:   proof,
+			Chunk:   e.Shards[tr.Chunk],
+			Cert:    cert,
+		})
+		receivers = append(receivers, tr.Receiver)
+	}
+	return msgs, receivers, nil
+}
+
+// Rebuilt is a successfully rebuilt and certificate-validated entry.
+type Rebuilt struct {
+	Entry *types.Entry
+	Cert  *keys.Certificate
+}
+
+// Collector errors (returned from AddChunk for observability; callers
+// typically just drop the chunk).
+var (
+	ErrBadProof      = errors.New("replication: chunk Merkle proof invalid")
+	ErrBannedChunk   = errors.New("replication: chunk ID banned after failed rebuild")
+	ErrDuplicate     = errors.New("replication: duplicate chunk")
+	ErrDelivered     = errors.New("replication: entry already delivered")
+	ErrBadGeometry   = errors.New("replication: chunk geometry does not match plan")
+	ErrMissingCert   = errors.New("replication: chunk carries no certificate")
+	ErrWrongPlanSize = errors.New("replication: message Total/Data disagree with local plan")
+)
+
+// RebuildCache memoizes rebuild outcomes by Merkle root across collectors.
+// It is a simulation-scale optimization: the root commits to the exact chunk
+// set, so any n_data-subset decode yields the same entry on every node —
+// re-running the matrix inversion per node would measure the host CPU, which
+// the cost model charges instead. The outcome additionally caches whether
+// the entry validated against its certificate, which is sound here because
+// the simulation attaches one certificate per entry.
+type RebuildCache struct {
+	m map[merkle.Root]*cacheOutcome
+}
+
+type cacheOutcome struct {
+	entry *types.Entry // nil when the rebuild failed validation
+}
+
+// NewRebuildCache creates an empty cache.
+func NewRebuildCache() *RebuildCache { return &RebuildCache{m: make(map[merkle.Root]*cacheOutcome)} }
+
+// put inserts an outcome, evicting arbitrary entries once the table exceeds
+// its bound (outcomes are re-derivable from chunks).
+func (rc *RebuildCache) put(root merkle.Root, out *cacheOutcome) {
+	if len(rc.m) >= 2048 {
+		for k := range rc.m {
+			delete(rc.m, k)
+			if len(rc.m) < 1024 {
+				break
+			}
+		}
+	}
+	rc.m[root] = out
+}
+
+// Collector reassembles entries from chunks at one receiver-group node.
+// It is single-threaded (driven by the simulation event loop).
+type Collector struct {
+	registry *keys.Registry
+	// expected plan geometry per sender group: the receiver derives the plan
+	// from the two group sizes, so a Byzantine sender cannot lie about
+	// Total/Data.
+	planFor func(senderGroup int) *plan.Plan
+	// onRebuilt receives each entry exactly once.
+	onRebuilt func(senderGroup int, r Rebuilt)
+	// onFailure, when set, is notified with the chunk IDs of a bucket that
+	// failed validation, letting the node blacklist their senders (§VI-E).
+	onFailure func(id types.EntryID, chunkIDs []int)
+	// cache, when set, shares rebuild outcomes across nodes.
+	cache *RebuildCache
+
+	entries map[types.EntryID]*entryState
+
+	// Stats
+	rebuilds, failedRebuilds, rejectedChunks int
+}
+
+// SetCache installs a shared rebuild cache (see RebuildCache).
+func (c *Collector) SetCache(rc *RebuildCache) { c.cache = rc }
+
+// SetOnFailure installs the failed-rebuild notification callback.
+func (c *Collector) SetOnFailure(fn func(id types.EntryID, chunkIDs []int)) { c.onFailure = fn }
+
+type entryState struct {
+	delivered bool
+	banned    map[int]bool
+	buckets   map[merkle.Root]map[int][]byte
+	cert      *keys.Certificate
+	dataLen   map[merkle.Root]int
+}
+
+// NewCollector creates a collector. planFor must return the Algorithm-1 plan
+// for entries arriving from the given sender group; onRebuilt is invoked
+// exactly once per entry that rebuilds and validates.
+func NewCollector(reg *keys.Registry, planFor func(senderGroup int) *plan.Plan, onRebuilt func(senderGroup int, r Rebuilt)) *Collector {
+	return &Collector{
+		registry:  reg,
+		planFor:   planFor,
+		onRebuilt: onRebuilt,
+		entries:   make(map[types.EntryID]*entryState),
+	}
+}
+
+// AddChunk ingests one chunk. It returns (forward, err): forward is true when
+// the chunk was fresh and valid, meaning a node that received it over WAN
+// should re-broadcast it to its LAN peers (§IV-B "exchange their received
+// chunks").
+func (c *Collector) AddChunk(m *ChunkMsg) (bool, error) {
+	p := c.planFor(m.Entry.GID)
+	if p == nil {
+		c.rejectedChunks++
+		return false, ErrBadGeometry
+	}
+	if m.Total != p.Total || m.Data != p.Data {
+		c.rejectedChunks++
+		return false, ErrWrongPlanSize
+	}
+	if m.Index < 0 || m.Index >= p.Total {
+		c.rejectedChunks++
+		return false, ErrBadGeometry
+	}
+	if m.Cert == nil {
+		c.rejectedChunks++
+		return false, ErrMissingCert
+	}
+	st := c.entries[m.Entry]
+	if st == nil {
+		st = &entryState{
+			banned:  make(map[int]bool),
+			buckets: make(map[merkle.Root]map[int][]byte),
+			dataLen: make(map[merkle.Root]int),
+		}
+		c.entries[m.Entry] = st
+	}
+	if st.delivered {
+		return false, ErrDelivered
+	}
+	if st.banned[m.Index] {
+		c.rejectedChunks++
+		return false, ErrBannedChunk
+	}
+	// A chunk must prove membership under its claimed root; garbage that
+	// does not even verify against its own root is dropped immediately.
+	if m.Proof.Index != m.Index || !merkle.Verify(m.Root, m.Total, m.Proof, m.Chunk) {
+		c.rejectedChunks++
+		return false, ErrBadProof
+	}
+	bucket := st.buckets[m.Root]
+	if bucket == nil {
+		bucket = make(map[int][]byte)
+		st.buckets[m.Root] = bucket
+		st.dataLen[m.Root] = m.DataLen
+	}
+	if _, dup := bucket[m.Index]; dup {
+		return false, ErrDuplicate
+	}
+	bucket[m.Index] = m.Chunk
+	if st.cert == nil {
+		st.cert = m.Cert
+	}
+	if len(bucket) >= p.Data {
+		c.tryRebuild(m.Entry, st, m.Root, m.Cert, p)
+	}
+	return true, nil
+}
+
+func (c *Collector) tryRebuild(id types.EntryID, st *entryState, root merkle.Root, cert *keys.Certificate, p *plan.Plan) {
+	bucket := st.buckets[root]
+	if c.cache != nil {
+		if out, ok := c.cache.m[root]; ok {
+			if out.entry == nil || out.entry.ID != id {
+				c.banBucketNotify(id, st, bucket)
+				return
+			}
+			st.delivered = true
+			st.buckets = nil
+			c.rebuilds++
+			c.onRebuilt(id.GID, Rebuilt{Entry: out.entry, Cert: cert})
+			return
+		}
+	}
+	enc, err := erasure.New(p.Data, p.Parity)
+	if err != nil {
+		return
+	}
+	shards := make([][]byte, p.Total)
+	for idx, chunk := range bucket {
+		shards[idx] = chunk
+	}
+	if err := enc.Reconstruct(shards); err != nil {
+		c.rebuildFailed(id, st, root, bucket)
+		return
+	}
+	entryEnc, err := enc.Join(shards, st.dataLen[root])
+	if err != nil {
+		c.rebuildFailed(id, st, root, bucket)
+		return
+	}
+	entry, err := types.DecodeEntry(entryEnc)
+	if err != nil {
+		c.rebuildFailed(id, st, root, bucket)
+		return
+	}
+	// Validate the rebuilt entry against its PBFT certificate: the digest
+	// must match and the certificate must carry 2f+1 valid signatures from
+	// the sender group.
+	if entry.ID != id || cert.Group != id.GID || entry.Digest() != cert.Digest ||
+		c.registry.VerifyCertificate(cert) != nil {
+		c.rebuildFailed(id, st, root, bucket)
+		return
+	}
+	if c.cache != nil {
+		c.cache.put(root, &cacheOutcome{entry: entry})
+	}
+	st.delivered = true
+	st.buckets = nil // free chunk memory
+	c.rebuilds++
+	c.onRebuilt(id.GID, Rebuilt{Entry: entry, Cert: cert})
+}
+
+// rebuildFailed records a failed outcome in the cache and bans the bucket.
+func (c *Collector) rebuildFailed(id types.EntryID, st *entryState, root merkle.Root, bucket map[int][]byte) {
+	if c.cache != nil {
+		c.cache.put(root, &cacheOutcome{})
+	}
+	c.banBucketNotify(id, st, bucket)
+}
+
+// banBucketNotify bans the bucket and fires the failure callback.
+func (c *Collector) banBucketNotify(id types.EntryID, st *entryState, bucket map[int][]byte) {
+	if c.onFailure != nil {
+		ids := make([]int, 0, len(bucket))
+		for idx := range bucket {
+			ids = append(ids, idx)
+		}
+		c.onFailure(id, ids)
+	}
+	c.banBucket(st, bucket)
+}
+
+// banBucket logs the chunk IDs of a bucket that failed validation: all its
+// chunks share a Merkle root, so they are all fake. Future chunks with these
+// IDs are refused, preventing DoS by repeated fake-bucket fills (§IV-C).
+func (c *Collector) banBucket(st *entryState, bucket map[int][]byte) {
+	c.failedRebuilds++
+	for idx := range bucket {
+		st.banned[idx] = true
+	}
+	// Remove banned chunks from every other bucket too; they can no longer
+	// participate in a rebuild.
+	for root, b := range st.buckets {
+		for idx := range b {
+			if st.banned[idx] {
+				delete(b, idx)
+			}
+		}
+		if len(b) == 0 {
+			delete(st.buckets, root)
+			delete(st.dataLen, root)
+		}
+	}
+}
+
+// Delivered reports whether the entry has already been rebuilt and delivered.
+func (c *Collector) Delivered(id types.EntryID) bool {
+	st := c.entries[id]
+	return st != nil && st.delivered
+}
+
+// Forget drops all state for an entry (called after execution).
+func (c *Collector) Forget(id types.EntryID) { delete(c.entries, id) }
+
+// Stats returns (successful rebuilds, failed rebuild attempts, rejected
+// chunks) for observability and tests.
+func (c *Collector) Stats() (rebuilds, failed, rejected int) {
+	return c.rebuilds, c.failedRebuilds, c.rejectedChunks
+}
+
+// --- Plain (non-encoded) replication strategies used by baselines ---
+
+// EntryMsg carries a complete entry copy, used by the plain bijective (BR)
+// ablation (§IV-A) and the one-way leader replication of Baseline/GeoBFT.
+type EntryMsg struct {
+	Entry *types.Entry
+	Cert  *keys.Certificate
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *EntryMsg) WireSize() int {
+	n := m.Entry.WireSize()
+	if m.Cert != nil {
+		n += m.Cert.Size()
+	}
+	return n
+}
+
+// ValidateEntryMsg checks a complete entry copy against its certificate.
+func ValidateEntryMsg(reg *keys.Registry, m *EntryMsg) error {
+	if m.Entry == nil || m.Cert == nil {
+		return errors.New("replication: incomplete entry message")
+	}
+	if m.Cert.Group != m.Entry.ID.GID {
+		return errors.New("replication: certificate group mismatch")
+	}
+	if m.Entry.Digest() != m.Cert.Digest {
+		return errors.New("replication: entry digest does not match certificate")
+	}
+	return reg.VerifyCertificate(m.Cert)
+}
+
+// BijectiveSenders returns the sender/receiver pairing of the plain
+// bijective approach (§IV-A): f1+f2+1 nodes of the sender group each send a
+// complete copy to a distinct node of the receiver group. It returns pairs
+// (senderIndex, receiverIndex). When the receiver group is smaller than
+// f1+f2+1 the pairing wraps around receiver indices.
+func BijectiveSenders(n1, n2 int) [][2]int {
+	k := plan.Faulty(n1) + plan.Faulty(n2) + 1
+	if k > n1 {
+		k = n1
+	}
+	pairs := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		pairs = append(pairs, [2]int{i, i % n2})
+	}
+	return pairs
+}
+
+// SignatureWire is the wire size of one signature with signer ID, used for
+// traffic accounting of accept/commit messages.
+const SignatureWire = ed25519.SignatureSize + 8
+
+// ChunkBatch carries every chunk one sender ships to one receiver for one
+// entry, authenticated by a single compact Merkle multiproof ([42]); cheaper
+// on the wire and in messages than len(Indices) separate ChunkMsgs.
+type ChunkBatch struct {
+	Entry   types.EntryID
+	Root    merkle.Root
+	Total   int
+	Data    int
+	DataLen int
+	// Indices are the chunk IDs, strictly increasing; Chunks is parallel.
+	Indices []int
+	Proof   merkle.MultiProof
+	Chunks  [][]byte
+	Cert    *keys.Certificate
+}
+
+// WireSize returns the serialized size in bytes.
+func (b *ChunkBatch) WireSize() int {
+	n := 12 + merkle.HashSize + 4 + 4 + 4
+	n += b.Proof.WireSize()
+	for _, c := range b.Chunks {
+		n += 4 + 4 + len(c)
+	}
+	if b.Cert != nil {
+		n += b.Cert.Size()
+	}
+	return n
+}
+
+// Batches builds the per-receiver ChunkBatch messages sender node i must
+// transmit; the second return value holds the receiver index of each batch.
+func (e *Encoded) Batches(senderIndex int, id types.EntryID, cert *keys.Certificate) ([]ChunkBatch, []int, error) {
+	transfers := e.Plan.SenderTransfers(senderIndex)
+	if transfers == nil {
+		return nil, nil, fmt.Errorf("replication: sender index %d out of range", senderIndex)
+	}
+	byReceiver := make(map[int][]int)
+	order := make([]int, 0, 4)
+	for _, tr := range transfers {
+		if _, ok := byReceiver[tr.Receiver]; !ok {
+			order = append(order, tr.Receiver)
+		}
+		byReceiver[tr.Receiver] = append(byReceiver[tr.Receiver], tr.Chunk)
+	}
+	batches := make([]ChunkBatch, 0, len(order))
+	receivers := make([]int, 0, len(order))
+	for _, recv := range order {
+		idx := byReceiver[recv]
+		proof, err := e.Tree.ProveMulti(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		chunks := make([][]byte, len(proof.Indices))
+		for k, c := range proof.Indices {
+			chunks[k] = e.Shards[c]
+		}
+		batches = append(batches, ChunkBatch{
+			Entry:   id,
+			Root:    e.Tree.Root(),
+			Total:   e.Plan.Total,
+			Data:    e.Plan.Data,
+			DataLen: e.DataLen,
+			Indices: proof.Indices,
+			Proof:   proof,
+			Chunks:  chunks,
+			Cert:    cert,
+		})
+		receivers = append(receivers, recv)
+	}
+	return batches, receivers, nil
+}
+
+// AddBatch ingests a chunk batch: one multiproof verification covers all
+// chunks, then each chunk joins its bucket as usual. It returns whether the
+// batch was fresh and valid (the caller re-broadcasts it over LAN).
+func (c *Collector) AddBatch(b *ChunkBatch) (bool, error) {
+	p := c.planFor(b.Entry.GID)
+	if p == nil {
+		c.rejectedChunks += len(b.Indices)
+		return false, ErrBadGeometry
+	}
+	if b.Total != p.Total || b.Data != p.Data {
+		c.rejectedChunks += len(b.Indices)
+		return false, ErrWrongPlanSize
+	}
+	if b.Cert == nil {
+		c.rejectedChunks += len(b.Indices)
+		return false, ErrMissingCert
+	}
+	if len(b.Indices) == 0 || len(b.Indices) != len(b.Chunks) {
+		c.rejectedChunks++
+		return false, ErrBadGeometry
+	}
+	for _, idx := range b.Indices {
+		if idx < 0 || idx >= p.Total {
+			c.rejectedChunks += len(b.Indices)
+			return false, ErrBadGeometry
+		}
+	}
+	st := c.entries[b.Entry]
+	if st == nil {
+		st = &entryState{
+			banned:  make(map[int]bool),
+			buckets: make(map[merkle.Root]map[int][]byte),
+			dataLen: make(map[merkle.Root]int),
+		}
+		c.entries[b.Entry] = st
+	}
+	if st.delivered {
+		return false, ErrDelivered
+	}
+	if !merkle.VerifyMulti(b.Root, b.Total, b.Proof, b.Chunks) {
+		c.rejectedChunks += len(b.Indices)
+		return false, ErrBadProof
+	}
+	bucket := st.buckets[b.Root]
+	if bucket == nil {
+		bucket = make(map[int][]byte)
+		st.buckets[b.Root] = bucket
+		st.dataLen[b.Root] = b.DataLen
+	}
+	fresh := false
+	for k, idx := range b.Indices {
+		if st.banned[idx] {
+			c.rejectedChunks++
+			continue
+		}
+		if _, dup := bucket[idx]; dup {
+			continue
+		}
+		bucket[idx] = b.Chunks[k]
+		fresh = true
+	}
+	if st.cert == nil {
+		st.cert = b.Cert
+	}
+	if len(bucket) >= p.Data && !st.delivered {
+		c.tryRebuild(b.Entry, st, b.Root, b.Cert, p)
+	}
+	if !fresh {
+		return false, ErrDuplicate
+	}
+	return true, nil
+}

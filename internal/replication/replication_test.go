@@ -1,0 +1,488 @@
+package replication
+
+import (
+	"math/rand"
+	"testing"
+
+	"massbft/internal/keys"
+	"massbft/internal/plan"
+	"massbft/internal/types"
+)
+
+// fixture builds a 2-group cluster (sender group 0 with n1 nodes, receiver
+// group 1 with n2 nodes), a certified entry from group 0, and its encoding.
+type fixture struct {
+	pairs   [][]*keys.KeyPair
+	reg     *keys.Registry
+	plan    *plan.Plan
+	entry   *types.Entry
+	cert    *keys.Certificate
+	encoded *Encoded
+}
+
+func newFixture(t *testing.T, n1, n2, txns int) *fixture {
+	t.Helper()
+	pairs, reg, err := keys.GenerateCluster([]int{n1, n2}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.New(n1, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &types.Entry{ID: types.EntryID{GID: 0, Seq: 10}}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < txns; i++ {
+		tx := types.Transaction{Client: uint64(i), Payload: make([]byte, 150), Sig: make([]byte, 64)}
+		rng.Read(tx.Payload)
+		e.Txns = append(e.Txns, tx)
+	}
+	d := e.Digest()
+	cert := &keys.Certificate{Group: 0, Digest: d}
+	for j := 0; j < reg.QuorumSize(0); j++ {
+		cert.Sigs = append(cert.Sigs, keys.SignCertificate(pairs[0][j], 0, d))
+	}
+	enc, err := Encode(e.Encode(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{pairs: pairs, reg: reg, plan: p, entry: e, cert: cert, encoded: enc}
+}
+
+func collectorFor(f *fixture, got *[]Rebuilt) *Collector {
+	return NewCollector(f.reg,
+		func(sg int) *plan.Plan {
+			if sg == 0 {
+				return f.plan
+			}
+			return nil
+		},
+		func(sg int, r Rebuilt) { *got = append(*got, r) })
+}
+
+func TestEncodeDeterministicAcrossNodes(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	enc2, err := Encode(f.entry.Encode(), f.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc2.Tree.Root() != f.encoded.Tree.Root() {
+		t.Fatal("two nodes encoding the same entry derived different Merkle roots")
+	}
+}
+
+func TestMessagesCoverAssignedTransfers(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		msgs, recvs, err := f.encoded.Messages(i, f.entry.ID, f.cert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != f.plan.PerSender || len(recvs) != len(msgs) {
+			t.Fatalf("sender %d: %d msgs", i, len(msgs))
+		}
+		for k, m := range msgs {
+			if seen[m.Index] {
+				t.Fatalf("chunk %d sent twice", m.Index)
+			}
+			seen[m.Index] = true
+			if want := f.plan.Transfers[m.Index].Receiver; recvs[k] != want {
+				t.Fatalf("chunk %d routed to %d, want %d", m.Index, recvs[k], want)
+			}
+			if m.WireSize() <= len(m.Chunk) {
+				t.Fatal("wire size must exceed raw chunk size")
+			}
+		}
+	}
+	if len(seen) != f.plan.Total {
+		t.Fatalf("covered %d chunks, want %d", len(seen), f.plan.Total)
+	}
+	if _, _, err := f.encoded.Messages(4, f.entry.ID, f.cert); err == nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+}
+
+func TestRebuildHappyPathAllChunks(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	for i := 0; i < 4; i++ {
+		msgs, _, _ := f.encoded.Messages(i, f.entry.ID, f.cert)
+		for k := range msgs {
+			if _, err := c.AddChunk(&msgs[k]); err != nil && err != ErrDelivered {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d entries, want 1", len(got))
+	}
+	if got[0].Entry.Digest() != f.entry.Digest() {
+		t.Fatal("rebuilt entry differs")
+	}
+	if !c.Delivered(f.entry.ID) {
+		t.Fatal("Delivered() false after delivery")
+	}
+}
+
+func TestRebuildFromExactlyDataChunks(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	var all []ChunkMsg
+	for i := 0; i < 4; i++ {
+		msgs, _, _ := f.encoded.Messages(i, f.entry.ID, f.cert)
+		all = append(all, msgs...)
+	}
+	// Worst case: only n_data arbitrary chunks survive.
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for k := 0; k < f.plan.Data; k++ {
+		if _, err := c.AddChunk(&all[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d entries with exactly n_data chunks", len(got))
+	}
+}
+
+func TestNoRebuildBelowDataThreshold(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+	for k := range msgs { // only 7 chunks < 13 needed
+		if _, err := c.AddChunk(&msgs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatal("delivered below threshold")
+	}
+}
+
+func TestTamperedChunksGoToSeparateBucketAndEntryStillRebuilds(t *testing.T) {
+	// Byzantine senders encode a TAMPERED entry (valid proofs under a
+	// different root). Their chunks land in a separate bucket; the tampered
+	// bucket fails certificate validation and its chunk IDs get banned,
+	// while the correct bucket still rebuilds (§VI-E "Node Failures").
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+
+	// Byzantine entry: same ID, different payload, no valid certificate.
+	evil := &types.Entry{ID: f.entry.ID, Txns: []types.Transaction{{Payload: []byte("evil")}}}
+	evilEnc, err := Encode(evil.Encode(), f.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed enough tampered chunks (with the honest cert attached — the
+	// attacker replays it) to trigger a rebuild attempt.
+	evilFed := 0
+	for i := 0; i < 4 && evilFed < f.plan.Data; i++ {
+		msgs, _, _ := evilEnc.Messages(i, f.entry.ID, f.cert)
+		for k := range msgs {
+			if evilFed >= f.plan.Data {
+				break
+			}
+			if _, err := c.AddChunk(&msgs[k]); err != nil {
+				t.Fatal(err)
+			}
+			evilFed++
+		}
+	}
+	if len(got) != 0 {
+		t.Fatal("tampered entry delivered")
+	}
+	_, failed, _ := c.Stats()
+	if failed == 0 {
+		t.Fatal("no failed rebuild recorded")
+	}
+	// The banned IDs refuse further chunks — including honest ones with the
+	// same IDs, which is why honest nodes must still supply n_data chunks
+	// with *unbanned* IDs. Here all 28 honest chunks arrive; at least
+	// 28-13 = 15 >= 13 unbanned remain.
+	for i := 0; i < 4; i++ {
+		msgs, _, _ := f.encoded.Messages(i, f.entry.ID, f.cert)
+		for k := range msgs {
+			c.AddChunk(&msgs[k]) // banned/duplicate errors are expected
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("honest entry not rebuilt after attack: delivered=%d", len(got))
+	}
+}
+
+func TestGarbageChunkRejected(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+	bad := msgs[0]
+	bad.Chunk = append([]byte(nil), bad.Chunk...)
+	bad.Chunk[0] ^= 1 // proof no longer matches
+	if _, err := c.AddChunk(&bad); err != ErrBadProof {
+		t.Fatalf("got %v, want ErrBadProof", err)
+	}
+	_, _, rejected := c.Stats()
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+}
+
+func TestWrongGeometryRejected(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+
+	m := msgs[0]
+	m.Total = 99
+	if _, err := c.AddChunk(&m); err != ErrWrongPlanSize {
+		t.Fatalf("got %v, want ErrWrongPlanSize", err)
+	}
+	m = msgs[0]
+	m.Index = -1
+	if _, err := c.AddChunk(&m); err != ErrBadGeometry {
+		t.Fatalf("got %v, want ErrBadGeometry", err)
+	}
+	m = msgs[0]
+	m.Cert = nil
+	if _, err := c.AddChunk(&m); err != ErrMissingCert {
+		t.Fatalf("got %v, want ErrMissingCert", err)
+	}
+	m = msgs[0]
+	m.Entry.GID = 1 // no plan for sender group 1 in this fixture
+	if _, err := c.AddChunk(&m); err != ErrBadGeometry {
+		t.Fatalf("got %v, want ErrBadGeometry", err)
+	}
+}
+
+func TestDuplicateChunk(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+	if _, err := c.AddChunk(&msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddChunk(&msgs[0]); err != ErrDuplicate {
+		t.Fatalf("got %v, want ErrDuplicate", err)
+	}
+}
+
+func TestForgetDropsState(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+	c.AddChunk(&msgs[0])
+	c.Forget(f.entry.ID)
+	if c.Delivered(f.entry.ID) {
+		t.Fatal("Delivered true after Forget")
+	}
+	// Chunk can be re-added fresh.
+	if fwd, err := c.AddChunk(&msgs[0]); err != nil || !fwd {
+		t.Fatalf("re-add after Forget: fwd=%v err=%v", fwd, err)
+	}
+}
+
+func TestForgedCertificateRejectedAtRebuild(t *testing.T) {
+	f := newFixture(t, 4, 7, 5)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	// Certificate with garbage signatures.
+	badCert := &keys.Certificate{Group: 0, Digest: f.entry.Digest()}
+	for j := 0; j < 3; j++ {
+		badCert.Sigs = append(badCert.Sigs, keys.Signature{
+			Signer: keys.NodeID{Group: 0, Index: j}, Sig: make([]byte, 64),
+		})
+	}
+	var fed int
+	for i := 0; i < 4 && fed < f.plan.Data; i++ {
+		msgs, _, _ := f.encoded.Messages(i, f.entry.ID, badCert)
+		for k := range msgs {
+			if fed >= f.plan.Data {
+				break
+			}
+			c.AddChunk(&msgs[k])
+			fed++
+		}
+	}
+	if len(got) != 0 {
+		t.Fatal("entry with forged certificate delivered")
+	}
+}
+
+func TestEqualGroupSizes7(t *testing.T) {
+	f := newFixture(t, 7, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	for i := 0; i < 7; i++ {
+		msgs, _, _ := f.encoded.Messages(i, f.entry.ID, f.cert)
+		for k := range msgs {
+			if _, err := c.AddChunk(&msgs[k]); err != nil && err != ErrDelivered {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+}
+
+func TestValidateEntryMsg(t *testing.T) {
+	f := newFixture(t, 4, 7, 5)
+	m := &EntryMsg{Entry: f.entry, Cert: f.cert}
+	if err := ValidateEntryMsg(f.reg, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEntryMsg(f.reg, &EntryMsg{Entry: f.entry}); err == nil {
+		t.Fatal("nil cert accepted")
+	}
+	evil := *f.entry
+	evil.Term = 999
+	if err := ValidateEntryMsg(f.reg, &EntryMsg{Entry: &evil, Cert: f.cert}); err == nil {
+		t.Fatal("tampered entry accepted")
+	}
+	wrongGroup := *f.cert
+	wrongGroup.Group = 1
+	if err := ValidateEntryMsg(f.reg, &EntryMsg{Entry: f.entry, Cert: &wrongGroup}); err == nil {
+		t.Fatal("wrong-group cert accepted")
+	}
+	if m.WireSize() <= f.entry.WireSize() {
+		t.Fatal("EntryMsg wire size must include certificate")
+	}
+}
+
+func TestBijectiveSenders(t *testing.T) {
+	// 4→7 per Fig 5a: f1+f2+1 = 1+2+1 = 4 senders.
+	pairs := BijectiveSenders(4, 7)
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs, want 4", len(pairs))
+	}
+	seenRecv := make(map[int]bool)
+	for _, pr := range pairs {
+		if pr[0] < 0 || pr[0] >= 4 || pr[1] < 0 || pr[1] >= 7 {
+			t.Fatalf("bad pair %v", pr)
+		}
+		if seenRecv[pr[1]] {
+			t.Fatal("receiver reused while distinct receivers available")
+		}
+		seenRecv[pr[1]] = true
+	}
+	// 7→4: f1+f2+1 = 2+1+1 = 4 senders wrap over 4 receivers.
+	pairs = BijectiveSenders(7, 4)
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs, want 4", len(pairs))
+	}
+}
+
+func BenchmarkEncodeEntry40KB(b *testing.B) {
+	p, _ := plan.New(7, 7)
+	data := make([]byte, 40*1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBatchesCoverTransfersAndRebuild(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		batches, recvs, err := f.encoded.Batches(i, f.entry.ID, f.cert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batches) != len(recvs) {
+			t.Fatal("parallel slices mismatch")
+		}
+		for k := range batches {
+			b := &batches[k]
+			// A sender's batch to one receiver matches the plan rows.
+			for j, idx := range b.Indices {
+				tr := f.plan.Transfers[idx]
+				if tr.Sender != i || tr.Receiver != recvs[k] {
+					t.Fatalf("chunk %d misrouted", idx)
+				}
+				if seen[idx] {
+					t.Fatalf("chunk %d in two batches", idx)
+				}
+				seen[idx] = true
+				_ = j
+			}
+			if _, err := c.AddBatch(b); err != nil && err != ErrDelivered {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(seen) != f.plan.Total {
+		t.Fatalf("batches covered %d chunks, want %d", len(seen), f.plan.Total)
+	}
+	if len(got) != 1 || got[0].Entry.Digest() != f.entry.Digest() {
+		t.Fatalf("rebuild via batches failed: %d delivered", len(got))
+	}
+}
+
+func TestBatchesCheaperThanSingles(t *testing.T) {
+	f := newFixture(t, 7, 4, 50) // 4 chunks per receiver: real batching
+	batches, _, err := f.encoded.Batches(0, f.entry.ID, f.cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, _, _ := f.encoded.Messages(0, f.entry.ID, f.cert)
+	var batchBytes, singleBytes int
+	for k := range batches {
+		batchBytes += batches[k].WireSize()
+	}
+	for k := range msgs {
+		singleBytes += msgs[k].WireSize()
+	}
+	if batchBytes >= singleBytes {
+		t.Fatalf("batches %d B not cheaper than singles %d B", batchBytes, singleBytes)
+	}
+}
+
+func TestAddBatchRejectsTampering(t *testing.T) {
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+	batches, _, _ := f.encoded.Batches(0, f.entry.ID, f.cert)
+	b := batches[0]
+	b.Chunks = append([][]byte{}, b.Chunks...)
+	b.Chunks[0] = append([]byte{0xFF}, b.Chunks[0]...)
+	if _, err := c.AddBatch(&b); err != ErrBadProof {
+		t.Fatalf("got %v, want ErrBadProof", err)
+	}
+	good := batches[0]
+	bad := good
+	bad.Total = 5
+	if _, err := c.AddBatch(&bad); err != ErrWrongPlanSize {
+		t.Fatalf("got %v, want ErrWrongPlanSize", err)
+	}
+	bad = good
+	bad.Cert = nil
+	if _, err := c.AddBatch(&bad); err != ErrMissingCert {
+		t.Fatalf("got %v, want ErrMissingCert", err)
+	}
+	bad = good
+	bad.Indices = append([]int{-1}, good.Indices[1:]...)
+	if _, err := c.AddBatch(&bad); err != ErrBadGeometry {
+		t.Fatalf("got %v, want ErrBadGeometry", err)
+	}
+	if _, err := c.AddBatch(&good); err != nil {
+		t.Fatalf("honest batch rejected after attacks: %v", err)
+	}
+	if _, err := c.AddBatch(&good); err != ErrDuplicate {
+		t.Fatalf("got %v, want ErrDuplicate", err)
+	}
+}

@@ -1,0 +1,453 @@
+// Package simnet is a deterministic discrete-event emulator of the paper's
+// physical environment (§VI): groups of nodes in data centers, a fast LAN
+// inside each data center, and a per-node bandwidth-limited WAN uplink and
+// downlink between data centers. Protocols run as event handlers on virtual
+// time; the emulator models link latency, serialization delay (token-bucket
+// style FIFO interfaces), per-node CPU cost, node crashes, group crashes,
+// message tampering (Byzantine senders), and unstable periods before a
+// global stabilization time (partial synchrony, §III-A).
+//
+// Because the emulator is single-threaded over a priority queue of events,
+// every run is bit-for-bit reproducible given the same seed — which is what
+// lets the benchmark harness regenerate the paper's figures as stable
+// series.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"massbft/internal/keys"
+)
+
+// Time is virtual time elapsed since the start of the run.
+type Time = time.Duration
+
+// Message is a payload in flight between two nodes. Size is the number of
+// bytes the message occupies on the wire; it drives serialization delay and
+// traffic accounting.
+type Message struct {
+	From, To keys.NodeID
+	Payload  any
+	Size     int
+}
+
+// Handler processes messages delivered to a node.
+type Handler interface {
+	HandleMessage(n *Node, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(n *Node, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(n *Node, msg Message) { f(n, msg) }
+
+// Config describes the emulated environment.
+type Config struct {
+	// GroupSizes[i] is the number of nodes in group i.
+	GroupSizes []int
+	// WANLatency returns the one-way latency between two distinct groups.
+	// When nil, DefaultWANLatency is used for every pair.
+	WANLatency func(fromGroup, toGroup int) Time
+	// LANLatency is the one-way latency inside a data center.
+	LANLatency Time
+	// WANBandwidth is the default per-node WAN bandwidth in bytes/second
+	// (each direction). Override per node with SetNodeBandwidth.
+	WANBandwidth float64
+	// LANBandwidth is the per-node LAN bandwidth in bytes/second.
+	LANBandwidth float64
+	// Seed drives latency jitter. Runs with the same seed are identical.
+	Seed int64
+	// Jitter is the maximum fraction of the base latency added as random
+	// jitter (e.g. 0.05 adds up to 5%). Zero disables jitter.
+	Jitter float64
+	// GST, when positive, marks a global stabilization time: before GST,
+	// WAN latencies are multiplied by UnstableFactor (partial synchrony).
+	GST            Time
+	UnstableFactor float64
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultWANLatency   = 15 * time.Millisecond // one way; ~30 ms RTT (nationwide)
+	DefaultLANLatency   = 200 * time.Microsecond
+	DefaultWANBandwidth = 20e6 / 8 // 20 Mbps in bytes/s, the paper's NIC limit
+	DefaultLANBandwidth = 2.5e9 / 8
+)
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker for determinism
+	node *Node  // nil for network-level events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (*event, bool) {
+	if len(h) == 0 {
+		return nil, false
+	}
+	return h[0], true
+}
+
+// iface is one direction of one network interface: a FIFO serializer for
+// bulk traffic plus a priority lane for small control messages (which pay
+// their serialization time but skip the bulk queue).
+type iface struct {
+	bandwidth float64 // bytes per second
+	free      Time    // time at which the interface finishes its bulk queue
+	prioFree  Time    // priority-lane clearing time
+	bytes     int64   // total bytes through this interface
+}
+
+func (f *iface) transmit(now Time, size int) (done Time) {
+	return f.transmitLane(now, size, false)
+}
+
+func (f *iface) transmitLane(now Time, size int, priority bool) (done Time) {
+	tx := Time(float64(size) / f.bandwidth * float64(time.Second))
+	f.bytes += int64(size)
+	if priority {
+		start := now
+		if f.prioFree > start {
+			start = f.prioFree
+		}
+		f.prioFree = start + tx
+		return f.prioFree
+	}
+	start := now
+	if f.free > start {
+		start = f.free
+	}
+	f.free = start + tx
+	return f.free
+}
+
+// Node is one emulated machine.
+type Node struct {
+	ID      keys.NodeID
+	nw      *Network
+	handler Handler
+
+	wanUp, wanDown iface
+	lanUp, lanDown iface
+
+	busyUntil Time
+	crashed   bool
+
+	// outbound, when non-nil, may tamper with or drop (return false)
+	// outgoing messages; used to model Byzantine senders.
+	outbound func(msg *Message) bool
+
+	// Stats
+	msgsSent, msgsRecv int64
+}
+
+// Network is the emulator.
+type Network struct {
+	cfg   Config
+	rng   *rand.Rand
+	now   Time
+	seq   uint64
+	queue eventHeap
+	nodes map[keys.NodeID]*Node
+}
+
+// New creates an emulated network per cfg and instantiates all nodes with a
+// nil handler; call SetHandler before Run.
+func New(cfg Config) *Network {
+	if cfg.LANLatency == 0 {
+		cfg.LANLatency = DefaultLANLatency
+	}
+	if cfg.WANBandwidth == 0 {
+		cfg.WANBandwidth = DefaultWANBandwidth
+	}
+	if cfg.LANBandwidth == 0 {
+		cfg.LANBandwidth = DefaultLANBandwidth
+	}
+	if cfg.UnstableFactor == 0 {
+		cfg.UnstableFactor = 10
+	}
+	nw := &Network{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make(map[keys.NodeID]*Node),
+	}
+	for g, n := range cfg.GroupSizes {
+		for j := 0; j < n; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			nw.nodes[id] = &Node{
+				ID:      id,
+				nw:      nw,
+				wanUp:   iface{bandwidth: cfg.WANBandwidth},
+				wanDown: iface{bandwidth: cfg.WANBandwidth},
+				lanUp:   iface{bandwidth: cfg.LANBandwidth},
+				lanDown: iface{bandwidth: cfg.LANBandwidth},
+			}
+		}
+	}
+	return nw
+}
+
+// Node returns the node with the given ID, or nil.
+func (nw *Network) Node(id keys.NodeID) *Node { return nw.nodes[id] }
+
+// SetHandler installs the protocol handler for a node.
+func (nw *Network) SetHandler(id keys.NodeID, h Handler) {
+	n := nw.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("simnet: unknown node %v", id))
+	}
+	n.handler = h
+}
+
+// SetNodeBandwidth overrides the WAN bandwidth (both directions, bytes/s) of
+// one node; used by the Fig 14 heterogeneous-bandwidth experiment.
+func (nw *Network) SetNodeBandwidth(id keys.NodeID, bytesPerSec float64) {
+	n := nw.nodes[id]
+	n.wanUp.bandwidth = bytesPerSec
+	n.wanDown.bandwidth = bytesPerSec
+}
+
+// SetOutboundFilter installs a Byzantine sender filter on a node. The filter
+// may mutate the message (tampering) or return false to drop it.
+func (nw *Network) SetOutboundFilter(id keys.NodeID, f func(*Message) bool) {
+	nw.nodes[id].outbound = f
+}
+
+// Crash marks a node as crashed: it stops sending, and messages and timers
+// addressed to it are discarded.
+func (nw *Network) Crash(id keys.NodeID) { nw.nodes[id].crashed = true }
+
+// Recover clears a node's crashed flag.
+func (nw *Network) Recover(id keys.NodeID) { nw.nodes[id].crashed = false }
+
+// CrashGroup crashes every node in group g (data center outage, §VI-E).
+func (nw *Network) CrashGroup(g int) {
+	for id, n := range nw.nodes {
+		if id.Group == g {
+			n.crashed = true
+		}
+	}
+}
+
+// RecoverGroup recovers every node in group g.
+func (nw *Network) RecoverGroup(g int) {
+	for id, n := range nw.nodes {
+		if id.Group == g {
+			n.crashed = false
+		}
+	}
+}
+
+// Now returns the current virtual time.
+func (nw *Network) Now() Time { return nw.now }
+
+// Schedule runs fn at the given absolute virtual time (network-level event,
+// not bound to a node; used by the harness for fault injection).
+func (nw *Network) Schedule(at Time, fn func()) {
+	if at < nw.now {
+		at = nw.now
+	}
+	nw.push(&event{at: at, fn: fn})
+}
+
+func (nw *Network) push(e *event) {
+	e.seq = nw.seq
+	nw.seq++
+	heap.Push(&nw.queue, e)
+}
+
+// Run processes events until virtual time `until` (inclusive). It returns
+// the number of events processed.
+func (nw *Network) Run(until Time) int {
+	processed := 0
+	for {
+		e, ok := nw.queue.Peek()
+		if !ok || e.at > until {
+			break
+		}
+		heap.Pop(&nw.queue)
+		if e.at > nw.now {
+			nw.now = e.at
+		}
+		if e.node != nil {
+			if e.node.crashed {
+				continue
+			}
+			// CPU model: a busy node defers the event.
+			if e.node.busyUntil > nw.now {
+				e.at = e.node.busyUntil
+				nw.push(e)
+				continue
+			}
+		}
+		e.fn()
+		processed++
+	}
+	if until > nw.now {
+		nw.now = until
+	}
+	return processed
+}
+
+// RunAll processes events until the queue is empty. Protocols with periodic
+// timers never drain, so RunAll is only useful in unit tests.
+func (nw *Network) RunAll() int {
+	processed := 0
+	for len(nw.queue) > 0 {
+		processed += nw.Run(nw.queue[0].at)
+	}
+	return processed
+}
+
+func (nw *Network) latency(from, to keys.NodeID) Time {
+	var base Time
+	if from.Group == to.Group {
+		base = nw.cfg.LANLatency
+	} else if nw.cfg.WANLatency != nil {
+		base = nw.cfg.WANLatency(from.Group, to.Group)
+	} else {
+		base = DefaultWANLatency
+	}
+	if nw.cfg.GST > 0 && nw.now < nw.cfg.GST && from.Group != to.Group {
+		base = Time(float64(base) * nw.cfg.UnstableFactor)
+	}
+	if nw.cfg.Jitter > 0 {
+		base += Time(nw.rng.Float64() * nw.cfg.Jitter * float64(base))
+	}
+	return base
+}
+
+// WANBytes returns the total bytes sent over WAN uplinks by nodes of group g
+// (or all groups when g < 0); used for Fig 10 traffic accounting.
+func (nw *Network) WANBytes(g int) int64 {
+	var total int64
+	for id, n := range nw.nodes {
+		if g < 0 || id.Group == g {
+			total += n.wanUp.bytes
+		}
+	}
+	return total
+}
+
+// NodeWANBytes returns bytes sent over one node's WAN uplink.
+func (nw *Network) NodeWANBytes(id keys.NodeID) int64 { return nw.nodes[id].wanUp.bytes }
+
+// --- Node API (valid only from inside event handlers) ---
+
+// Now returns the node's current virtual time.
+func (n *Node) Now() Time { return n.nw.now }
+
+// Send transmits payload of the given wire size to another node, modeling
+// serialization and propagation delay. Sends to crashed destinations are
+// silently dropped at delivery time.
+func (n *Node) Send(to keys.NodeID, payload any, size int) {
+	n.send(to, payload, size, false)
+}
+
+// SendPriority transmits a small control message on the priority lane: it
+// still pays its own serialization time but does not queue behind bulk
+// transfers. Real deployments multiplex control traffic over separate
+// connections (the paper's implementation runs consensus metadata and chunk
+// transfer on distinct streams), so commit/timestamp records must not sit
+// behind hundreds of milliseconds of queued chunks.
+func (n *Node) SendPriority(to keys.NodeID, payload any, size int) {
+	n.send(to, payload, size, true)
+}
+
+func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
+	if n.crashed {
+		return
+	}
+	msg := Message{From: n.ID, To: to, Payload: payload, Size: size}
+	if n.outbound != nil && !n.outbound(&msg) {
+		return
+	}
+	dst := n.nw.nodes[to]
+	if dst == nil {
+		return
+	}
+	n.msgsSent++
+	if to == n.ID {
+		// Loopback: deliver after a minimal delay without touching NICs.
+		n.After(time.Microsecond, func() { n.deliver(msg) })
+		return
+	}
+	nw := n.nw
+	var departEnd Time
+	if to.Group == n.ID.Group {
+		departEnd = n.lanUp.transmitLane(nw.now, msg.Size, priority)
+	} else {
+		departEnd = n.wanUp.transmitLane(nw.now, msg.Size, priority)
+	}
+	arrStart := departEnd + nw.latency(n.ID, to)
+	var arrEnd Time
+	if to.Group == n.ID.Group {
+		arrEnd = dst.lanDown.transmitLane(arrStart, msg.Size, priority)
+	} else {
+		arrEnd = dst.wanDown.transmitLane(arrStart, msg.Size, priority)
+	}
+	nw.push(&event{at: arrEnd, node: dst, fn: func() { dst.deliver(msg) }})
+}
+
+func (n *Node) deliver(msg Message) {
+	if n.crashed || n.handler == nil {
+		return
+	}
+	n.msgsRecv++
+	n.handler.HandleMessage(n, msg)
+}
+
+// After schedules fn on this node after delay d of virtual time. The timer is
+// discarded if the node is crashed when it fires.
+func (n *Node) After(d Time, fn func()) {
+	n.nw.push(&event{at: n.nw.now + d, node: n, fn: fn})
+}
+
+// Charge models CPU cost: the node is busy for d, deferring subsequent
+// events. Use it for expensive operations the real hardware would serialize
+// (transaction signature verification, erasure encoding, execution).
+func (n *Node) Charge(d Time) {
+	start := n.nw.now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + d
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// MsgsSent returns the number of messages this node has sent.
+func (n *Node) MsgsSent() int64 { return n.msgsSent }
+
+// MsgsRecv returns the number of messages this node has received.
+func (n *Node) MsgsRecv() int64 { return n.msgsRecv }
+
+// Backlogs returns how far in the future each interface's bulk lane is
+// booked (uplink, downlink, LAN up, LAN down) — queue-depth diagnostics.
+func (n *Node) Backlogs() (wanUp, wanDown, lanUp, lanDown Time) {
+	now := n.nw.now
+	sub := func(free Time) Time {
+		if free > now {
+			return free - now
+		}
+		return 0
+	}
+	return sub(n.wanUp.free), sub(n.wanDown.free), sub(n.lanUp.free), sub(n.lanDown.free)
+}

@@ -1,0 +1,194 @@
+// Package statedb is the in-memory hash-table state store the paper's
+// prototype uses to hold database state (§VI "Implementation"). It offers a
+// point-lookup/update interface for the Aria executor plus a deterministic
+// digest so tests can assert that every node converged to an identical
+// state.
+package statedb
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Store is a thread-safe in-memory key-value store. The zero value is not
+// usable; call New.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Get returns the value for key and whether it exists. The returned slice
+// must not be modified.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Put stores value under key. The store takes ownership of value.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = value
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// ApplyBatch installs a set of writes atomically. A nil value deletes.
+func (s *Store) ApplyBatch(writes map[string][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range writes {
+		if v == nil {
+			delete(s.data, k)
+		} else {
+			s.data[k] = v
+		}
+	}
+}
+
+// Hash returns a deterministic digest of the full state: the SHA-256 over
+// (key, value) pairs in sorted key order. Two stores with identical contents
+// produce identical hashes on every node.
+func (s *Store) Hash() [32]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var lenBuf [4]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(k))
+		v := s.data[k]
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		h.Write(lenBuf[:])
+		h.Write(v)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Clone returns a deep copy (used to fork identical initial states for every
+// node in tests and benchmarks).
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := New()
+	for k, v := range s.data {
+		c.data[k] = append([]byte(nil), v...)
+	}
+	return c
+}
+
+// Save writes a snapshot of the store to w in deterministic (sorted-key)
+// order, prefixed with a magic header and the record count. Together with
+// ledger.Save it forms a restart/state-transfer artifact.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("massdb1\x00"); err != nil {
+		return fmt.Errorf("statedb: writing header: %w", err)
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(keys)))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		v := s.data[k]
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("statedb: reading header: %w", err)
+	}
+	if string(head) != "massdb1\x00" {
+		return nil, fmt.Errorf("statedb: bad magic")
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(lenBuf[:]))
+	s := New()
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("statedb: record %d key length: %w", i, err)
+		}
+		klen := int(binary.BigEndian.Uint32(lenBuf[:]))
+		if klen > 1<<20 {
+			return nil, fmt.Errorf("statedb: record %d key length %d implausible", i, klen)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return nil, fmt.Errorf("statedb: record %d key: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("statedb: record %d value length: %w", i, err)
+		}
+		vlen := int(binary.BigEndian.Uint32(lenBuf[:]))
+		if vlen > 1<<28 {
+			return nil, fmt.Errorf("statedb: record %d value length %d implausible", i, vlen)
+		}
+		val := make([]byte, vlen)
+		if _, err := io.ReadFull(br, val); err != nil {
+			return nil, fmt.Errorf("statedb: record %d value: %w", i, err)
+		}
+		s.data[string(key)] = val
+	}
+	return s, nil
+}

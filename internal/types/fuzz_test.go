@@ -1,0 +1,44 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEntry checks the entry decoder never panics and that valid
+// encodings round-trip.
+func FuzzDecodeEntry(f *testing.F) {
+	e := &Entry{ID: EntryID{GID: 2, Seq: 7}, Term: 9,
+		Txns: []Transaction{{Client: 1, Nonce: 2, Payload: []byte("pay"), Sig: bytes.Repeat([]byte{3}, 64)}}}
+	f.Add(e.Encode())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the identical bytes
+		// (canonical encoding).
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatalf("decode/encode not canonical")
+		}
+	})
+}
+
+// FuzzDecodeTransaction checks the transaction decoder never panics.
+func FuzzDecodeTransaction(f *testing.F) {
+	tx := Transaction{Client: 5, Nonce: 6, Payload: []byte("p"), Sig: []byte("s")}
+	f.Add(tx.AppendEncode(nil))
+	f.Add([]byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, rest, err := DecodeTransaction(data)
+		if err != nil {
+			return
+		}
+		enc := got.AppendEncode(nil)
+		if len(enc)+len(rest) != len(data) {
+			t.Fatalf("consumed bytes inconsistent: %d + %d != %d", len(enc), len(rest), len(data))
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package types defines the wire-level data model shared by every protocol
+// in this repository: client transactions, log entries (batches of
+// transactions with consensus metadata, §II-A "Batching"), and their
+// deterministic binary encodings. Digests are computed over the canonical
+// encoding so every correct node derives identical digests for identical
+// entries.
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"massbft/internal/keys"
+)
+
+// Transaction is one client request. The payload is opaque to consensus; the
+// execution layer (package aria + workload) interprets it.
+type Transaction struct {
+	// Client is an opaque client identifier used for reply routing.
+	Client uint64
+	// Nonce makes retransmissions distinguishable.
+	Nonce uint64
+	// Payload is the workload-specific operation encoding.
+	Payload []byte
+	// Sig is the client's signature over (Client, Nonce, Payload). In
+	// benchmark "fast" mode the bytes are present (for correct traffic
+	// accounting) but not verified; the verification cost is charged to the
+	// node's CPU model instead, mirroring the paper's observation that
+	// transaction signature verification dominates local consensus CPU.
+	Sig []byte
+}
+
+// WireSize returns the serialized size of the transaction in bytes.
+func (t *Transaction) WireSize() int { return 8 + 8 + 4 + len(t.Payload) + 4 + len(t.Sig) }
+
+// AppendEncode appends the canonical encoding of t to buf.
+func (t *Transaction) AppendEncode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, t.Client)
+	buf = binary.BigEndian.AppendUint64(buf, t.Nonce)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Payload)))
+	buf = append(buf, t.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Sig)))
+	buf = append(buf, t.Sig...)
+	return buf
+}
+
+// DecodeTransaction decodes one transaction from buf, returning the remaining
+// bytes.
+func DecodeTransaction(buf []byte) (Transaction, []byte, error) {
+	var t Transaction
+	if len(buf) < 20 {
+		return t, nil, fmt.Errorf("types: short transaction header (%d bytes)", len(buf))
+	}
+	t.Client = binary.BigEndian.Uint64(buf)
+	t.Nonce = binary.BigEndian.Uint64(buf[8:])
+	plen := int(binary.BigEndian.Uint32(buf[16:]))
+	buf = buf[20:]
+	if len(buf) < plen+4 {
+		return t, nil, fmt.Errorf("types: short transaction payload")
+	}
+	t.Payload = append([]byte(nil), buf[:plen]...)
+	buf = buf[plen:]
+	slen := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < slen {
+		return t, nil, fmt.Errorf("types: short transaction signature")
+	}
+	t.Sig = append([]byte(nil), buf[:slen]...)
+	return t, buf[slen:], nil
+}
+
+// EntryID identifies an entry globally: the entry with local sequence number
+// Seq proposed by group GID — e_{GID,Seq} in the paper's notation.
+type EntryID struct {
+	GID int
+	Seq uint64
+}
+
+// String formats the ID like the paper: e{gid},{seq}.
+func (id EntryID) String() string { return fmt.Sprintf("e%d,%d", id.GID, id.Seq) }
+
+// Entry is a log entry: a batch of transactions plus the consensus metadata
+// the paper's Baseline model carries (term and commitIndex for global Raft).
+type Entry struct {
+	ID          EntryID
+	Term        uint64
+	CommitIndex uint64
+	Txns        []Transaction
+}
+
+// WireSize returns the serialized size of the entry in bytes.
+func (e *Entry) WireSize() int {
+	n := 4 + 8 + 8 + 8 + 4
+	for i := range e.Txns {
+		n += e.Txns[i].WireSize()
+	}
+	return n
+}
+
+// Encode returns the canonical binary encoding of the entry.
+func (e *Entry) Encode() []byte {
+	buf := make([]byte, 0, e.WireSize())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.ID.GID))
+	buf = binary.BigEndian.AppendUint64(buf, e.ID.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, e.Term)
+	buf = binary.BigEndian.AppendUint64(buf, e.CommitIndex)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Txns)))
+	for i := range e.Txns {
+		buf = e.Txns[i].AppendEncode(buf)
+	}
+	return buf
+}
+
+// DecodeEntry decodes an entry from its canonical encoding.
+func DecodeEntry(buf []byte) (*Entry, error) {
+	if len(buf) < 32 {
+		return nil, fmt.Errorf("types: short entry header (%d bytes)", len(buf))
+	}
+	e := &Entry{}
+	e.ID.GID = int(binary.BigEndian.Uint32(buf))
+	e.ID.Seq = binary.BigEndian.Uint64(buf[4:])
+	e.Term = binary.BigEndian.Uint64(buf[12:])
+	e.CommitIndex = binary.BigEndian.Uint64(buf[20:])
+	n := int(binary.BigEndian.Uint32(buf[28:]))
+	buf = buf[32:]
+	// Each transaction needs at least 20 header bytes: an attacker-supplied
+	// count larger than that bound cannot be honest, and must not drive a
+	// huge preallocation.
+	if n > len(buf)/20 {
+		return nil, fmt.Errorf("types: transaction count %d exceeds payload", n)
+	}
+	e.Txns = make([]Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		t, rest, err := DecodeTransaction(buf)
+		if err != nil {
+			return nil, fmt.Errorf("types: decoding txn %d: %w", i, err)
+		}
+		e.Txns = append(e.Txns, t)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("types: %d trailing bytes after entry", len(buf))
+	}
+	return e, nil
+}
+
+// Digest computes the entry's digest over its canonical encoding.
+func (e *Entry) Digest() keys.Digest { return keys.Hash(e.Encode()) }

@@ -1,0 +1,337 @@
+package massbft
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/core"
+	"massbft/internal/keys"
+	"massbft/internal/ledger"
+	"massbft/internal/statedb"
+)
+
+// Protocol selects which of the paper's evaluated protocols a cluster runs
+// (Table II).
+type Protocol string
+
+// Supported protocols and ablations.
+const (
+	// ProtocolMassBFT is the paper's contribution: encoded bijective
+	// replication + asynchronous VTS ordering.
+	ProtocolMassBFT Protocol = "massbft"
+	// ProtocolBaseline is the generic geo-consensus model of §II-A.
+	ProtocolBaseline Protocol = "baseline"
+	// ProtocolGeoBFT broadcasts directly without global consensus.
+	ProtocolGeoBFT Protocol = "geobft"
+	// ProtocolSteward serializes proposals across groups.
+	ProtocolSteward Protocol = "steward"
+	// ProtocolISS adds epoch barriers on top of Baseline.
+	ProtocolISS Protocol = "iss"
+	// ProtocolBR is the plain bijective replication ablation (Fig 12).
+	ProtocolBR Protocol = "br"
+	// ProtocolEBR is encoded bijective replication without async ordering
+	// (Fig 12).
+	ProtocolEBR Protocol = "ebr"
+)
+
+// Protocols lists all supported protocol names.
+func Protocols() []Protocol {
+	return []Protocol{ProtocolMassBFT, ProtocolBaseline, ProtocolGeoBFT,
+		ProtocolSteward, ProtocolISS, ProtocolBR, ProtocolEBR}
+}
+
+// options maps a Protocol to the core node's mode switches.
+func (p Protocol) options(epoch time.Duration) (cluster.Options, error) {
+	switch p {
+	case ProtocolMassBFT, "":
+		return cluster.PresetMassBFT(), nil
+	case ProtocolBaseline:
+		return cluster.PresetBaseline(), nil
+	case ProtocolGeoBFT:
+		return cluster.PresetGeoBFT(), nil
+	case ProtocolSteward:
+		return cluster.PresetSteward(), nil
+	case ProtocolISS:
+		if epoch == 0 {
+			epoch = 100 * time.Millisecond // the paper's 0.1 s epochs
+		}
+		return cluster.PresetISS(epoch), nil
+	case ProtocolBR:
+		return cluster.PresetBR(), nil
+	case ProtocolEBR:
+		return cluster.PresetEBR(), nil
+	}
+	return cluster.Options{}, fmt.Errorf("massbft: unknown protocol %q", p)
+}
+
+// LatencyModel gives the one-way WAN latency between two groups.
+type LatencyModel func(fromGroup, toGroup int) time.Duration
+
+// Nationwide is the paper's nationwide Aliyun cluster latency matrix
+// (RTTs 26.7-43.4 ms).
+func Nationwide(i, j int) time.Duration { return cluster.NationwideLatency(i, j) }
+
+// Worldwide is the paper's worldwide cluster latency matrix
+// (RTTs 156-206 ms).
+func Worldwide(i, j int) time.Duration { return cluster.WorldwideLatency(i, j) }
+
+// Config configures a cluster. Zero values select the paper's defaults
+// (nationwide latencies, 20 Mbps WAN per node, 20 ms batch timeout).
+type Config struct {
+	// Groups lists the node count per group (data center); e.g. {7,7,7}.
+	Groups []int
+	// Protocol selects the consensus protocol (default ProtocolMassBFT).
+	Protocol Protocol
+	// Workload is a built-in workload name ("ycsb-a", "ycsb-b",
+	// "smallbank", "tpcc"); ignored when Custom is set.
+	Workload string
+	// Custom plugs in application-defined transactions (see CustomWorkload).
+	Custom CustomWorkload
+	// Seed drives all randomness; equal seeds give bit-identical runs.
+	Seed int64
+
+	// Latency is the WAN latency model (default Nationwide). WANBandwidth
+	// and LANBandwidth are per-node bytes/second.
+	Latency      LatencyModel
+	LANLatency   time.Duration
+	WANBandwidth float64
+	LANBandwidth float64
+
+	// BatchTimeout, MaxBatch, and PipelineDepth control the proposers.
+	BatchTimeout  time.Duration
+	MaxBatch      int
+	PipelineDepth int
+	// GroupRate throttles per-group offered load in transactions/second
+	// (zero = saturation).
+	GroupRate []float64
+	// EpochLength applies to ProtocolISS only.
+	EpochLength time.Duration
+
+	// Warmup excludes the run's first phase from aggregate metrics.
+	Warmup time.Duration
+	// RealCrypto verifies every Ed25519 signature for real instead of
+	// charging the calibrated CPU cost model (slower; used by tests).
+	RealCrypto bool
+	// SerialVTS selects the serial (3-RTT) vector-timestamp assignment of
+	// Fig 7a instead of the overlapped (2-RTT) default of Fig 7b; only
+	// meaningful for ProtocolMassBFT (the §V-B ablation).
+	SerialVTS bool
+	// ViewChangeTimeout enables local leader replacement; TakeoverTimeout
+	// enables crashed-group clock takeover (§V-C).
+	ViewChangeTimeout time.Duration
+	TakeoverTimeout   time.Duration
+}
+
+// Cluster is a running (or runnable) consensus deployment.
+type Cluster struct {
+	inner *cluster.Cluster
+	ran   time.Duration
+}
+
+// NewCluster validates cfg and wires the deployment.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("massbft: Config.Groups must list at least one group")
+	}
+	for g, n := range cfg.Groups {
+		if n < 1 {
+			return nil, fmt.Errorf("massbft: group %d has invalid size %d", g, n)
+		}
+	}
+	opts, err := cfg.Protocol.options(cfg.EpochLength)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SerialVTS {
+		opts.OverlapVTS = false
+	}
+	var lat func(i, j int) time.Duration
+	if cfg.Latency != nil {
+		lat = func(i, j int) time.Duration { return cfg.Latency(i, j) }
+	}
+	inner := cluster.Config{
+		GroupSizes:        cfg.Groups,
+		Opts:              opts,
+		Workload:          cfg.Workload,
+		Seed:              cfg.Seed,
+		WANLatency:        lat,
+		LANLatency:        cfg.LANLatency,
+		WANBandwidth:      cfg.WANBandwidth,
+		LANBandwidth:      cfg.LANBandwidth,
+		BatchTimeout:      cfg.BatchTimeout,
+		MaxBatch:          cfg.MaxBatch,
+		PipelineDepth:     cfg.PipelineDepth,
+		GroupRate:         cfg.GroupRate,
+		TrustAll:          !cfg.RealCrypto,
+		Warmup:            cfg.Warmup,
+		ViewChangeTimeout: cfg.ViewChangeTimeout,
+		TakeoverTimeout:   cfg.TakeoverTimeout,
+	}
+	if cfg.Custom != nil {
+		registerCustom(&inner, cfg.Custom, cfg.Seed)
+	}
+	c, err := cluster.New(inner, core.NewNode)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// Run advances the cluster by d of virtual time and returns the cumulative
+// results. It can be called repeatedly to continue the same run.
+func (c *Cluster) Run(d time.Duration) Result {
+	c.ran += d
+	// The metrics window covers everything after warm-up up to the current
+	// end of run.
+	c.inner.Metrics.SetWindow(c.inner.Cfg.Warmup, c.ran)
+	c.inner.Cfg.RunFor = c.ran
+	c.inner.RunUntil(c.ran)
+	return c.result()
+}
+
+// Drain stops client load and runs d more virtual time so every in-flight
+// entry executes on every live node; call before comparing StateHash across
+// nodes. Further Run calls continue in drained mode.
+func (c *Cluster) Drain(d time.Duration) {
+	c.ran += d
+	c.inner.Drain(d)
+}
+
+// CrashGroup schedules a full data-center outage at virtual time `at`.
+func (c *Cluster) CrashGroup(at time.Duration, group int) {
+	c.inner.ScheduleGroupCrash(at, group)
+}
+
+// MakeByzantine schedules `perGroup` nodes of every group to start
+// replicating tampered entries at virtual time `at` (§VI-E).
+func (c *Cluster) MakeByzantine(at time.Duration, perGroup int) {
+	c.inner.ScheduleByzantine(at, perGroup)
+}
+
+// CrashNode kills a single node at virtual time `at`.
+func (c *Cluster) CrashNode(at time.Duration, group, index int) {
+	id := keys.NodeID{Group: group, Index: index}
+	c.inner.Net.Schedule(at, func() { c.inner.Net.Crash(id) })
+}
+
+// SetNodeBandwidth overrides one node's WAN bandwidth (bytes/second), the
+// Fig 14 heterogeneous-bandwidth experiment.
+func (c *Cluster) SetNodeBandwidth(group, index int, bytesPerSec float64) {
+	c.inner.Net.SetNodeBandwidth(keys.NodeID{Group: group, Index: index}, bytesPerSec)
+}
+
+// StateHash returns the deterministic state digest of one node; equal hashes
+// across nodes certify agreement.
+func (c *Cluster) StateHash(group, index int) [32]byte {
+	return c.inner.StateHash(keys.NodeID{Group: group, Index: index})
+}
+
+// LedgerInfo describes one node's copy of the global hash-chained ledger.
+type LedgerInfo struct {
+	// Height is the number of sealed blocks.
+	Height uint64
+	// Head is the latest block hash; two nodes with equal heads hold
+	// identical ledgers (and therefore executed identical prefixes).
+	Head [32]byte
+}
+
+// Checkpoint writes one node's durable artifacts — the state snapshot and
+// the hash-chained ledger — to the given writers, e.g. for restart or
+// state transfer to a lagging peer.
+func (c *Cluster) Checkpoint(group, index int, state, chain io.Writer) error {
+	id := keys.NodeID{Group: group, Index: index}
+	n, ok := c.inner.Nodes[id].(interface {
+		DB() *statedb.Store
+		Ledger() *ledger.Ledger
+	})
+	if !ok {
+		return fmt.Errorf("massbft: node %v has no checkpointable state", id)
+	}
+	if err := n.DB().Save(state); err != nil {
+		return err
+	}
+	return n.Ledger().Save(chain)
+}
+
+// Ledger returns one node's ledger head; use it to assert that replicas
+// sealed the same chain of executed entries.
+func (c *Cluster) Ledger(group, index int) LedgerInfo {
+	type ledgered interface {
+		Ledger() *ledger.Ledger
+	}
+	n := c.inner.Nodes[keys.NodeID{Group: group, Index: index}]
+	if ln, ok := n.(ledgered); ok {
+		l := ln.Ledger()
+		return LedgerInfo{Height: l.Height(), Head: l.Head()}
+	}
+	return LedgerInfo{}
+}
+
+func (c *Cluster) result() Result {
+	m := c.inner.Metrics
+	pts := m.Series()
+	series := make([]SeriesPoint, len(pts))
+	for i, p := range pts {
+		series[i] = SeriesPoint{Second: p.Second, Throughput: p.Throughput, AvgLatency: p.AvgLatency}
+	}
+	return Result{
+		Throughput:      m.Throughput(),
+		Committed:       m.Committed(),
+		Aborted:         m.Aborted(),
+		AbortRate:       m.AbortRate(),
+		Entries:         m.Entries(),
+		AvgLatency:      m.AvgLatency(),
+		P50Latency:      m.PercentileLatency(50),
+		P99Latency:      m.PercentileLatency(99),
+		WANBytesPerNode: float64(c.inner.Net.WANBytes(-1)) / float64(totalNodes(c.inner.Cfg.GroupSizes)),
+		WANBytesTotal:   c.inner.Net.WANBytes(-1),
+		Stages:          m.StageBreakdown(),
+		Series:          series,
+	}
+}
+
+func totalNodes(groups []int) int {
+	n := 0
+	for _, g := range groups {
+		n += g
+	}
+	return n
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Throughput is committed transactions per second over the measurement
+	// window.
+	Throughput float64
+	// Committed / Aborted count transactions; AbortRate is the §VI-A
+	// conflict-abort fraction.
+	Committed, Aborted int64
+	AbortRate          float64
+	// Entries is the number of executed log entries.
+	Entries int64
+	// Latencies are end-to-end: proposal to execution.
+	AvgLatency, P50Latency, P99Latency time.Duration
+	// WAN traffic accounting (Fig 10).
+	WANBytesPerNode float64
+	WANBytesTotal   int64
+	// Stages is the per-stage average latency breakdown (Fig 11).
+	Stages map[string]time.Duration
+	// Series is the per-second throughput/latency trace (Fig 15).
+	Series []SeriesPoint
+}
+
+// SeriesPoint is one second of a run's trace.
+type SeriesPoint struct {
+	Second     int
+	Throughput float64
+	AvgLatency time.Duration
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("throughput=%.0f tps avg-latency=%v p50=%v entries=%d abort-rate=%.3f",
+		r.Throughput, r.AvgLatency.Round(time.Millisecond), r.P50Latency.Round(time.Millisecond),
+		r.Entries, r.AbortRate)
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md's MEAS_* placeholders from bench_figures.txt.
+
+Usage: python3 scripts/fill_experiments.py
+Run from the repository root after `massbft-bench -fig all > bench_figures.txt`.
+"""
+import re
+import sys
+
+FIGS = {
+    "MEAS_FIG1B": "1b",
+    "MEAS_FIG2": "2",
+    "MEAS_FIG7": "7",
+    "MEAS_FIG8": "8",
+    "MEAS_FIG9": "9",
+    "MEAS_FIG10": "10",
+    "MEAS_FIG11": "11",
+    "MEAS_FIG12": "12",
+    "MEAS_FIG13A": "13a",
+    "MEAS_FIG13B": "13b",
+    "MEAS_FIG14": "14",
+    "MEAS_FIG15": "15",
+}
+
+
+def sections(raw):
+    out = {}
+    cur, buf = None, []
+    for line in raw.splitlines():
+        m = re.match(r"=== Figure ([^:]+):", line)
+        if m:
+            if cur:
+                out[cur] = "\n".join(buf).strip()
+            cur, buf = m.group(1).strip(), [line]
+        elif cur:
+            buf.append(line)
+    if cur:
+        out[cur] = "\n".join(buf).strip()
+    return out
+
+
+def main():
+    raw = open("bench_figures.txt").read()
+    secs = sections(raw)
+    doc = open("EXPERIMENTS.md").read()
+
+    for placeholder, fig in FIGS.items():
+        if fig not in secs:
+            print(f"warning: figure {fig} missing from bench_figures.txt", file=sys.stderr)
+            continue
+        doc = doc.replace(placeholder, "```\n" + secs[fig] + "\n```")
+
+    # Headline numbers from fig 8 ycsb-a.
+    f8 = secs.get("8", "")
+    ycsba = f8.split("-- workload ycsb-a --")[1].split("-- workload")[0] if "-- workload ycsb-a --" in f8 else ""
+    vals = {}
+    for line in ycsba.splitlines():
+        parts = line.split()
+        if len(parts) >= 3 and parts[0] in ("massbft", "baseline", "geobft"):
+            vals[parts[0]] = (parts[1], parts[2])
+    if "massbft" in vals and "baseline" in vals:
+        m_tput, m_lat = vals["massbft"]
+        b_tput, b_lat = vals["baseline"]
+        ratio = float(m_tput) / float(b_tput)
+        doc = doc.replace("MEAS_F8A_MASS", f"{float(m_tput)/1000:.2f} ktps")
+        doc = doc.replace("MEAS_F8A_BASE", f"{float(b_tput)/1000:.2f} ktps")
+        doc = doc.replace("MEAS_F8A_RATIO", f"{ratio:.1f}×")
+        doc = doc.replace("MEAS_F8A_MLAT", m_lat)
+        doc = doc.replace("MEAS_F8A_BLAT", b_lat)
+    if "geobft" in vals:
+        doc = doc.replace("MEAS_F8A_GLAT", vals["geobft"][1])
+
+    open("EXPERIMENTS.md", "w").write(doc)
+    left = re.findall(r"MEAS_\w+", doc)
+    if left:
+        print("unfilled placeholders:", left, file=sys.stderr)
+    else:
+        print("EXPERIMENTS.md filled.")
+
+
+if __name__ == "__main__":
+    main()

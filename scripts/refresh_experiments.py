@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Refresh EXPERIMENTS.md figure blocks from bench_figures.txt.
+
+Unlike fill_experiments.py (placeholder-based, first pass), this replaces
+already-inserted fenced blocks with the latest section text, and fills any
+remaining MEAS_* placeholders. Idempotent; run after every bench update.
+"""
+import re
+
+from fill_experiments import FIGS, sections  # noqa: E402
+
+
+def main():
+    raw = open("bench_figures.txt").read()
+    secs = sections(raw)
+    doc = open("EXPERIMENTS.md").read()
+
+    for placeholder, fig in FIGS.items():
+        if fig not in secs:
+            continue
+        block = "```\n" + secs[fig] + "\n```"
+        if placeholder in doc:
+            doc = doc.replace(placeholder, block)
+            continue
+        # Replace the existing fenced block that starts with this figure's
+        # header line.
+        pat = re.compile(r"```\n=== Figure " + re.escape(fig) + r":.*?```", re.S)
+        doc, n = pat.subn(block, doc, count=1)
+        if n == 0:
+            print(f"warning: no block found for figure {fig}")
+    open("EXPERIMENTS.md", "w").write(doc)
+    left = re.findall(r"MEAS_FIG\w+", doc)
+    print("remaining placeholders:", left or "none")
+
+
+if __name__ == "__main__":
+    main()
