@@ -103,6 +103,16 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 		GST:            cfg.GST,
 		UnstableFactor: cfg.UnstableFactor,
 	})
+	if cfg.WANDropRate > 0 || cfg.WANDupRate > 0 || cfg.LANDropRate > 0 ||
+		cfg.LANDupRate > 0 || cfg.FaultJitter > 0 {
+		nw.SetFaults(simnet.FaultConfig{
+			WANDrop: cfg.WANDropRate,
+			WANDup:  cfg.WANDupRate,
+			LANDrop: cfg.LANDropRate,
+			LANDup:  cfg.LANDupRate,
+			Jitter:  cfg.FaultJitter,
+		})
+	}
 	col := metrics.NewCollector()
 	col.SetWindow(cfg.Warmup, cfg.RunFor-cfg.Warmup/2)
 
@@ -162,6 +172,33 @@ func (c *Cluster) ScheduleGroupCrash(at time.Duration, g int) {
 	c.Net.Schedule(at, func() { c.Net.CrashGroup(g) })
 }
 
+// ScheduleNodeCrash kills one node at virtual time `at`.
+func (c *Cluster) ScheduleNodeCrash(at time.Duration, id keys.NodeID) {
+	c.Net.Schedule(at, func() { c.Net.Crash(id) })
+}
+
+// Rejoiner is implemented by nodes that support checkpointed rejoin: after
+// the network marks the node live again, Rejoin() starts its state-transfer
+// catch-up instead of resuming with stale in-memory state.
+type Rejoiner interface{ Rejoin() }
+
+// ScheduleNodeRecover revives one node at virtual time `at`. If the node
+// implements Rejoiner it immediately starts the checkpointed-rejoin protocol.
+func (c *Cluster) ScheduleNodeRecover(at time.Duration, id keys.NodeID) {
+	c.Net.Schedule(at, func() {
+		c.Net.Recover(id)
+		if r, ok := c.Nodes[id].(Rejoiner); ok {
+			r.Rejoin()
+		}
+	})
+}
+
+// SchedulePartition severs the WAN link between groups a and b at virtual
+// time `at` and heals it at `healAt` (no heal when healAt <= at).
+func (c *Cluster) SchedulePartition(at, healAt time.Duration, a, b int) {
+	c.Net.SchedulePartition(at, healAt, a, b)
+}
+
 // ScheduleByzantine makes the first `perGroup` follower nodes of every group
 // Byzantine from virtual time `at`: they replicate a tampered entry instead
 // of the correct one (§VI-E "Node Failures"). Leaders (index 0) stay correct
@@ -197,6 +234,13 @@ func (c *Cluster) RunUntil(t time.Duration) {
 		}
 	}
 	c.Net.Run(t)
+	// Surface the fault layer's totals as metrics counters so Summary()
+	// shows them next to the protocol's recovery counters.
+	if dropped, dup, pd := c.Net.FaultStats(); dropped+dup+pd > 0 {
+		c.Metrics.Set("net-dropped", dropped)
+		c.Metrics.Set("net-duplicated", dup)
+		c.Metrics.Set("net-partition-dropped", pd)
+	}
 }
 
 // Drain stops client load and advances the simulation by d: leaders switch

@@ -175,8 +175,33 @@ type Config struct {
 	observerSet bool
 
 	// TakeoverTimeout is how long without stream records before another
-	// group takes over a crashed group's clock (§V-C); zero disables.
+	// group takes over a crashed group's clock (§V-C); zero disables. It is
+	// also the base period of the Lemma V.1 entry-fetch retry backoff.
 	TakeoverTimeout time.Duration
+
+	// RepairTimeout is how long a partially-filled chunk bucket may stall
+	// before the receiver NACKs its missing chunk indexes to a LAN peer and
+	// an alternate sender-group node; zero disables chunk repair.
+	RepairTimeout time.Duration
+
+	// CheckpointInterval is how often nodes fold a rejoin checkpoint (ledger
+	// height + state + orderer clocks); zero disables periodic checkpoints
+	// (a rejoining node still gets a fresh fold on demand).
+	CheckpointInterval time.Duration
+	// RejoinTimeout is how long a recovering node waits for a state-transfer
+	// response before retrying another group peer; defaults to
+	// 10*BatchTimeout.
+	RejoinTimeout time.Duration
+
+	// Fault injection (deterministic, seeded from Seed): per-message WAN/LAN
+	// drop and duplicate probabilities plus extra latency jitter applied by
+	// the simnet fault layer. All zero disables the layer entirely, keeping
+	// fault-free runs bit-identical to earlier seeds.
+	WANDropRate float64
+	WANDupRate  float64
+	LANDropRate float64
+	LANDupRate  float64
+	FaultJitter float64
 
 	// ViewChangeTimeout enables local PBFT view changes: replicas vote to
 	// replace a leader that stalls for this long. Zero disables (benchmark
@@ -224,6 +249,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchTimeout == 0 {
 		c.BatchTimeout = 20 * time.Millisecond
+	}
+	if c.RejoinTimeout == 0 {
+		c.RejoinTimeout = 10 * c.BatchTimeout
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 400

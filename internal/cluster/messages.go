@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 
 	"massbft/internal/keys"
+	"massbft/internal/ledger"
+	"massbft/internal/order"
 	"massbft/internal/pbft"
 	"massbft/internal/replication"
+	"massbft/internal/statedb"
 	"massbft/internal/types"
 )
 
@@ -148,3 +151,158 @@ type EntryFetch struct {
 
 // WireSize returns the serialized size in bytes.
 func (m *EntryFetch) WireSize() int { return 1 + 12 }
+
+// ChunkRepairReq NACKs the chunk indexes a receiver still needs for a
+// stalled entry (lossy-WAN recovery): when a Collector bucket sits below
+// n_data past the repair timeout, the receiver requests exactly the missing
+// indexes from a LAN peer (which replies with a BatchFwd of its re-encoded
+// chunks) or from an alternate sender-group node (which replies with a fresh
+// ChunkBatch).
+type ChunkRepairReq struct {
+	Entry   types.EntryID
+	Missing []int
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ChunkRepairReq) WireSize() int { return 1 + 12 + 4 + 4*len(m.Missing) }
+
+// StreamFetch NACKs a record-stream gap: MetaBatches are broadcast exactly
+// once and unacknowledged, so a batch lost to the lossy WAN stalls the
+// receiver's FIFO cursor forever. The receiver asks a LAN peer or an
+// origin-group node to retransmit the origin's batches from its cursor;
+// batches carry their own certificates, so any holder can serve.
+type StreamFetch struct {
+	Origin int
+	From   uint64
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *StreamFetch) WireSize() int { return 1 + 4 + 8 }
+
+// PendingEntry is one known-but-unexecuted entry inside a Checkpoint. Entry
+// and Cert are set when the folding node holds the content; otherwise the
+// restoring node re-acquires it through the Lemma V.1 fetch path.
+type PendingEntry struct {
+	ID    types.EntryID
+	Entry *types.Entry
+	Cert  *keys.Certificate
+	// StampedBy is a group known to hold the entry; Streams lists the group
+	// clocks that stamped it; Stamps the groups holding it (accept progress).
+	StampedBy  int
+	Streams    []int
+	Stamps     []int
+	Committed  bool
+	CommitSeen bool
+}
+
+// WireSize returns the serialized size in bytes.
+func (p *PendingEntry) WireSize() int {
+	n := 12 + 4 + 4*len(p.Streams) + 4*len(p.Stamps) + 2
+	if p.Entry != nil {
+		n += p.Entry.WireSize()
+	}
+	if p.Cert != nil {
+		n += p.Cert.Size()
+	}
+	return n
+}
+
+// Checkpoint is a fold of one node's full replicated state at a virtual
+// instant: the sealed ledger (suffix), the state store, the ordering
+// machinery, both PBFT instances, and every in-flight entry. A recovering
+// node installs it wholesale and resumes from there (checkpointed rejoin).
+// The transfer trusts the serving LAN peer; a production system would verify
+// the state roll against the certified block chain.
+type Checkpoint struct {
+	Height    uint64
+	Blocks    []*ledger.Block
+	State     *statedb.Store
+	StateRoll [32]byte
+
+	Clk         uint64
+	NextSeq     uint64
+	ExecutedSeq []uint64
+	ExecCount   int
+	CommitCount int
+
+	// StreamTS / StreamNext are the per-group clock high-water marks and the
+	// per-origin next-expected MetaBatch sequence numbers. Batches carries
+	// out-of-order stream batches the folding node has buffered but not yet
+	// processed, so the restoring node does not lose them (they were
+	// broadcast exactly once).
+	StreamTS   []uint64
+	StreamNext []uint64
+	Batches    []*MetaBatch
+
+	LocalView, LocalSlot uint64
+	LocalSlots           []pbft.ExportedSlot
+	MetaView, MetaSlot   uint64
+	MetaSlots            []pbft.ExportedSlot
+
+	// Ord is the async (VTS) orderer snapshot; Round/Skipped the round-mode
+	// one. Exactly one is populated, matching the cluster's ordering mode.
+	Ord     *order.State
+	Round   uint64
+	Skipped []types.EntryID
+
+	Pending []PendingEntry
+}
+
+// WireSize returns the serialized size in bytes (transfer cost model).
+func (c *Checkpoint) WireSize() int {
+	n := 128 // fixed-width fields
+	n += len(c.Blocks) * 112
+	if c.State != nil {
+		n += c.State.ByteSize()
+	}
+	n += 8*len(c.ExecutedSeq) + 8*len(c.StreamTS) + 8*len(c.StreamNext)
+	for i := range c.LocalSlots {
+		n += c.LocalSlots[i].WireSize()
+	}
+	for i := range c.MetaSlots {
+		n += c.MetaSlots[i].WireSize()
+	}
+	if c.Ord != nil {
+		n += 8*len(c.Ord.ExecutedSeq) + len(c.Ord.Entries)*(12+9*len(c.Ord.ExecutedSeq))
+	}
+	n += 12 * len(c.Skipped)
+	for i := range c.Pending {
+		n += c.Pending[i].WireSize()
+	}
+	return n
+}
+
+// RejoinReq asks a group peer for a state transfer. Have is the requester's
+// sealed ledger height, so the response only carries the block suffix it
+// lacks.
+type RejoinReq struct {
+	Have uint64
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *RejoinReq) WireSize() int { return 1 + 8 }
+
+// ProposalFwd relays a locally-proposed entry whose slot a view change filled
+// with a no-op to the group's current local leader for re-proposal. Only the
+// original proposer still holds the content (clients are not modeled as
+// retrying), so without the relay a destroyed proposal would leave a
+// permanent seq hole and wedge the group clock.
+type ProposalFwd struct {
+	Payload []byte
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ProposalFwd) WireSize() int { return 1 + len(m.Payload) }
+
+// RejoinResp carries the checkpoint a recovering node installs.
+type RejoinResp struct {
+	C *Checkpoint
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *RejoinResp) WireSize() int {
+	if m.C == nil {
+		return 1
+	}
+	return 1 + m.C.WireSize()
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+)
+
+// chaosCfg is the lossy-WAN chaos environment: 5% WAN message loss plus
+// duplication, LAN loss, latency jitter, and every recovery knob armed.
+func chaosCfg(opts cluster.Options, seed int64) cluster.Config {
+	return cluster.Config{
+		GroupSizes:         []int{4, 4, 4},
+		Opts:               opts,
+		Workload:           "ycsb-a",
+		Seed:               seed,
+		MaxBatch:           20,
+		BatchTimeout:       10 * time.Millisecond,
+		PipelineDepth:      8,
+		RunFor:             8 * time.Second,
+		Warmup:             500 * time.Millisecond,
+		TakeoverTimeout:    400 * time.Millisecond,
+		ViewChangeTimeout:  400 * time.Millisecond,
+		RepairTimeout:      150 * time.Millisecond,
+		CheckpointInterval: 500 * time.Millisecond,
+		WANDropRate:        0.05,
+		WANDupRate:         0.01,
+		LANDropRate:        0.01,
+		FaultJitter:        0.1,
+	}
+}
+
+// runChaos executes one preset under a seeded randomized fault schedule: the
+// lossy WAN of chaosCfg plus one crash/recover cycle per group (random
+// follower, random time, random downtime). All faults are injected before
+// t=3.8s; the run then has >4s of post-heal time to recover in.
+func runChaos(t *testing.T, opts cluster.Options, seed int64) *cluster.Cluster {
+	t.Helper()
+	cfg := chaosCfg(opts, seed)
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Followers only: leaders (index 0, including the observer) stay up so
+	// local consensus and metrics keep running — leader crashes are exercised
+	// by the view-change tests.
+	rng := rand.New(rand.NewSource(seed))
+	for g := range cfg.GroupSizes {
+		idx := 1 + rng.Intn(cfg.GroupSizes[g]-1)
+		at := 1500*time.Millisecond + time.Duration(rng.Intn(1000))*time.Millisecond
+		down := 500*time.Millisecond + time.Duration(rng.Intn(800))*time.Millisecond
+		victim := keys.NodeID{Group: g, Index: idx}
+		c.ScheduleNodeCrash(at, victim)
+		c.ScheduleNodeRecover(at+down, victim)
+	}
+	return c
+}
+
+// assertChaosOutcome checks the two chaos invariants after the run drained:
+//
+// Safety — identical committed prefixes: every node's sealed ledger is a
+// prefix of every other's (same block hashes height-for-height), no node
+// double-executed (state hashes all equal, and StateDigest chaining would
+// break on any re-execution).
+//
+// Liveness — after the last fault heals, every group's entry stream keeps
+// executing (at least one new committed entry per group).
+func assertChaosOutcome(t *testing.T, c *cluster.Cluster, midExec, endExec []uint64) {
+	t.Helper()
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no progress under chaos: %s", m.Summary())
+	}
+	if m.Counter("net-dropped") == 0 {
+		t.Fatalf("fault layer inactive — chaos test tested nothing: %s", m.Summary())
+	}
+	if m.Counter("state-transfers") == 0 {
+		t.Fatalf("no crashed node rejoined via state transfer: %s", m.Summary())
+	}
+	for g := range endExec {
+		if endExec[g] <= midExec[g] {
+			t.Fatalf("group %d made no progress after faults healed (stuck at seq %d): %s",
+				g, endExec[g], m.Summary())
+		}
+	}
+	// Safety: identical committed prefixes across every node (crashed nodes
+	// rejoined, so nobody is exempt), and identical final states.
+	var minH uint64
+	ledgers := make(map[keys.NodeID]*Node)
+	for g, size := range c.Cfg.GroupSizes {
+		for j := 0; j < size; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			n := c.Nodes[id].(*Node)
+			ledgers[id] = n
+			h := n.Ledger().Height()
+			if minH == 0 || h < minH {
+				minH = h
+			}
+		}
+	}
+	if minH == 0 {
+		t.Fatalf("some node sealed no blocks: %s", m.Summary())
+	}
+	ref := c.Nodes[keys.NodeID{Group: 0, Index: 0}].(*Node).Ledger()
+	refAt := ref.Block(minH)
+	for id, n := range ledgers {
+		l := n.Ledger()
+		if err := l.Verify(); err != nil {
+			t.Fatalf("node %v ledger integrity: %v", id, err)
+		}
+		b := l.Block(minH)
+		if b == nil || refAt == nil || b.Hash() != refAt.Hash() {
+			t.Fatalf("node %v committed prefix diverges at height %d: %s", id, minH, m.Summary())
+		}
+	}
+	assertConsistency(t, c, nil)
+}
+
+func chaosRun(t *testing.T, opts cluster.Options, seed int64) {
+	c := runChaos(t, opts, seed)
+	// All faults heal by 3.8s; snapshot per-group progress at 4s, then let the
+	// cluster run its tail and drain.
+	c.RunUntil(4 * time.Second)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(c.Cfg.RunFor)
+	c.Drain(3 * time.Second)
+	end := obs.ExecutedSeqs()
+	assertChaosOutcome(t, c, mid, end)
+}
+
+// TestChaosMassBFT runs the flagship preset through the full chaos schedule.
+func TestChaosMassBFT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	chaosRun(t, cluster.PresetMassBFT(), 42)
+}
+
+// TestChaosBaseline runs the round-ordered competitor preset through the same
+// schedule: the recovery machinery (stream repair, entry fetch, rejoin) is
+// protocol-agnostic and must hold there too.
+func TestChaosBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	chaosRun(t, cluster.PresetBaseline(), 43)
+}

@@ -6,6 +6,8 @@ import (
 
 	"massbft/internal/cluster"
 	"massbft/internal/keys"
+	"massbft/internal/replication"
+	"massbft/internal/simnet"
 )
 
 // TestByzantineChunkTampering reproduces §VI-E "Node Failures": f Byzantine
@@ -260,5 +262,124 @@ func TestBaselineGroupCrashRoundSkip(t *testing.T) {
 	}
 	if after == 0 {
 		t.Fatalf("round ordering never skipped the crashed group: %s", c.Metrics.Summary())
+	}
+}
+
+// TestNodeRejoinViaStateTransfer crashes a follower node mid-run and revives
+// it. The emulator discards every timer that fired while the node was down,
+// so a revived node is inert unless the checkpointed-rejoin path re-arms its
+// tick loops and installs a peer's state transfer. The recovered node must
+// converge to the exact cluster state — same state hash, same sealed ledger.
+func TestNodeRejoinViaStateTransfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := realCryptoCfg()
+	cfg.RunFor = 6 * time.Second
+	cfg.TakeoverTimeout = 300 * time.Millisecond
+	cfg.RepairTimeout = 300 * time.Millisecond
+	cfg.CheckpointInterval = 500 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := keys.NodeID{Group: 1, Index: 2}
+	c.ScheduleNodeCrash(2*time.Second, victim)
+	c.ScheduleNodeRecover(3500*time.Millisecond, victim)
+	c.Run()
+	c.Drain(3 * time.Second)
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no progress: %s", m.Summary())
+	}
+	if m.Counter("state-transfers") == 0 {
+		t.Fatalf("recovered node never installed a state transfer: %s", m.Summary())
+	}
+	if m.Counter("rejoin-served") == 0 {
+		t.Fatalf("no peer served the rejoin request: %s", m.Summary())
+	}
+	if m.Counter("checkpoints") == 0 {
+		t.Fatalf("periodic checkpoint fold never ran: %s", m.Summary())
+	}
+	// The recovered node participates in the consistency check: it must have
+	// caught up completely, not just resumed.
+	assertConsistency(t, c, nil)
+	rec := c.Nodes[victim].(*Node).Ledger()
+	ref := c.Nodes[keys.NodeID{Group: 1, Index: 0}].(*Node).Ledger()
+	if ref.Height() == 0 {
+		t.Fatal("empty reference ledger")
+	}
+	if rec.Height() != ref.Height() || rec.Head() != ref.Head() {
+		t.Fatalf("recovered ledger diverged: height %d vs %d", rec.Height(), ref.Height())
+	}
+	if err := rec.Verify(); err != nil {
+		t.Fatalf("recovered ledger integrity: %v", err)
+	}
+}
+
+// TestFetchRetryRecoversFromCrashedTarget is the regression test for the
+// Lemma V.1 entry-fetch path. Group 2 never receives group 0's chunks (they
+// are dropped in flight), so fetched copies are its only way to obtain group
+// 0's entries — and the historical single-shot fetch target, node (0,0) of
+// the stamping group, is crashed mid-run. The old code sent exactly one
+// EntryFetch to (0,0) and wedged forever; the retry path must back off and
+// rotate to another holder (e.g. group 1, which rebuilt the entries) so the
+// starved group still converges.
+func TestFetchRetryRecoversFromCrashedTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := realCryptoCfg()
+	cfg.RunFor = 8 * time.Second
+	cfg.TakeoverTimeout = 300 * time.Millisecond
+	cfg.ViewChangeTimeout = 300 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every chunk addressed to group 2 by group 0's nodes.
+	for j := 0; j < cfg.GroupSizes[0]; j++ {
+		c.Net.SetOutboundFilter(keys.NodeID{Group: 0, Index: j}, func(m *simnet.Message) bool {
+			if m.To.Group != 2 {
+				return true
+			}
+			switch m.Payload.(type) {
+			case *replication.ChunkBatch, *replication.ChunkMsg:
+				return false
+			}
+			return true
+		})
+	}
+	// Crash the only target the single-shot implementation ever asked.
+	c.ScheduleNodeCrash(2*time.Second, keys.NodeID{Group: 0, Index: 0})
+	c.Run()
+	c.Drain(3 * time.Second)
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no progress: %s", m.Summary())
+	}
+	if m.Counter("fetch-retries") == 0 {
+		t.Fatalf("fetch path never retried: %s", m.Summary())
+	}
+	// Every live node must agree; group 2 can only have reached this state
+	// through fetched entry copies.
+	crashed := keys.NodeID{Group: 0, Index: 0}
+	var ref [32]byte
+	var refSet bool
+	for g, n := range c.Cfg.GroupSizes {
+		for j := 0; j < n; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			if id == crashed {
+				continue
+			}
+			h := c.StateHash(id)
+			if !refSet {
+				ref, refSet = h, true
+				continue
+			}
+			if h != ref {
+				t.Fatalf("node N%d,%d state diverges: %s", g, j, m.Summary())
+			}
+		}
 	}
 }

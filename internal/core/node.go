@@ -64,14 +64,36 @@ type entrySt struct {
 	// to hold the entry.
 	firstStampAt time.Duration
 	stampedBy    int
-	fetchSent    bool
+	// fetchAttempts / nextFetchAt drive the Lemma V.1 fetch retry with
+	// exponential backoff, rotating target group and node per attempt.
+	fetchAttempts int
+	nextFetchAt   time.Duration
+	// firstChunkAt is when the first chunk arrived (repair-timer base);
+	// repairAttempts / nextRepairAt drive the chunk-gap NACK backoff.
+	firstChunkAt   time.Duration
+	repairAttempts int
+	nextRepairAt   time.Duration
 	// stampedStreams records which group clocks have stamped this entry.
 	stampedStreams map[int]bool
+	// restampAttempts / nextRestampAt drive the leader's record re-emission
+	// (recovery from records lost to view-change no-op fills).
+	restampAttempts int
+	nextRestampAt   time.Duration
 }
 
 type streamIn struct {
 	next     uint64
 	buffered map[uint64]*cluster.MetaBatch
+	// lastArrival is when any valid batch of this stream last arrived, even
+	// out of order — liveness evidence that distinguishes a lossy-but-alive
+	// stream (repairable gap) from a dead group (takeover/skip territory).
+	lastArrival time.Duration
+	// gapSince is when the cursor first stalled at gapAt with later batches
+	// buffered behind it; repairAttempts/nextRepairAt drive the NACK backoff.
+	gapSince       time.Duration
+	gapAt          uint64
+	repairAttempts int
+	nextRepairAt   time.Duration
 }
 
 // Node is one protocol participant (exported only through cluster.Node).
@@ -108,6 +130,10 @@ type Node struct {
 	// delivery on each instance (leader-silence detection).
 	lastLocalProgress time.Duration
 	lastMetaProgress  time.Duration
+	// localStall / metaStall watch each PBFT instance's delivery cursor for
+	// the certified slot catch-up path (slotRepairScan).
+	localStall pbftWatch
+	metaStall  pbftWatch
 
 	// Own-group clock (§V-A): highest own seq with majority stamps,
 	// contiguous.
@@ -115,9 +141,23 @@ type Node struct {
 
 	// Outgoing records awaiting meta certification (leader only).
 	pendingRecs []cluster.Record
+	// hiQueuedTS is the highest own-stream stamp this node has queued as meta
+	// leader; stampTS clamps against it so the stream never steps backward.
+	hiQueuedTS uint64
+
+	// proposed retains this node's own local proposals until they certify. A
+	// local view change fills the old leader's in-flight slots with no-ops,
+	// silently destroying the proposed entries — and a lost seq wedges the
+	// group clock forever (advanceClock is contiguous). The original proposer
+	// is the only node holding the content, so it re-proposes after a patience
+	// window (or forwards to the new local leader).
+	proposed map[uint64]*proposalSt
 
 	// Incoming record streams, FIFO per origin group.
 	streams map[int]*streamIn
+	// batchLog retains recently seen certified MetaBatches per origin (own
+	// group included) for serving stream-gap NACKs; bounded per origin.
+	batchLog map[int]map[uint64]*cluster.MetaBatch
 	// lastStreamTS/lastStreamAt track each group clock stream for takeover.
 	lastStreamTS map[int]uint64
 	lastStreamAt map[int]time.Duration
@@ -137,7 +177,38 @@ type Node struct {
 	// executedSeq[g] is the highest executed seq per group (watermark for
 	// dropping late records).
 	executedSeq []uint64
+
+	// archive retains recently executed entries (content + certificate) so
+	// this node can still serve Lemma V.1 fetches and chunk-repair NACKs
+	// after execution garbage-collects the live entry state. Bounded to
+	// archiveRetain sequence numbers per group.
+	archive map[types.EntryID]*archived
+
+	// Checkpointed rejoin state. tickGen invalidates periodic timers across a
+	// rejoin (timers that fire while a node is crashed are discarded by the
+	// emulator, so Rejoin re-arms them all under a new generation). rejoining
+	// gates message handling to the state-transfer exchange; consensus
+	// traffic that arrives meanwhile is buffered and replayed after install.
+	tickGen        uint64
+	rejoining      bool
+	rejoinAttempts int
+	rejoinBuf      []simnet.Message
+	// latestCheckpoint is the periodic fold (CheckpointInterval); rejoin
+	// serving folds fresh, but the periodic fold models the persistence a
+	// real deployment would restart from.
+	latestCheckpoint *cluster.Checkpoint
 }
+
+// archived is the post-execution remnant of an entry kept for recovery
+// serving.
+type archived struct {
+	entry *types.Entry
+	cert  *keys.Certificate
+}
+
+// archiveRetain bounds how many executed sequence numbers per group stay
+// servable; older fetches fall back to state transfer (checkpointed rejoin).
+const archiveRetain = 512
 
 func newNode(ctx *cluster.NodeCtx) *Node {
 	n := &Node{
@@ -148,12 +219,15 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		g:            ctx.ID.Group,
 		ng:           len(ctx.Cfg.GroupSizes),
 		entries:      make(map[types.EntryID]*entrySt),
+		proposed:     make(map[uint64]*proposalSt),
 		streams:      make(map[int]*streamIn),
+		batchLog:     make(map[int]map[uint64]*cluster.MetaBatch),
 		lastStreamTS: make(map[int]uint64),
 		lastStreamAt: make(map[int]time.Duration),
 		takeoverSent: make(map[int]map[types.EntryID]bool),
 		blacklist:    make(map[keys.NodeID]bool),
 		chunkFrom:    make(map[types.EntryID]map[int]keys.NodeID),
+		archive:      make(map[types.EntryID]*archived),
 		nextSeq:      1,
 		ledger:       ledger.New(),
 	}
@@ -231,25 +305,59 @@ func (n *Node) recvPlan(s int) *plan.Plan {
 // Start implements cluster.Node.
 func (n *Node) Start() {
 	n.lastTick = n.ctx.Net.Now()
+	n.armTicks()
+}
+
+// armTicks starts (or, after a rejoin, restarts) every periodic timer under
+// a fresh tick generation. The emulator discards timers that fire while a
+// node is crashed, so a recovering node's old tick loops are dead; bumping
+// the generation also silences any old loop that survived a fast
+// crash/recover cycle.
+func (n *Node) armTicks() {
+	n.tickGen++
 	// Stagger each group's batch phase so the groups' chunk bursts do not
 	// collide at receiver downlinks every tick (real deployments are never
 	// phase-locked).
 	phase := time.Duration(n.g) * n.cfg.BatchTimeout / time.Duration(n.ng)
-	n.ctx.Net.After(n.cfg.BatchTimeout+phase, n.batchTick)
-	n.ctx.Net.After(n.cfg.BatchTimeout/2, n.flushTick)
+	n.everyAfter(n.cfg.BatchTimeout+phase, n.cfg.BatchTimeout, n.batchTick)
+	n.everyAfter(n.cfg.BatchTimeout/2, n.cfg.BatchTimeout/2, n.flushTick)
 	if n.cfg.TakeoverTimeout > 0 {
-		n.ctx.Net.After(n.cfg.TakeoverTimeout, n.takeoverTick)
+		n.everyAfter(n.cfg.TakeoverTimeout, n.cfg.TakeoverTimeout/2, n.takeoverTick)
 	}
 	if n.cfg.ViewChangeTimeout > 0 {
-		n.ctx.Net.After(n.cfg.ViewChangeTimeout, n.livenessTick)
+		n.everyAfter(n.cfg.ViewChangeTimeout, n.cfg.ViewChangeTimeout, n.livenessTick)
 	}
+	if n.cfg.RepairTimeout > 0 {
+		n.everyAfter(n.cfg.RepairTimeout, n.cfg.RepairTimeout/2, n.repairTick)
+	}
+	if n.cfg.CheckpointInterval > 0 {
+		n.everyAfter(n.cfg.CheckpointInterval, n.cfg.CheckpointInterval, n.checkpointTick)
+	}
+}
+
+// everyAfter runs fn after first, then every d, until the node's tick
+// generation changes.
+func (n *Node) everyAfter(first, d time.Duration, fn func()) {
+	gen := n.tickGen
+	var loop func()
+	loop = func() {
+		if n.tickGen != gen {
+			return
+		}
+		if !n.rejoining {
+			// Periodic work pauses during a state transfer; the loop keeps
+			// ticking so it resumes the moment the install completes.
+			fn()
+		}
+		n.ctx.Net.After(d, loop)
+	}
+	n.ctx.Net.After(first, loop)
 }
 
 // livenessTick lets followers suspect a leader that stopped driving the
 // instances entirely (a crashed leader with nothing in flight leaves PBFT's
 // own progress timers unarmed).
 func (n *Node) livenessTick() {
-	defer n.ctx.Net.After(n.cfg.ViewChangeTimeout, n.livenessTick)
 	now := n.now()
 	if now-n.lastLocalProgress > 3*n.cfg.ViewChangeTimeout && !n.local.IsLeader() {
 		n.local.SuspectLeader()
@@ -266,30 +374,33 @@ func (n *Node) onLocalViewChange(view uint64) {
 	n.lastLocalProgress = n.now()
 }
 
-// onMetaViewChange re-emits this node's view of pending records: the old
-// leader may have died holding queued (uncertified) stamps. Duplicates are
-// idempotent downstream.
+// onMetaViewChange notes meta progress. Records the old leader died holding
+// (queued but uncertified) are re-emitted by the new leader's restampScan
+// after a patience window — the delay lets the old view's in-flight slots
+// certify first, so the re-emission's clamped stamp value (stampTS) observes
+// them and the group's stream stays monotonic.
 func (n *Node) onMetaViewChange(view uint64) {
 	n.lastMetaProgress = n.now()
-	if !n.meta.IsLeader() {
-		return
-	}
-	for id, st := range n.entries {
-		if id.GID != n.g && st.content && !st.tsSent &&
-			n.opts.Ordering == cluster.OrderAsync && n.opts.OverlapVTS {
-			st.tsSent = true
-			n.pendingRecs = append(n.pendingRecs, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
-		}
-		if id.GID == n.g && st.commitSeen && id.Seq <= n.clk &&
-			n.opts.Ordering == cluster.OrderAsync {
-			n.pendingRecs = append(n.pendingRecs, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: id.Seq})
-		}
-	}
 }
 
 // HandleMessage implements simnet.Handler: the top-level demultiplexer.
 func (n *Node) HandleMessage(sn *simnet.Node, msg simnet.Message) {
 	n.charge(n.cfg.Cost.MsgOverhead)
+	if n.rejoining {
+		// Only the state-transfer exchange proceeds during a rejoin;
+		// certified consensus traffic is buffered and replayed after install
+		// (bulk chunk traffic is simply dropped — the repair path re-acquires
+		// whatever mattered).
+		switch m := msg.Payload.(type) {
+		case *cluster.RejoinResp:
+			n.onRejoinResp(m)
+		case *cluster.MetaBatch, *cluster.LocalMsg, *cluster.MetaMsg:
+			if len(n.rejoinBuf) < rejoinBufMax {
+				n.rejoinBuf = append(n.rejoinBuf, msg)
+			}
+		}
+		return
+	}
 	switch m := msg.Payload.(type) {
 	case *cluster.LocalMsg:
 		if pp, ok := m.M.(*pbft.PrePrepare); ok {
@@ -314,6 +425,16 @@ func (n *Node) HandleMessage(sn *simnet.Node, msg simnet.Message) {
 		n.onMetaBatch(msg.From, m)
 	case *cluster.EntryFetch:
 		n.onEntryFetch(msg.From, m)
+	case *cluster.ChunkRepairReq:
+		n.onChunkRepairReq(msg.From, m)
+	case *cluster.StreamFetch:
+		n.onStreamFetch(msg.From, m)
+	case *cluster.ProposalFwd:
+		n.onProposalFwd(msg.From, m)
+	case *cluster.RejoinReq:
+		n.onRejoinReq(msg.From, m)
+	case *cluster.RejoinResp:
+		// Stale transfer from a slower peer, already installed another; drop.
 	}
 }
 

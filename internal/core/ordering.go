@@ -16,14 +16,16 @@ import (
 // only); records reach the whole group certified and in a deterministic
 // order, then fan out to other groups as MetaBatch messages.
 func (n *Node) flushTick() {
-	defer n.ctx.Net.After(n.cfg.BatchTimeout/2, n.flushTick)
 	if !n.meta.IsLeader() || len(n.pendingRecs) == 0 {
 		return
 	}
-	payload := cluster.EncodeRecords(n.pendingRecs)
+	recs := n.pendingRecs
+	payload := cluster.EncodeRecords(recs)
 	n.pendingRecs = nil
 	if err := n.meta.Propose(payload); err != nil {
-		return
+		// A view change is racing the flush; keep the records queued so the
+		// group's stream does not silently lose them.
+		n.pendingRecs = recs
 	}
 }
 
@@ -42,9 +44,11 @@ func (n *Node) onMetaCommit(slot uint64, payload []byte, cert *keys.Certificate)
 	}
 	// Message flooding (§V-C "Byzantine Nodes"): the leader plus f followers
 	// broadcast the certified batch, so a crashed or stalling leader cannot
-	// orphan the group's record stream.
+	// orphan the group's record stream. Every member logs it so anyone can
+	// serve a receiver's stream-gap NACK later.
+	batch := &cluster.MetaBatch{FromGroup: n.g, Seq: slot, Records: recs, Cert: cert}
+	n.logBatch(batch)
 	if n.id.Index <= n.ctx.Reg.Faulty(n.g) || n.meta.IsLeader() {
-		batch := &cluster.MetaBatch{FromGroup: n.g, Seq: slot, Records: recs, Cert: cert}
 		n.sendToReceivers(batch)
 	}
 	n.processRecords(n.g, recs)
@@ -72,6 +76,7 @@ func (n *Node) onMetaBatch(from keys.NodeID, b *cluster.MetaBatch) {
 		in = &streamIn{buffered: make(map[uint64]*cluster.MetaBatch)}
 		n.streams[b.FromGroup] = in
 	}
+	in.lastArrival = n.now()
 	if b.Seq < in.next {
 		return // duplicate
 	}
@@ -83,17 +88,47 @@ func (n *Node) onMetaBatch(from keys.NodeID, b *cluster.MetaBatch) {
 	if from.Group != n.g {
 		n.broadcastLocalPriority(b)
 	}
+	n.logBatch(b)
 	in.buffered[b.Seq] = b
 	for {
 		nb, ok := in.buffered[in.next]
 		if !ok {
-			return
+			break
 		}
 		delete(in.buffered, in.next)
 		in.next++
 		n.processRecords(nb.FromGroup, nb.Records)
 	}
+	// Gap bookkeeping: batches buffered past the cursor mean an earlier batch
+	// was lost in flight; the repair tick NACKs gaps older than RepairTimeout.
+	if len(in.buffered) == 0 {
+		in.gapSince, in.repairAttempts, in.nextRepairAt = 0, 0, 0
+	} else if in.gapSince == 0 || in.gapAt != in.next {
+		in.gapSince, in.gapAt = n.now(), in.next
+		in.repairAttempts, in.nextRepairAt = 0, 0
+	}
 }
+
+// logBatch retains a certified batch for serving stream-gap NACKs, bounded to
+// batchLogRetain sequence numbers per origin.
+func (n *Node) logBatch(b *cluster.MetaBatch) {
+	log := n.batchLog[b.FromGroup]
+	if log == nil {
+		log = make(map[uint64]*cluster.MetaBatch)
+		n.batchLog[b.FromGroup] = log
+	}
+	if _, ok := log[b.Seq]; ok {
+		return
+	}
+	log[b.Seq] = b
+	if b.Seq >= batchLogRetain {
+		delete(log, b.Seq-batchLogRetain)
+	}
+}
+
+// batchLogRetain bounds the per-origin batch log; gaps older than the window
+// fall back to state transfer (checkpointed rejoin).
+const batchLogRetain = 512
 
 // processRecords applies certified records from the given origin group.
 func (n *Node) processRecords(origin int, recs []cluster.Record) {
@@ -105,7 +140,7 @@ func (n *Node) processRecords(origin int, recs []cluster.Record) {
 		case cluster.RecAccept:
 			n.onAcceptRecord(origin, rec)
 		case cluster.RecCommit:
-			n.onCommitRecord(rec)
+			n.onCommitRecord(origin, rec)
 		}
 	}
 }
@@ -158,6 +193,22 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 func (n *Node) onAcceptRecord(origin int, rec cluster.Record) {
 	if rec.Entry.GID == n.g && origin != n.g {
 		n.noteAccept(origin, rec.Entry)
+	}
+	n.noteHolder(origin, rec.Entry)
+}
+
+// noteHolder records that origin provably holds the entry (it certified an
+// accept or commit for it), arming the Lemma V.1 fetch path if this node
+// still lacks the content. In round mode this is the only fetch trigger —
+// there are no timestamp records.
+func (n *Node) noteHolder(origin int, id types.EntryID) {
+	if id.GID == n.g || origin == n.g || id.Seq <= n.executedSeqOf(id.GID) {
+		return
+	}
+	st := n.st(id)
+	if !st.content && st.firstStampAt == 0 {
+		st.firstStampAt = n.now()
+		st.stampedBy = origin
 	}
 }
 
@@ -222,7 +273,8 @@ func (n *Node) markCommitted(id types.EntryID, st *entrySt) {
 }
 
 // onCommitRecord finalizes an entry that achieved global consensus.
-func (n *Node) onCommitRecord(rec cluster.Record) {
+func (n *Node) onCommitRecord(origin int, rec cluster.Record) {
+	n.noteHolder(origin, rec.Entry)
 	if rec.Entry.Seq <= n.executedSeqOf(rec.Entry.GID) {
 		return
 	}
@@ -243,43 +295,37 @@ func (n *Node) onCommitRecord(rec cluster.Record) {
 }
 
 // onEntryFetch serves a full entry copy to a node that learned of the entry
-// through a timestamp but never obtained its content (Lemma V.1).
+// through a timestamp but never obtained its content (Lemma V.1). Executed
+// entries are served from the archive — execution GCs live entry state.
 func (n *Node) onEntryFetch(from keys.NodeID, m *cluster.EntryFetch) {
-	st := n.entries[m.Entry]
-	if st == nil || !st.content || st.entry == nil {
+	e, cert, ok := n.entryContent(m.Entry)
+	if !ok {
 		return
 	}
-	env := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: st.entry, Cert: st.cert}}
+	env := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: e, Cert: cert}}
 	n.ctx.Net.Send(from, env, env.WireSize())
 }
 
-// fetchMissing requests content for entries that some group stamped (so some
-// group provably holds them) but whose chunks never completed here — the
-// crash-recovery path of Lemma V.1.
-func (n *Node) fetchMissing(now time.Duration) {
-	if !n.local.IsLeader() {
-		return
+// entryContent returns the entry body and certificate if this node still
+// holds them, checking live state first, then the post-execution archive.
+func (n *Node) entryContent(id types.EntryID) (*types.Entry, *keys.Certificate, bool) {
+	if st := n.entries[id]; st != nil && st.content && st.entry != nil {
+		return st.entry, st.cert, true
 	}
-	for id, st := range n.entries {
-		if st.content || st.fetchSent || st.firstStampAt == 0 {
-			continue
-		}
-		if now-st.firstStampAt < n.cfg.TakeoverTimeout {
-			continue
-		}
-		st.fetchSent = true
-		req := &cluster.EntryFetch{Entry: id}
-		n.ctx.Net.SendPriority(keys.NodeID{Group: st.stampedBy, Index: 0}, req, req.WireSize())
+	if a := n.archive[id]; a != nil && a.entry != nil {
+		return a.entry, a.cert, true
 	}
+	return nil, nil, false
 }
 
 // takeoverTick implements §V-C "Crashed Groups": when a group's clock stream
 // falls silent, the lowest-numbered live group's leader assigns that group's
 // frozen clock value to entries on its behalf, letting ordering proceed.
 func (n *Node) takeoverTick() {
-	defer n.ctx.Net.After(n.cfg.TakeoverTimeout/2, n.takeoverTick)
 	now := n.now()
 	n.fetchMissing(now)
+	n.restampScan(now)
+	n.proposalRepairScan(now)
 	if now < n.cfg.TakeoverTimeout*2 {
 		return // give every group time to start speaking
 	}
@@ -287,14 +333,32 @@ func (n *Node) takeoverTick() {
 		if g == n.g {
 			return true
 		}
-		return now-n.lastStreamAt[g] <= n.cfg.TakeoverTimeout
+		last := n.lastStreamAt[g]
+		// Out-of-order arrivals count as life: a lossy stream with a cursor
+		// gap is repaired (StreamFetch), not taken over — a takeover racing a
+		// merely-slow group's real stamps would fork the order.
+		if in := n.streams[g]; in != nil && in.lastArrival > last {
+			last = in.lastArrival
+		}
+		return now-last <= n.cfg.TakeoverTimeout
 	}
 	// Round mode: every node locally times out crashed groups and skips
-	// their round slots (each node reaches the same decision; skips are
-	// idempotent).
+	// their round slots. The skip is irreversible and node-local (the
+	// skipped group's own members never skip their own rounds), so a skip
+	// triggered by a transient stall forks the executed set when the group
+	// revives. Round mode therefore demands a much longer silence than the
+	// async takeover (which is consensus-backed through the meta stream):
+	// brief wedges resolve via stream repair and view changes instead.
 	if n.rounds != nil {
 		for s := 0; s < n.ng; s++ {
-			if s != n.g && !alive(s) {
+			if s == n.g {
+				continue
+			}
+			last := n.lastStreamAt[s]
+			if in := n.streams[s]; in != nil && in.lastArrival > last {
+				last = in.lastArrival
+			}
+			if now-last > 4*n.cfg.TakeoverTimeout {
 				n.skipCrashedRounds(s)
 			}
 		}
@@ -322,7 +386,8 @@ func (n *Node) takeoverTick() {
 			n.takeoverSent[s] = sent
 		}
 		frozen := n.lastStreamTS[s]
-		for id, st := range n.entries {
+		for _, id := range n.sortedEntryIDs() {
+			st := n.entries[id]
 			if id.GID == s || st.executed || sent[id] || st.stampedStreams[s] {
 				continue
 			}
@@ -381,6 +446,13 @@ func (n *Node) execute(id types.EntryID) {
 	}
 	delete(n.chunkFrom, id)
 	delete(n.entries, id)
+	// Keep the executed entry servable for straggler recovery, bounded per
+	// group; seqs execute in order, so evicting (seq - archiveRetain) keeps
+	// the window tight without a scan.
+	n.archive[id] = &archived{entry: st.entry, cert: st.cert}
+	if id.Seq > archiveRetain {
+		delete(n.archive, types.EntryID{GID: id.GID, Seq: id.Seq - archiveRetain})
+	}
 }
 
 // freeWindow releases the proposer pipeline slot of an own-group entry

@@ -13,7 +13,6 @@ import (
 // batchTick fires every BatchTimeout on every node; the current local leader
 // cuts a batch when the protocol gate allows (§II-A "Batching").
 func (n *Node) batchTick() {
-	defer n.ctx.Net.After(n.cfg.BatchTimeout, n.batchTick)
 	now := n.now()
 	dt := now - n.lastTick
 	n.lastTick = now
@@ -59,11 +58,16 @@ func (n *Node) batchTick() {
 	}
 	n.nextSeq++
 	n.inFlight++
-	if err := n.local.Propose(e.Encode()); err != nil {
+	enc := e.Encode()
+	if err := n.local.Propose(enc); err != nil {
 		// Lost leadership between the check and the call; retry next tick.
 		n.nextSeq--
 		n.inFlight--
+		return
 	}
+	// Retain the proposal until its seq certifies: a view change can fill the
+	// slot with a no-op, and only this node can re-propose the content.
+	n.proposed[e.ID.Seq] = &proposalSt{enc: enc, at: now}
 }
 
 func (n *Node) groupRate() float64 {
@@ -112,7 +116,11 @@ func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate
 	if err != nil || e.ID.GID != n.g {
 		return
 	}
+	delete(n.proposed, e.ID.Seq)
 	st := n.st(e.ID)
+	if st.content {
+		return // re-proposal certified twice; the first delivery did the work
+	}
 	st.entry, st.cert = e, cert
 	st.content = true
 	st.contentAt = n.now()

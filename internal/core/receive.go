@@ -51,6 +51,11 @@ func (n *Node) onChunk(from keys.NodeID, c *replication.ChunkMsg, fromRemote boo
 	if n.collector == nil || n.blacklist[from] {
 		return
 	}
+	// Late chunks for already-executed entries must not resurrect state.
+	if c.Entry.Seq <= n.executedSeqOf(c.Entry.GID) {
+		return
+	}
+	n.noteChunkArrival(c.Entry)
 	// Byzantine receivers substitute their own tampered chunks when
 	// re-broadcasting (§VI-E): handled in forwardChunk below.
 	senders := n.chunkFrom[c.Entry]
@@ -76,6 +81,10 @@ func (n *Node) onChunkBatch(from keys.NodeID, b *replication.ChunkBatch, fromRem
 	if n.collector == nil || n.blacklist[from] {
 		return
 	}
+	if b.Entry.Seq <= n.executedSeqOf(b.Entry.GID) {
+		return
+	}
+	n.noteChunkArrival(b.Entry)
 	senders := n.chunkFrom[b.Entry]
 	if senders == nil {
 		senders = make(map[int]keys.NodeID)
@@ -99,6 +108,18 @@ func (n *Node) onChunkBatch(from keys.NodeID, b *replication.ChunkBatch, fromRem
 		}
 		env := &cluster.BatchFwd{B: out}
 		n.broadcastLocal(env)
+	}
+}
+
+// noteChunkArrival timestamps the first chunk of a foreign entry; the repair
+// timer measures bucket stall from this point.
+func (n *Node) noteChunkArrival(id types.EntryID) {
+	if n.cfg.RepairTimeout <= 0 {
+		return
+	}
+	st := n.st(id)
+	if !st.content && st.firstChunkAt == 0 {
+		st.firstChunkAt = n.now()
 	}
 }
 
@@ -197,10 +218,16 @@ func (n *Node) onRebuildFailure(id types.EntryID, chunkIDs []int) {
 	}
 }
 
-// onEntryCopy ingests a complete entry copy (one-way/bijective replication).
+// onEntryCopy ingests a complete entry copy: one-way/bijective replication,
+// or an EntryFetch reply — which may carry an own-group entry this node
+// missed because its local PBFT slot was lost (catch-up serves recent slots
+// only; older ones arrive here via the Lemma V.1 fetch path).
 func (n *Node) onEntryCopy(m *replication.EntryMsg, fromRemote bool) {
-	if m.Entry == nil || m.Entry.ID.GID == n.g {
+	if m.Entry == nil {
 		return
+	}
+	if m.Entry.ID.Seq <= n.executedSeqOf(m.Entry.ID.GID) {
+		return // late copy of an executed entry must not resurrect state
 	}
 	st := n.st(m.Entry.ID)
 	if st.content {
@@ -228,11 +255,21 @@ func (n *Node) onContent(e *types.Entry, cert *keys.Certificate) {
 	st.entry, st.cert = e, cert
 	st.content = true
 	st.contentAt = n.now()
-	if n.ctx.IsObserver {
+	// Own-group entries arriving here were fetched after a lost local slot:
+	// mark our group as holder, but never emit accept/stamp records for them
+	// (self stamps are the clock's job and carry TS == seq, not n.clk).
+	own := e.ID.GID == n.g
+	if own {
+		st.stamps[n.g] = true
+	}
+	if n.ctx.IsObserver && !own {
 		n.ctx.Metrics.RecordStage("global-replication", n.now()-time.Duration(e.Term))
 	}
 	if n.opts.Ordering == cluster.OrderAsync {
 		n.orderer.MarkReady(e.ID)
+		if own {
+			return
+		}
 		if n.opts.OverlapVTS {
 			// Overlapped VTS assignment (§V-B): stamp on receipt of the
 			// propose, not after global consensus.
@@ -244,7 +281,9 @@ func (n *Node) onContent(e *types.Entry, cert *keys.Certificate) {
 	}
 	// Round mode.
 	if n.opts.GlobalConsensus {
-		n.emitRecord(cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: e.ID})
+		if !own {
+			n.emitRecord(cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: e.ID})
+		}
 		n.maybeRoundReady(e.ID, st)
 	} else {
 		st.committed = true
@@ -266,7 +305,27 @@ func (n *Node) emitStamp(id types.EntryID) {
 		return
 	}
 	st.tsSent = true
-	n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
+	n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.stampTS()})
+}
+
+// stampTS returns the timestamp for a fresh foreign-entry stamp: the group
+// clock, clamped to everything already certified or queued on our stream.
+// VTS inference treats each group's stream as non-decreasing (a received TS
+// is a lower bound on all future assignments), so an emission below the
+// stream's high-water — possible when leadership moves to a node with a
+// lagging clock, or when a lost stamp is re-emitted later — would let nodes
+// order on bounds the real assignment then undercuts, forking the order.
+// Own-entry self stamps are exempt: their assignment is preset (vts[g]=seq)
+// on every node, so a late, low self stamp record cannot lower anything.
+func (n *Node) stampTS() uint64 {
+	ts := n.clk
+	if hw := n.lastStreamTS[n.g]; hw > ts {
+		ts = hw
+	}
+	if n.hiQueuedTS > ts {
+		ts = n.hiQueuedTS
+	}
+	return ts
 }
 
 // emitRecord queues a record for meta certification; only the current meta
@@ -275,6 +334,9 @@ func (n *Node) emitStamp(id types.EntryID) {
 func (n *Node) emitRecord(rec cluster.Record) {
 	if !n.meta.IsLeader() {
 		return
+	}
+	if rec.Kind == cluster.RecTS && rec.Stream == n.g && rec.TS > n.hiQueuedTS {
+		n.hiQueuedTS = rec.TS
 	}
 	n.pendingRecs = append(n.pendingRecs, rec)
 }

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/pbft"
+	"massbft/internal/plan"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// sortedEntryIDs returns the node's live entry IDs in (GID, Seq) order.
+// Recovery paths iterate entries on timers; map order would make retry
+// targets (and thus the whole event schedule) nondeterministic across runs.
+func (n *Node) sortedEntryIDs() []types.EntryID {
+	ids := make([]types.EntryID, 0, len(n.entries))
+	for id := range n.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].GID != ids[j].GID {
+			return ids[i].GID < ids[j].GID
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	return ids
+}
+
+// backoff returns base << min(attempt, 4): exponential, capped at 16x.
+func backoff(base time.Duration, attempt int) time.Duration {
+	if attempt > 4 {
+		attempt = 4
+	}
+	return base << uint(attempt)
+}
+
+// proposalSt retains an own proposal until its seq certifies locally, so the
+// proposer can re-issue it if a view change destroys the slot.
+type proposalSt struct {
+	enc      []byte
+	at       time.Duration
+	attempts int
+	nextAt   time.Duration
+}
+
+// proposalRepairScan re-proposes own entries whose seq never certified
+// locally: a view change fills the old leader's in-flight slots with no-ops,
+// and a lost seq wedges the group clock forever (advanceClock is contiguous).
+// Re-proposal is idempotent — if the original slot certifies late, the
+// duplicate delivery is dropped by onLocalCommit's content guard, identically
+// on every replica. A follower proposer forwards the content to the current
+// local leader instead.
+func (n *Node) proposalRepairScan(now time.Duration) {
+	if len(n.proposed) == 0 {
+		return
+	}
+	patience := n.cfg.ViewChangeTimeout
+	if n.cfg.TakeoverTimeout > patience {
+		patience = n.cfg.TakeoverTimeout
+	}
+	if patience == 0 {
+		return
+	}
+	seqs := make([]uint64, 0, len(n.proposed))
+	for s := range n.proposed {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		p := n.proposed[s]
+		id := types.EntryID{GID: n.g, Seq: s}
+		if s <= n.executedSeqOf(n.g) {
+			delete(n.proposed, s)
+			continue
+		}
+		if st := n.entries[id]; st != nil && st.content {
+			delete(n.proposed, s)
+			continue
+		}
+		if now-p.at < patience || now < p.nextAt {
+			continue
+		}
+		p.attempts++
+		p.nextAt = now + backoff(patience, p.attempts)
+		n.ctx.Metrics.Inc("proposal-retries")
+		if n.local.IsLeader() {
+			_ = n.local.Propose(p.enc)
+			continue
+		}
+		leader := n.local.Leader(n.local.View())
+		if leader == n.id {
+			continue
+		}
+		fwd := &cluster.ProposalFwd{Payload: p.enc}
+		n.ctx.Net.SendPriority(leader, fwd, fwd.WireSize())
+	}
+}
+
+// onProposalFwd re-proposes a group member's view-change-destroyed entry if
+// this node currently leads the local instance and the seq is still missing.
+func (n *Node) onProposalFwd(from keys.NodeID, m *cluster.ProposalFwd) {
+	if from.Group != n.g || from == n.id || !n.local.IsLeader() {
+		return
+	}
+	e, err := types.DecodeEntry(m.Payload)
+	if err != nil || e.ID.GID != n.g || e.ID.Seq <= n.executedSeqOf(n.g) {
+		return
+	}
+	if st := n.entries[e.ID]; st != nil && st.content {
+		return
+	}
+	_ = n.local.Propose(m.Payload)
+}
+
+// fetchMissing requests content for entries that some group stamped (so some
+// group provably holds them, Lemma V.1) but that never completed here. Each
+// attempt rotates the target group and node with exponential backoff, so a
+// crashed fetch target or a lost reply only delays — never strands — the
+// entry. The local leader retries first; followers hold back 3x longer so a
+// healthy leader path does not trigger a group-wide fetch storm.
+func (n *Node) fetchMissing(now time.Duration) {
+	patience := n.cfg.TakeoverTimeout
+	if !n.local.IsLeader() {
+		patience *= 3
+	}
+	for _, id := range n.sortedEntryIDs() {
+		st := n.entries[id]
+		if st.content || st.firstStampAt == 0 || st.executed {
+			continue
+		}
+		if id.Seq <= n.executedSeqOf(id.GID) {
+			continue
+		}
+		if now-st.firstStampAt < patience || now < st.nextFetchAt {
+			continue
+		}
+		attempt := st.fetchAttempts
+		st.fetchAttempts++
+		st.nextFetchAt = now + backoff(n.cfg.TakeoverTimeout, attempt)
+		target := n.fetchTarget(id, st, attempt)
+		if target == n.id {
+			continue
+		}
+		req := &cluster.EntryFetch{Entry: id}
+		n.ctx.Net.SendPriority(target, req, req.WireSize())
+		if attempt > 0 {
+			n.ctx.Metrics.Inc("fetch-retries")
+		}
+	}
+}
+
+// fetchTarget picks the fetch destination for one attempt: candidate groups
+// are every group known (or presumed) to hold the entry — the stamping
+// group, every group whose clock stream stamped it, the entry's own origin
+// group, and this node's own group (a rebuilt LAN peer can serve it too).
+// Attempts walk groups first, then node indexes within each group.
+func (n *Node) fetchTarget(id types.EntryID, st *entrySt, attempt int) keys.NodeID {
+	seen := map[int]bool{st.stampedBy: true, id.GID: true, n.g: true}
+	for s := range st.stampedStreams {
+		if s >= 0 && s < n.ng {
+			seen[s] = true
+		}
+	}
+	cands := make([]int, 0, len(seen))
+	for g := range seen {
+		cands = append(cands, g)
+	}
+	sort.Ints(cands)
+	g := cands[attempt%len(cands)]
+	idx := (attempt / len(cands)) % n.cfg.GroupSizes[g]
+	target := keys.NodeID{Group: g, Index: idx}
+	if target == n.id {
+		target.Index = (idx + 1) % n.cfg.GroupSizes[g]
+	}
+	return target
+}
+
+// repairTick drives the lossy-network NACK paths: chunk-gap repair for
+// stalled Collector buckets (encoded replication only), stream-gap repair for
+// stalled record-stream cursors, and certified slot catch-up for stalled PBFT
+// delivery cursors (all presets).
+func (n *Node) repairTick() {
+	now := n.now()
+	if n.collector != nil {
+		n.chunkRepairScan(now)
+	}
+	n.streamRepairScan(now)
+	n.slotRepairScan(now)
+}
+
+// pbftWatch tracks one PBFT instance's delivery cursor between repair ticks.
+type pbftWatch struct {
+	slot  uint64
+	since time.Duration
+}
+
+// slotRepairScan triggers PBFT slot catch-up when a delivery cursor stalls
+// while the instance has evidence of being behind (later in-flight slots, or
+// higher-view traffic whose NewView this replica may have missed). Without
+// it, a follower that lost votes for one slot never delivers anything again
+// even though the rest of the group moved on.
+func (n *Node) slotRepairScan(now time.Duration) {
+	n.instanceRepair(n.local, &n.localStall, now)
+	n.instanceRepair(n.meta, &n.metaStall, now)
+}
+
+func (n *Node) instanceRepair(in *pbft.Instance, w *pbftWatch, now time.Duration) {
+	slot := in.NextDeliverSlot()
+	if slot != w.slot || !in.Behind() {
+		w.slot, w.since = slot, now
+		return
+	}
+	if now-w.since < n.cfg.RepairTimeout {
+		return
+	}
+	w.since = now // one request per stalled RepairTimeout window
+	in.Catchup()
+	n.ctx.Metrics.Inc("slot-catchups")
+}
+
+// chunkRepairScan scans for entries whose chunk buckets stalled below n_data
+// past RepairTimeout and NACKs the missing chunk indexes: one rotating LAN
+// peer (which may have rebuilt the entry from a different chunk subset) and
+// one rotating sender-group node are asked per attempt, with exponential
+// backoff.
+func (n *Node) chunkRepairScan(now time.Duration) {
+	for _, id := range n.sortedEntryIDs() {
+		st := n.entries[id]
+		if st.content || st.executed || st.firstChunkAt == 0 || id.GID == n.g {
+			continue
+		}
+		if id.Seq <= n.executedSeqOf(id.GID) {
+			continue
+		}
+		if now-st.firstChunkAt < n.cfg.RepairTimeout || now < st.nextRepairAt {
+			continue
+		}
+		_, missing, ok := n.collector.Missing(id)
+		if !ok || len(missing) == 0 {
+			continue
+		}
+		attempt := st.repairAttempts
+		st.repairAttempts++
+		st.nextRepairAt = now + backoff(n.cfg.RepairTimeout, attempt)
+		req := &cluster.ChunkRepairReq{Entry: id, Missing: missing}
+		// One LAN peer: it may hold (or have rebuilt) chunks we lost.
+		if gs := n.cfg.GroupSizes[n.g]; gs > 1 {
+			peer := keys.NodeID{Group: n.g, Index: (n.id.Index + 1 + attempt) % gs}
+			if peer == n.id {
+				peer.Index = (peer.Index + 1) % gs
+			}
+			n.ctx.Net.SendPriority(peer, req, req.WireSize())
+			n.ctx.Metrics.Inc("repair-reqs")
+		}
+		// One alternate sender-group node (rotated, so a crashed or
+		// partitioned sender is skipped on the next attempt).
+		sender := keys.NodeID{Group: id.GID, Index: attempt % n.cfg.GroupSizes[id.GID]}
+		n.ctx.Net.SendPriority(sender, req, req.WireSize())
+		n.ctx.Metrics.Inc("repair-reqs")
+	}
+}
+
+// streamRepairScan NACKs record-stream gaps older than RepairTimeout: the
+// cursor is stalled with later batches buffered behind it, so an in-flight
+// MetaBatch was lost (batches are broadcast once, unacknowledged). One
+// rotating LAN peer and one rotating origin-group node are asked to
+// retransmit from the cursor, with exponential backoff.
+func (n *Node) streamRepairScan(now time.Duration) {
+	for g := 0; g < n.ng; g++ {
+		in := n.streams[g]
+		if in == nil || in.gapSince == 0 {
+			continue
+		}
+		if now-in.gapSince < n.cfg.RepairTimeout || now < in.nextRepairAt {
+			continue
+		}
+		attempt := in.repairAttempts
+		in.repairAttempts++
+		in.nextRepairAt = now + backoff(n.cfg.RepairTimeout, attempt)
+		req := &cluster.StreamFetch{Origin: g, From: in.next}
+		if gs := n.cfg.GroupSizes[n.g]; gs > 1 {
+			peer := keys.NodeID{Group: n.g, Index: (n.id.Index + 1 + attempt) % gs}
+			if peer == n.id {
+				peer.Index = (peer.Index + 1) % gs
+			}
+			n.ctx.Net.SendPriority(peer, req, req.WireSize())
+			n.ctx.Metrics.Inc("stream-repair-reqs")
+		}
+		src := keys.NodeID{Group: g, Index: attempt % n.cfg.GroupSizes[g]}
+		n.ctx.Net.SendPriority(src, req, req.WireSize())
+		n.ctx.Metrics.Inc("stream-repair-reqs")
+	}
+}
+
+// restampScan is the meta leader's record-loss safety net. A queued record
+// can miss certification entirely — a LAN drop stalls its PBFT slot, the view
+// change fills the slot with a no-op, and no later event re-emits it. The
+// ordering layer then wedges: a VTS head with one permanently-inferred element
+// can never prove precedence (Algorithm 2's prec), and in round mode a lost
+// accept or commit stalls the round forever. The scan re-queues the expected
+// record for any entry still lacking it after a patience window.
+//
+// Re-emission is safe: records certify on a single FIFO stream per group, so
+// if both an original and a re-emission certify, every node sees them in the
+// same order and the orderer's first-delivery-wins rule resolves them
+// identically everywhere.
+func (n *Node) restampScan(now time.Duration) {
+	if !n.meta.IsLeader() {
+		return
+	}
+	// Skip records already queued locally (awaiting flush or restored after a
+	// failed propose) — those are not lost, just not certified yet.
+	type recKey struct {
+		kind   int
+		stream int
+		id     types.EntryID
+	}
+	queued := make(map[recKey]bool, len(n.pendingRecs))
+	for _, r := range n.pendingRecs {
+		queued[recKey{r.Kind, r.Stream, r.Entry}] = true
+	}
+	patience := n.cfg.TakeoverTimeout
+	quorum := (n.ng-1)/2 + 1
+	async := n.opts.Ordering == cluster.OrderAsync
+	requeue := func(st *entrySt, rec cluster.Record) {
+		if queued[recKey{rec.Kind, rec.Stream, rec.Entry}] {
+			return
+		}
+		st.restampAttempts++
+		st.nextRestampAt = now + backoff(patience, st.restampAttempts)
+		n.emitRecord(rec)
+		n.ctx.Metrics.Inc("record-retries")
+	}
+	for _, id := range n.sortedEntryIDs() {
+		st := n.entries[id]
+		if st.executed || id.Seq <= n.executedSeqOf(id.GID) || now < st.nextRestampAt {
+			continue
+		}
+		born := st.contentAt
+		if st.firstStampAt > born {
+			born = st.firstStampAt
+		}
+		if born == 0 || now-born < patience {
+			continue
+		}
+		if id.GID == n.g {
+			// Own entries: self stamps are never re-emitted — their
+			// assignment is preset deterministically (vts[g] = seq) on every
+			// node, so only the commit record can need recovery.
+			if async && !n.opts.OverlapVTS && st.commitSeen && !st.committed {
+				// Serial mode: local committed flips only when our own commit
+				// record certifies, so its absence means the record was lost.
+				requeue(st, cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
+			}
+			if !async && n.opts.GlobalConsensus && st.commitSeen {
+				// Round mode has no certification feedback for commits;
+				// re-emit under backoff until the entry executes (idempotent).
+				requeue(st, cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
+			}
+			continue
+		}
+		switch {
+		case async && n.opts.OverlapVTS:
+			// Our stamp doubles as our accept; until it certifies
+			// (stampedStreams[n.g] via our own stream) the origin may be stuck
+			// short of quorum and every orderer head short of our element.
+			if !st.stampedStreams[n.g] && (st.content || len(st.stamps) >= quorum) {
+				st.tsSent = true
+				requeue(st, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.stampTS()})
+			}
+		case async:
+			if st.content && !st.committed {
+				requeue(st, cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: id})
+			} else if st.committed && !st.stampedStreams[n.g] {
+				st.tsSent = true
+				requeue(st, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.stampTS()})
+			}
+		case n.opts.GlobalConsensus:
+			if st.content && !st.committed {
+				requeue(st, cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: id})
+			}
+		}
+	}
+}
+
+// onStreamFetch retransmits logged batches of one origin's stream from the
+// requested cursor, as a bounded burst. Batches carry their own group
+// certificates, so any holder — origin member or fellow receiver — can serve.
+func (n *Node) onStreamFetch(from keys.NodeID, m *cluster.StreamFetch) {
+	if m.Origin < 0 || m.Origin >= n.ng {
+		return
+	}
+	log := n.batchLog[m.Origin]
+	if len(log) == 0 {
+		return
+	}
+	served := false
+	for s := m.From; s < m.From+streamFetchBurst; s++ {
+		b, ok := log[s]
+		if !ok {
+			break
+		}
+		n.ctx.Net.SendPriority(from, b, b.WireSize())
+		served = true
+	}
+	if served {
+		n.ctx.Metrics.Inc("stream-repair-served")
+	}
+}
+
+// streamFetchBurst bounds one StreamFetch reply; the requester NACKs again if
+// its cursor is still behind.
+const streamFetchBurst = 64
+
+// onChunkRepairReq serves a chunk-gap NACK. Both the sender group (every
+// member holds the entry after local consensus) and a receiver-group LAN
+// peer (once it rebuilt the entry) can re-derive the deterministic encoding
+// and prove exactly the requested indexes. Nodes without the content stay
+// silent; the requester's backoff rotates to another.
+func (n *Node) onChunkRepairReq(from keys.NodeID, m *cluster.ChunkRepairReq) {
+	entry, cert, ok := n.entryContent(m.Entry)
+	if !ok || len(m.Missing) == 0 {
+		return
+	}
+	var p *plan.Plan
+	switch {
+	case m.Entry.GID == n.g && from.Group != n.g:
+		// We are in the origin group; encode for the requester's group.
+		p = n.sendPlan(from.Group)
+	case from.Group == n.g && m.Entry.GID != n.g:
+		// LAN peer: re-derive the origin group's encoding for our group.
+		p = n.recvPlan(m.Entry.GID)
+	default:
+		return
+	}
+	if p == nil {
+		return
+	}
+	// Sanitize and bound the requested indexes.
+	idx := make([]int, 0, len(m.Missing))
+	seen := make(map[int]bool, len(m.Missing))
+	for _, i := range m.Missing {
+		if i >= 0 && i < p.Total && !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	sort.Ints(idx)
+	encd := n.encodeCached(entry.Encode(), p)
+	if encd == nil {
+		return
+	}
+	proof, err := encd.Tree.ProveMulti(idx)
+	if err != nil {
+		return
+	}
+	chunks := make([][]byte, len(proof.Indices))
+	for k, ci := range proof.Indices {
+		chunks[k] = encd.Shards[ci]
+	}
+	batch := &replication.ChunkBatch{
+		Entry:   m.Entry,
+		Root:    encd.Tree.Root(),
+		Total:   p.Total,
+		Data:    p.Data,
+		DataLen: encd.DataLen,
+		Indices: proof.Indices,
+		Proof:   proof,
+		Chunks:  chunks,
+		Cert:    cert,
+	}
+	if from.Group == n.g {
+		// LAN reply: wrap as a forward so the requester does not re-broadcast
+		// chunks its peers already have.
+		env := &cluster.BatchFwd{B: batch}
+		n.ctx.Net.Send(from, env, env.WireSize())
+	} else {
+		// WAN reply: a plain batch, which the requester re-shares over LAN.
+		n.ctx.Net.Send(from, batch, batch.WireSize())
+	}
+	n.ctx.Metrics.Inc("repair-served")
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/order"
+	"massbft/internal/replication"
+	"massbft/internal/types"
+)
+
+// rejoinBufMax bounds the consensus traffic buffered while a state transfer
+// is in flight; overflow is dropped (the protocols tolerate message loss).
+const rejoinBufMax = 8192
+
+// checkpointTick periodically folds this node's full state into a checkpoint
+// (CheckpointInterval). Rejoin serving always folds fresh, but the periodic
+// fold models the persisted snapshot a real deployment would restart from and
+// keeps the fold path exercised on every node.
+func (n *Node) checkpointTick() {
+	n.latestCheckpoint = n.foldCheckpoint(n.ledger.Height())
+	n.ctx.Metrics.Inc("checkpoints")
+}
+
+// foldCheckpoint snapshots the node at a virtual instant: the ledger suffix
+// above `have`, the state store, group clock, both PBFT instances (with
+// in-flight slots and their collected votes), the ordering machinery, stream
+// cursors (with still-buffered out-of-order batches), and every pending
+// entry. The simulation is single-threaded, so the fold is atomic by
+// construction.
+func (n *Node) foldCheckpoint(have uint64) *cluster.Checkpoint {
+	if have > n.ledger.Height() {
+		have = n.ledger.Height()
+	}
+	ck := &cluster.Checkpoint{
+		Height:      n.ledger.Height(),
+		Blocks:      n.ledger.Suffix(have),
+		State:       n.ctx.Engine.DB().Clone(),
+		StateRoll:   n.stateRoll,
+		Clk:         n.clk,
+		NextSeq:     n.nextSeq,
+		ExecCount:   n.execCount,
+		CommitCount: n.commitCount,
+		StreamTS:    make([]uint64, n.ng),
+		StreamNext:  make([]uint64, n.ng),
+	}
+	if n.executedSeq != nil {
+		ck.ExecutedSeq = append([]uint64(nil), n.executedSeq...)
+	}
+	for g := 0; g < n.ng; g++ {
+		ck.StreamTS[g] = n.lastStreamTS[g]
+		in := n.streams[g]
+		if in == nil {
+			continue
+		}
+		ck.StreamNext[g] = in.next
+		// Out-of-order batches were broadcast exactly once; fold them so the
+		// restoring node does not lose them forever.
+		seqs := make([]uint64, 0, len(in.buffered))
+		for s := range in.buffered {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			ck.Batches = append(ck.Batches, in.buffered[s])
+		}
+	}
+	ck.LocalView, ck.LocalSlot, ck.LocalSlots = n.local.Export()
+	ck.MetaView, ck.MetaSlot, ck.MetaSlots = n.meta.Export()
+	if n.orderer != nil {
+		ck.Ord = n.orderer.Export()
+	} else {
+		ck.Round, ck.Skipped = n.rounds.Export()
+	}
+	for _, id := range n.sortedEntryIDs() {
+		st := n.entries[id]
+		if st.executed || id.Seq <= n.executedSeqOf(id.GID) {
+			continue
+		}
+		pe := cluster.PendingEntry{
+			ID:         id,
+			StampedBy:  st.stampedBy,
+			Streams:    sortedIntKeys(st.stampedStreams),
+			Stamps:     sortedIntKeys(st.stamps),
+			Committed:  st.committed,
+			CommitSeen: st.commitSeen,
+		}
+		if st.content {
+			pe.Entry, pe.Cert = st.entry, st.cert
+		}
+		ck.Pending = append(ck.Pending, pe)
+	}
+	return ck
+}
+
+// Rejoin implements cluster.Rejoiner: called when the network revives this
+// node after a crash. The emulator discarded every timer that fired while the
+// node was down, so all periodic loops are dead; Rejoin re-arms them under a
+// fresh generation and starts the state-transfer exchange with a group peer
+// instead of resuming from stale in-memory state.
+func (n *Node) Rejoin() {
+	now := n.now()
+	n.lastTick = now
+	n.lastLocalProgress = now
+	n.lastMetaProgress = now
+	n.inFlight = 0
+	n.pendingRecs = nil
+	if n.cfg.GroupSizes[n.g] < 2 {
+		// No peer to transfer from; resume with what we have.
+		n.armTicks()
+		return
+	}
+	n.rejoining = true
+	n.rejoinAttempts = 0
+	n.rejoinBuf = nil
+	n.armTicks()
+	n.sendRejoinReq()
+}
+
+// sendRejoinReq asks the next group peer (rotating per attempt) for a state
+// transfer, and re-fires until a checkpoint installs.
+func (n *Node) sendRejoinReq() {
+	if !n.rejoining {
+		return
+	}
+	gs := n.cfg.GroupSizes[n.g]
+	peer := keys.NodeID{Group: n.g, Index: (n.id.Index + 1 + n.rejoinAttempts) % gs}
+	if peer == n.id {
+		peer.Index = (peer.Index + 1) % gs
+	}
+	n.rejoinAttempts++
+	req := &cluster.RejoinReq{Have: n.ledger.Height()}
+	n.ctx.Net.SendPriority(peer, req, req.WireSize())
+	gen := n.tickGen
+	n.ctx.Net.After(n.cfg.RejoinTimeout, func() {
+		if n.tickGen == gen && n.rejoining {
+			n.sendRejoinReq()
+		}
+	})
+}
+
+// onRejoinReq serves a state transfer to a recovering group peer: a fresh
+// fold, carrying only the ledger suffix the requester lacks. The transfer
+// trusts the serving LAN peer (see cluster.Checkpoint).
+func (n *Node) onRejoinReq(from keys.NodeID, m *cluster.RejoinReq) {
+	if from.Group != n.g || from == n.id {
+		return
+	}
+	resp := &cluster.RejoinResp{C: n.foldCheckpoint(m.Have)}
+	n.ctx.Net.Send(from, resp, resp.WireSize())
+	n.ctx.Metrics.Inc("rejoin-served")
+}
+
+// onRejoinResp installs a received checkpoint wholesale and resumes normal
+// operation. A checkpoint behind our own sealed height is rejected (a lagging
+// peer answered); the retry timer rotates to another peer.
+func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
+	if !n.rejoining || resp.C == nil {
+		return
+	}
+	ck := resp.C
+	if ck.Height < n.ledger.Height() {
+		return
+	}
+	for _, b := range ck.Blocks {
+		if b.Height <= n.ledger.Height() {
+			continue
+		}
+		if err := n.ledger.AppendBlock(b); err != nil {
+			return // gapped suffix (peer folded against a stale Have); rotate
+		}
+	}
+	if n.ledger.Height() != ck.Height {
+		return
+	}
+	n.charge(time.Duration(ck.WireSize()) * n.cfg.Cost.RebuildPerByte)
+
+	// Executed prefix.
+	n.ctx.Engine.DB().Restore(ck.State)
+	n.stateRoll = ck.StateRoll
+	n.execCount = ck.ExecCount
+	n.commitCount = ck.CommitCount
+	n.executedSeq = make([]uint64, n.ng)
+	copy(n.executedSeq, ck.ExecutedSeq)
+
+	// Proposer state.
+	n.clk = ck.Clk
+	if ck.NextSeq > n.nextSeq {
+		n.nextSeq = ck.NextSeq
+	}
+	n.inFlight = 0
+	n.backlog = 0
+	n.pendingRecs = nil
+
+	// In-flight entry state starts over from the checkpoint's pending set.
+	n.entries = make(map[types.EntryID]*entrySt)
+	n.chunkFrom = make(map[types.EntryID]map[int]keys.NodeID)
+	n.takeoverSent = make(map[int]map[types.EntryID]bool)
+	if n.opts.Replication == cluster.ReplEncoded {
+		n.collector = replication.NewCollector(n.ctx.Reg, n.recvPlan, n.onRebuilt)
+		n.collector.SetCache(n.ctx.RebuildCache)
+		n.collector.SetOnFailure(n.onRebuildFailure)
+	}
+
+	// Stream cursors; arrival times reset to now so takeover detection starts
+	// a fresh silence window.
+	now := n.now()
+	n.streams = make(map[int]*streamIn)
+	n.batchLog = make(map[int]map[uint64]*cluster.MetaBatch)
+	n.lastStreamTS = make(map[int]uint64)
+	n.lastStreamAt = make(map[int]time.Duration)
+	for g := 0; g < n.ng; g++ {
+		if g < len(ck.StreamTS) {
+			n.lastStreamTS[g] = ck.StreamTS[g]
+		}
+		n.lastStreamAt[g] = now
+		if g != n.g && g < len(ck.StreamNext) {
+			n.streams[g] = &streamIn{next: ck.StreamNext[g], buffered: make(map[uint64]*cluster.MetaBatch)}
+		}
+	}
+
+	// Ordering machinery.
+	if n.orderer != nil {
+		n.orderer = order.NewOrderer(n.ng, n.execute)
+		if ck.Ord != nil {
+			n.orderer.Restore(ck.Ord)
+		}
+	} else {
+		n.rounds = order.NewRoundOrderer(n.ng, n.execute)
+		n.rounds.Restore(ck.Round, ck.Skipped)
+	}
+
+	// Pending entries. Entries without content get a backdated stamp time so
+	// the Lemma V.1 fetch path kicks in on the next takeover tick.
+	for _, pe := range ck.Pending {
+		if pe.ID.Seq <= n.executedSeqOf(pe.ID.GID) {
+			continue
+		}
+		st := n.st(pe.ID)
+		st.stampedBy = pe.StampedBy
+		st.committed = pe.Committed
+		st.commitSeen = pe.CommitSeen
+		st.windowFreed = true
+		for _, g := range pe.Stamps {
+			st.stamps[g] = true
+		}
+		if len(pe.Streams) > 0 {
+			st.stampedStreams = make(map[int]bool, len(pe.Streams))
+			for _, s := range pe.Streams {
+				st.stampedStreams[s] = true
+			}
+		}
+		st.tsSent = st.stampedStreams[n.g]
+		if pe.Entry != nil {
+			st.entry, st.cert = pe.Entry, pe.Cert
+			st.content = true
+			st.contentAt = now
+			if n.orderer != nil {
+				n.orderer.MarkReady(pe.ID)
+			} else {
+				n.maybeRoundReady(pe.ID, st)
+			}
+		} else if pe.ID.GID != n.g {
+			st.firstStampAt = time.Duration(1)
+		}
+	}
+
+	// PBFT instances last: Install may synchronously deliver committed
+	// in-flight slots, which must apply against the restored state above.
+	n.local.Install(ck.LocalView, ck.LocalSlot, ck.LocalSlots)
+	n.meta.Install(ck.MetaView, ck.MetaSlot, ck.MetaSlots)
+
+	n.rejoining = false
+	n.ctx.Metrics.Inc("state-transfers")
+	// Replay the peer's still-buffered out-of-order batches, then whatever
+	// consensus traffic arrived during the transfer.
+	for _, b := range ck.Batches {
+		n.onMetaBatch(n.id, b) // from self: no LAN re-relay
+	}
+	buf := n.rejoinBuf
+	n.rejoinBuf = nil
+	for i := range buf {
+		n.HandleMessage(n.ctx.Net, buf[i])
+	}
+
+	// Watchdog: if execution makes no progress for a long while after the
+	// install (e.g. the transfer raced a leader change and this node wedged),
+	// rejoin again rather than stay stuck forever. The patience must exceed
+	// the slowest normal recovery path — a follower's Lemma V.1 fetch waits
+	// 3x TakeoverTimeout before its first attempt — or the watchdog thrashes,
+	// wiping nodes that were about to recover on their own.
+	wd := 4 * n.cfg.RejoinTimeout
+	if m := 8 * n.cfg.TakeoverTimeout; m > wd {
+		wd = m
+	}
+	gen := n.tickGen
+	execAt := n.execCount
+	n.ctx.Net.After(wd, func() {
+		if n.tickGen != gen || n.rejoining {
+			return
+		}
+		if n.execCount == execAt {
+			n.Rejoin()
+		}
+	})
+}
+
+// sortedIntKeys returns the keys of a set in ascending order (checkpoint
+// folds must be deterministic).
+func sortedIntKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -107,6 +107,28 @@ func (l *Ledger) Append(entry types.EntryID, entryDigest keys.Digest, committed,
 	return b
 }
 
+// AppendBlock appends an externally produced block (state transfer), after
+// validating that it chains onto the current head.
+func (l *Ledger) AppendBlock(b *Block) error {
+	if b.Height != l.Height()+1 {
+		return ErrBadHeight
+	}
+	if b.Prev != l.Head() {
+		return ErrBrokenChain
+	}
+	l.blocks = append(l.blocks, b)
+	return nil
+}
+
+// Suffix returns the blocks above 1-based height from (i.e. heights from+1
+// onward). Blocks are immutable once appended, so sharing pointers is safe.
+func (l *Ledger) Suffix(from uint64) []*Block {
+	if from >= l.Height() {
+		return nil
+	}
+	return append([]*Block(nil), l.blocks[from:]...)
+}
+
 // Block returns the block at 1-based height, or nil.
 func (l *Ledger) Block(height uint64) *Block {
 	if height < 1 || height > l.Height() {

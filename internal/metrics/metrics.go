@@ -31,6 +31,10 @@ type Collector struct {
 	seriesTxns map[int]int64
 	seriesLat  map[int]time.Duration
 	seriesLatN map[int]int64
+
+	// counters holds named event counts (fault and recovery events: chunks
+	// dropped, repair NACKs, fetch retries, checkpoints, state transfers).
+	counters map[string]int64
 }
 
 // NewCollector creates an empty collector.
@@ -41,7 +45,30 @@ func NewCollector() *Collector {
 		seriesTxns: make(map[int]int64),
 		seriesLat:  make(map[int]time.Duration),
 		seriesLatN: make(map[int]int64),
+		counters:   make(map[string]int64),
 	}
+}
+
+// Inc increments a named event counter by one.
+func (c *Collector) Inc(name string) { c.counters[name]++ }
+
+// Add increments a named event counter by d.
+func (c *Collector) Add(name string, d int64) { c.counters[name] += d }
+
+// Set overwrites a named counter (used for values sampled from elsewhere,
+// e.g. the network fault layer's drop totals).
+func (c *Collector) Set(name string, v int64) { c.counters[name] = v }
+
+// Counter returns a named counter's current value (zero if never touched).
+func (c *Collector) Counter(name string) int64 { return c.counters[name] }
+
+// Counters returns a copy of all named counters.
+func (c *Collector) Counters() map[string]int64 {
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
 }
 
 // SetWindow restricts throughput accounting to [start, end] of virtual time;
@@ -183,9 +210,21 @@ func (c *Collector) Series() []SeriesPoint {
 	return out
 }
 
-// Summary formats the headline numbers.
+// Summary formats the headline numbers, followed by any non-zero event
+// counters in sorted order so chaos runs are debuggable at a glance.
 func (c *Collector) Summary() string {
-	return fmt.Sprintf("throughput=%.0f tps latency(avg)=%v p50=%v entries=%d abortRate=%.3f",
+	s := fmt.Sprintf("throughput=%.0f tps latency(avg)=%v p50=%v entries=%d abortRate=%.3f",
 		c.Throughput(), c.AvgLatency().Round(time.Millisecond),
 		c.PercentileLatency(50).Round(time.Millisecond), c.entries, c.AbortRate())
+	names := make([]string, 0, len(c.counters))
+	for name, v := range c.counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s += fmt.Sprintf(" %s=%d", name, c.counters[name])
+	}
+	return s
 }

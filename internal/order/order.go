@@ -196,9 +196,92 @@ func prec(e1, e2 *entryOrd) bool {
 // Executed returns the number of entries executed so far.
 func (o *Orderer) Executed() int { return o.executedCount }
 
+// EntryVTS is the portable image of one entry's (possibly partial) vector
+// timestamp.
+type EntryVTS struct {
+	ID  types.EntryID
+	VTS []uint64
+	Set []bool
+}
+
+// State is a checkpoint of the Algorithm-2 state machine: the per-group
+// executed watermarks plus every live entry's VTS knowledge (heads included,
+// which carry the inference lower bounds). Readiness is deliberately absent —
+// it reflects local content availability, which the restoring node
+// re-establishes as entries arrive.
+type State struct {
+	ExecutedSeq []uint64
+	Entries     []EntryVTS
+}
+
+// Export snapshots the orderer for a state transfer. Entries are emitted in
+// (GID, Seq) order so the snapshot is deterministic.
+func (o *Orderer) Export() *State {
+	s := &State{ExecutedSeq: append([]uint64(nil), o.executedSeq...)}
+	ids := make([]types.EntryID, 0, len(o.entries))
+	for id := range o.entries {
+		ids = append(ids, id)
+	}
+	sortEntryIDs(ids)
+	for _, id := range ids {
+		e := o.entries[id]
+		s.Entries = append(s.Entries, EntryVTS{
+			ID:  id,
+			VTS: append([]uint64(nil), e.vts...),
+			Set: append([]bool(nil), e.set...),
+		})
+	}
+	return s
+}
+
+// Restore resets the orderer to an exported snapshot. Execution resumes at
+// the snapshot's watermarks; entries become executable again once the caller
+// re-marks them ready.
+func (o *Orderer) Restore(s *State) {
+	o.executedSeq = make([]uint64, o.ng)
+	copy(o.executedSeq, s.ExecutedSeq)
+	o.entries = make(map[types.EntryID]*entryOrd)
+	o.ready = make(map[types.EntryID]bool)
+	for _, ex := range s.Entries {
+		if ex.ID.GID < 0 || ex.ID.GID >= o.ng || len(ex.VTS) != o.ng || len(ex.Set) != o.ng {
+			continue
+		}
+		o.entries[ex.ID] = &entryOrd{
+			id:  ex.ID,
+			vts: append([]uint64(nil), ex.VTS...),
+			set: append([]bool(nil), ex.Set...),
+		}
+	}
+	for g := 0; g < o.ng; g++ {
+		o.heads[g] = o.entry(types.EntryID{GID: g, Seq: o.executedSeq[g] + 1})
+	}
+}
+
+func sortEntryIDs(ids []types.EntryID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && lessID(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func lessID(a, b types.EntryID) bool {
+	if a.GID != b.GID {
+		return a.GID < b.GID
+	}
+	return a.Seq < b.Seq
+}
+
 // PendingHead returns the ID of the next-to-execute entry of group g; useful
 // for observability and tests.
 func (o *Orderer) PendingHead(g int) types.EntryID { return o.heads[g].id }
+
+// HeadState exposes one head's ordering knowledge (VTS values, which are
+// assigned vs inferred, and readiness) for diagnostics and tests.
+func (o *Orderer) HeadState(g int) (id types.EntryID, vts []uint64, set []bool, ready bool) {
+	h := o.heads[g]
+	return h.id, append([]uint64(nil), h.vts...), append([]bool(nil), h.set...), o.ready[h.id]
+}
 
 // --- Static total order (Lemma V.4) over complete VTSs ---
 

@@ -69,5 +69,31 @@ func (r *RoundOrderer) drain() {
 // Round returns the current (incomplete) round number.
 func (r *RoundOrderer) Round() uint64 { return r.round }
 
+// Export snapshots the round orderer for a state transfer: the current round
+// and the outstanding skip decisions. Readiness is content-local and is
+// re-established by the restoring node.
+func (r *RoundOrderer) Export() (round uint64, skipped []types.EntryID) {
+	for id := range r.skipped {
+		skipped = append(skipped, id)
+	}
+	sortEntryIDs(skipped)
+	return r.round, skipped
+}
+
+// Restore resets the orderer to an exported snapshot.
+func (r *RoundOrderer) Restore(round uint64, skipped []types.EntryID) {
+	if round < 1 {
+		round = 1
+	}
+	r.round = round
+	r.ready = make(map[types.EntryID]bool)
+	r.skipped = make(map[types.EntryID]bool)
+	for _, id := range skipped {
+		if id.Seq >= round {
+			r.skipped[id] = true
+		}
+	}
+}
+
 // Executed returns the number of entries executed so far.
 func (r *RoundOrderer) Executed() int { return r.count }

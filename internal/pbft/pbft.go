@@ -88,11 +88,37 @@ type NewView struct {
 	Sig         keys.Signature
 }
 
-func (*PrePrepare) pbftMsg() {}
-func (*Prepare) pbftMsg()    {}
-func (*Commit) pbftMsg()     {}
-func (*ViewChange) pbftMsg() {}
-func (*NewView) pbftMsg()    {}
+// SlotRequest asks a peer for certified slots the sender missed. Message loss
+// has no retransmission in the three normal phases, so a replica that missed
+// votes for a slot (or the NewView announcement itself) would otherwise stall
+// its delivery cursor forever while the rest of the group moves on.
+type SlotRequest struct {
+	From uint64
+}
+
+// CommittedSlot is one delivered slot in a SlotReply: payload plus the quorum
+// certificate that proves it, so the receiver trusts content, not the peer.
+type CommittedSlot struct {
+	Slot    uint64
+	Payload []byte
+	Cert    *keys.Certificate
+}
+
+// SlotReply carries missed certified slots in order, plus the latest NewView
+// announcement so a replica stranded in an old view can rejoin the current one
+// through the normal (signature-checked) path.
+type SlotReply struct {
+	NV    *NewView
+	Slots []CommittedSlot
+}
+
+func (*PrePrepare) pbftMsg()  {}
+func (*Prepare) pbftMsg()     {}
+func (*Commit) pbftMsg()      {}
+func (*ViewChange) pbftMsg()  {}
+func (*NewView) pbftMsg()     {}
+func (*SlotRequest) pbftMsg() {}
+func (*SlotReply) pbftMsg()   {}
 
 const sigWire = ed25519.SignatureSize + 8 // signature + signer id
 
@@ -119,6 +145,24 @@ func (m *NewView) WireSize() int {
 	n := 8 + sigWire
 	for _, pp := range m.Reproposals {
 		n += pp.WireSize()
+	}
+	return n
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *SlotRequest) WireSize() int { return 8 }
+
+// WireSize returns the serialized size in bytes.
+func (m *SlotReply) WireSize() int {
+	n := 1
+	if m.NV != nil {
+		n += m.NV.WireSize()
+	}
+	for _, s := range m.Slots {
+		n += 8 + len(s.Payload)
+		if s.Cert != nil {
+			n += s.Cert.Size()
+		}
 	}
 	return n
 }
@@ -172,20 +216,30 @@ type Instance struct {
 	execSlot uint64 // next slot to deliver
 	slots    map[uint64]*slotState
 	vcVotes  map[uint64]map[keys.NodeID]*ViewChange
-	timerSeq uint64 // invalidates stale progress timers
-	vcTarget uint64 // highest view we have voted for
+	timerSeq uint64      // invalidates stale progress timers
+	vcTarget uint64      // highest view we have voted for
+	lastVC   *ViewChange // our vote for vcTarget, kept for re-broadcast
+
+	// Catch-up state: delivered slots retained for serving SlotRequests, the
+	// latest NewView (so stranded replicas can rejoin the view), a hint that
+	// higher-view traffic was seen, and the rotating request counter.
+	delivered       map[uint64]CommittedSlot
+	lastNewView     *NewView
+	viewHint        uint64
+	catchupAttempts int
 }
 
 // New creates a PBFT replica instance.
 func New(cfg Config) *Instance {
 	n := len(cfg.Members)
 	return &Instance{
-		cfg:     cfg,
-		n:       n,
-		f:       (n - 1) / 3,
-		group:   cfg.Self.ID.Group,
-		slots:   make(map[uint64]*slotState),
-		vcVotes: make(map[uint64]map[keys.NodeID]*ViewChange),
+		cfg:       cfg,
+		n:         n,
+		f:         (n - 1) / 3,
+		group:     cfg.Self.ID.Group,
+		slots:     make(map[uint64]*slotState),
+		vcVotes:   make(map[uint64]map[keys.NodeID]*ViewChange),
+		delivered: make(map[uint64]CommittedSlot),
 	}
 }
 
@@ -279,21 +333,37 @@ func (in *Instance) slot(s uint64) *slotState {
 func (in *Instance) Handle(from keys.NodeID, m Msg) {
 	switch msg := m.(type) {
 	case *PrePrepare:
+		in.noteView(msg.View)
 		in.onPrePrepare(from, msg)
 	case *Prepare:
+		in.noteView(msg.View)
 		in.onPrepare(msg)
 	case *Commit:
+		in.noteView(msg.View)
 		in.onCommit(msg)
 	case *ViewChange:
 		in.onViewChange(msg)
 	case *NewView:
 		in.onNewView(msg)
+	case *SlotRequest:
+		in.onSlotRequest(from, msg)
+	case *SlotReply:
+		in.onSlotReply(msg)
+	}
+}
+
+// noteView records the highest view seen in any phase message. The value is
+// unverified and never changes protocol state — it only makes Behind() true,
+// triggering a catch-up request whose reply is fully certificate-checked.
+func (in *Instance) noteView(v uint64) {
+	if v > in.viewHint {
+		in.viewHint = v
 	}
 }
 
 func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
-	if pp.View != in.view {
-		return
+	if pp.View != in.view || pp.Slot < in.execSlot {
+		return // stale view, or a slot already delivered (state was GC'd)
 	}
 	if from != in.Leader(pp.View) && from != in.cfg.Self.ID {
 		return // only the leader may pre-prepare
@@ -307,7 +377,16 @@ func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
 	}
 	st := in.slot(pp.Slot)
 	if st.prePrepare {
-		return // duplicate (first proposal for the slot wins in this view)
+		// Duplicate (first proposal for the slot wins in this view). If the
+		// slot already committed here and a new view is re-proposing it, the
+		// peers re-running consensus need our share — commit shares are
+		// certificate signatures over (group, digest), valid across views.
+		if st.committed && st.digest == pp.Digest {
+			if share, ok := st.commits[in.cfg.Self.ID]; ok {
+				in.broadcast(&Commit{View: in.view, Slot: pp.Slot, Digest: st.digest, Share: share})
+			}
+		}
+		return
 	}
 	st.prePrepare = true
 	st.digest = pp.Digest
@@ -330,7 +409,7 @@ func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
 }
 
 func (in *Instance) onPrepare(p *Prepare) {
-	if p.View != in.view || in.cfg.SkipPrepare {
+	if p.View != in.view || p.Slot < in.execSlot || in.cfg.SkipPrepare {
 		return
 	}
 	if !in.verify(p.Sig, phaseMsg(phasePrepare, p.View, p.Slot, p.Digest)) {
@@ -363,7 +442,7 @@ func (in *Instance) sendCommit(slot uint64, d keys.Digest, st *slotState) {
 }
 
 func (in *Instance) onCommit(c *Commit) {
-	if c.View != in.view {
+	if c.View != in.view || c.Slot < in.execSlot {
 		return
 	}
 	st := in.slot(c.Slot)
@@ -401,7 +480,109 @@ func (in *Instance) deliverReady() {
 			payload = nil // no-op filler slot
 		}
 		in.cfg.Deliver(in.execSlot, payload, cert)
+		in.logDelivered(CommittedSlot{Slot: in.execSlot, Payload: payload, Cert: cert})
+		// Delivered slot state is never consulted again (the execSlot guards
+		// drop late messages for it); free it so long runs stay bounded.
+		delete(in.slots, in.execSlot)
 		in.execSlot++
+		in.catchupAttempts = 0
+	}
+}
+
+// logDelivered retains a delivered slot for serving catch-up requests, bounded
+// to catchupRetain slots; older gaps fall back to application-level rejoin.
+func (in *Instance) logDelivered(cs CommittedSlot) {
+	in.delivered[cs.Slot] = cs
+	if cs.Slot >= catchupRetain {
+		delete(in.delivered, cs.Slot-catchupRetain)
+	}
+}
+
+const (
+	// catchupRetain bounds the per-instance delivered-slot log.
+	catchupRetain = 512
+	// catchupBurst bounds one SlotReply; the requester asks again if still
+	// behind.
+	catchupBurst = 64
+)
+
+// Behind reports whether this replica appears to be missing deliveries:
+// in-flight slots exist beyond the delivery cursor, or traffic from a higher
+// view arrived (the NewView announcement may have been lost). Callers combine
+// it with a stall timer — under normal pipelining both conditions occur
+// transiently.
+func (in *Instance) Behind() bool {
+	return in.viewHint > in.view || in.nextSlot > in.execSlot
+}
+
+// Catchup sends one SlotRequest for the delivery cursor to a rotating group
+// peer. The protocol layer calls it when the cursor stalls while Behind().
+func (in *Instance) Catchup() {
+	if in.n < 2 {
+		return
+	}
+	peer := in.cfg.Members[(in.cfg.Self.ID.Index+1+in.catchupAttempts)%in.n]
+	if peer == in.cfg.Self.ID {
+		peer = in.cfg.Members[(peer.Index+1)%in.n]
+	}
+	in.catchupAttempts++
+	in.cfg.Send(peer, &SlotRequest{From: in.execSlot})
+}
+
+// onSlotRequest serves delivered slots from the retained log, together with
+// the latest NewView so a view-stranded replica can rejoin.
+func (in *Instance) onSlotRequest(from keys.NodeID, m *SlotRequest) {
+	if from == in.cfg.Self.ID {
+		return
+	}
+	rep := &SlotReply{NV: in.lastNewView}
+	for s := m.From; s < m.From+catchupBurst; s++ {
+		cs, ok := in.delivered[s]
+		if !ok {
+			break
+		}
+		rep.Slots = append(rep.Slots, cs)
+	}
+	if rep.NV == nil && len(rep.Slots) == 0 {
+		return
+	}
+	in.cfg.Send(from, rep)
+}
+
+// onSlotReply ingests certified slots at the delivery cursor. Nothing is
+// trusted from the peer: each slot must carry a valid quorum certificate over
+// its payload digest, and the NewView goes through the normal signature check.
+func (in *Instance) onSlotReply(m *SlotReply) {
+	if m.NV != nil {
+		in.onNewView(m.NV)
+	}
+	progressed := false
+	for _, cs := range m.Slots {
+		if cs.Slot != in.execSlot {
+			continue
+		}
+		payload := cs.Payload
+		if len(payload) == 0 {
+			payload = nil
+		}
+		if cs.Cert == nil || cs.Cert.Group != in.group ||
+			cs.Cert.Digest != keys.Hash(payload) ||
+			in.cfg.Registry.VerifyCertificate(cs.Cert) != nil {
+			continue
+		}
+		delete(in.slots, cs.Slot)
+		in.cfg.Deliver(cs.Slot, payload, cs.Cert)
+		in.logDelivered(CommittedSlot{Slot: cs.Slot, Payload: payload, Cert: cs.Cert})
+		in.execSlot++
+		if in.nextSlot < in.execSlot {
+			in.nextSlot = in.execSlot
+		}
+		progressed = true
+	}
+	if progressed {
+		in.timerSeq++ // progress: cancel pending view-change timers
+		in.catchupAttempts = 0
+		in.deliverReady() // locally-committed later slots may now be contiguous
 	}
 }
 
@@ -424,22 +605,38 @@ func (in *Instance) armProgressTimer(slot uint64) {
 }
 
 func (in *Instance) voteViewChange(newView uint64) {
-	if newView <= in.view || newView <= in.vcTarget {
+	if newView <= in.view {
+		return
+	}
+	if newView <= in.vcTarget {
+		// Re-broadcast the stored vote: view-change messages have no other
+		// retransmission path, and a group whose f+1 votes were all lost to
+		// the network would otherwise stay wedged in the old view forever
+		// (each replica's first and only vote already absorbed by the target
+		// guard). Pure re-send — no self-processing, no new timers.
+		if in.lastVC != nil && in.lastVC.NewView > in.view {
+			in.broadcast(in.lastVC)
+		}
 		return
 	}
 	in.vcTarget = newView
 	vc := &ViewChange{NewView: newView}
-	// Report every prepared-but-uncommitted slot (classic PBFT P set).
+	// Report every prepared slot (classic PBFT P set). Committed-but-
+	// undelivered slots are included too: they anchor the new view's maxSlot
+	// so that a slot which never certified below them is re-proposed (as the
+	// surviving prepared payload, or a no-op when no voter prepared it)
+	// instead of being left as a permanent hole under the committed range.
 	for s := in.execSlot; s < in.nextSlot; s++ {
 		st := in.slots[s]
-		if st == nil || st.committed || !st.prePrepare {
+		if st == nil || !st.prePrepare {
 			continue
 		}
-		if in.cfg.SkipPrepare || len(st.prepares) >= in.Quorum() {
+		if st.committed || in.cfg.SkipPrepare || len(st.prepares) >= in.Quorum() {
 			vc.Prepared = append(vc.Prepared, PreparedInfo{Slot: s, Digest: st.digest, Payload: st.payload})
 		}
 	}
 	vc.Sig = in.sign(viewChangeMsg(vc))
+	in.lastVC = vc
 	in.broadcast(vc)
 	in.onViewChange(vc)
 	// Escalate if this view change does not complete either.
@@ -480,6 +677,15 @@ func (in *Instance) onViewChange(vc *ViewChange) {
 	if len(votes) == in.f+1 {
 		in.voteViewChange(vc.NewView)
 	}
+	// Already suspicious ourselves: adopt a higher target so escalation
+	// timers that diverged per replica (each bumping its own target while
+	// votes were being lost) converge on the maximum, where a quorum can
+	// actually form. Only replicas that independently timed out follow a
+	// single vote up, so a Byzantine node can redirect but never initiate a
+	// view change.
+	if in.vcTarget > in.view && vc.NewView > in.vcTarget {
+		in.voteViewChange(vc.NewView)
+	}
 	if len(votes) >= in.Quorum() && in.Leader(vc.NewView) == in.cfg.Self.ID {
 		in.installNewView(vc.NewView, votes)
 	}
@@ -518,6 +724,7 @@ func (in *Instance) installNewView(view uint64, votes map[keys.NodeID]*ViewChang
 		nv.Reproposals = append(nv.Reproposals, pp)
 	}
 	in.enterView(view)
+	in.lastNewView = nv
 	in.broadcast(nv)
 	for _, pp := range nv.Reproposals {
 		in.onPrePrepare(in.cfg.Self.ID, pp)
@@ -536,6 +743,7 @@ func (in *Instance) onNewView(nv *NewView) {
 		return
 	}
 	in.enterView(nv.View)
+	in.lastNewView = nv
 	for _, pp := range nv.Reproposals {
 		in.onPrePrepare(in.Leader(nv.View), pp)
 	}
@@ -560,6 +768,134 @@ func (in *Instance) enterView(view uint64) {
 	if in.cfg.OnViewChange != nil {
 		in.cfg.OnViewChange(view)
 	}
+}
+
+// --- State transfer (checkpointed node rejoin) ---
+
+// NextDeliverSlot returns the next slot this replica will deliver.
+func (in *Instance) NextDeliverSlot() uint64 { return in.execSlot }
+
+// ExportedSlot is the portable image of one undelivered slot: the proposal
+// plus every prepare/commit vote the exporting replica has collected. Shares
+// are the original signatures, so the importer's certificates stay valid.
+type ExportedSlot struct {
+	Slot      uint64
+	Digest    keys.Digest
+	Payload   []byte
+	Prepares  []keys.NodeID
+	Commits   []keys.Signature
+	Committed bool
+}
+
+// WireSize returns the serialized size in bytes.
+func (s *ExportedSlot) WireSize() int {
+	return 8 + 32 + len(s.Payload) + 8*len(s.Prepares) + sigWire*len(s.Commits) + 1
+}
+
+// Export snapshots the instance for a state transfer: the current view, the
+// next slot to deliver, and every in-flight slot with the votes collected so
+// far. Slots below execSlot are already delivered and are represented by the
+// application-level checkpoint instead.
+func (in *Instance) Export() (view, execSlot uint64, inflight []ExportedSlot) {
+	for s := in.execSlot; s < in.nextSlot; s++ {
+		st := in.slots[s]
+		if st == nil || !st.prePrepare {
+			continue
+		}
+		ex := ExportedSlot{Slot: s, Digest: st.digest, Payload: st.payload, Committed: st.committed}
+		for id := range st.prepares {
+			ex.Prepares = append(ex.Prepares, id)
+		}
+		sortNodeIDs(ex.Prepares)
+		for _, sig := range st.commits {
+			ex.Commits = append(ex.Commits, sig)
+		}
+		sortSigs(ex.Commits)
+		inflight = append(inflight, ex)
+	}
+	return in.view, in.execSlot, inflight
+}
+
+// Install resets the replica to an exported image: it jumps to the given view
+// and delivery slot (the application state up to execSlot comes from the
+// checkpoint) and seeds the in-flight slots, broadcasting this replica's own
+// votes for the uncommitted ones so it resumes participating immediately.
+// The image is trusted as-is (the checkpoint transfer trusts the serving
+// peer; a production system would cross-check it against the certified
+// ledger).
+func (in *Instance) Install(view, execSlot uint64, inflight []ExportedSlot) {
+	in.view = view
+	in.execSlot = execSlot
+	in.nextSlot = execSlot
+	in.slots = make(map[uint64]*slotState)
+	in.vcVotes = make(map[uint64]map[keys.NodeID]*ViewChange)
+	in.vcTarget = view
+	in.lastVC = nil
+	in.timerSeq++
+	in.delivered = make(map[uint64]CommittedSlot)
+	in.viewHint = view
+	in.catchupAttempts = 0
+	for _, ex := range inflight {
+		if ex.Slot < execSlot {
+			continue
+		}
+		st := in.slot(ex.Slot)
+		st.prePrepare = true
+		st.digest = ex.Digest
+		st.payload = ex.Payload
+		for _, id := range ex.Prepares {
+			st.prepares[id] = true
+		}
+		for _, sig := range ex.Commits {
+			st.commits[sig.Signer] = sig
+		}
+		st.committed = ex.Committed
+		if ex.Slot+1 > in.nextSlot {
+			in.nextSlot = ex.Slot + 1
+		}
+		if st.committed {
+			continue
+		}
+		in.armProgressTimer(ex.Slot)
+		// Re-join the vote: peers that already voted will not resend, but our
+		// own share may complete the quorum (their shares were exported).
+		if in.cfg.SkipPrepare {
+			if _, done := st.commits[in.cfg.Self.ID]; !done {
+				in.sendCommit(ex.Slot, ex.Digest, st)
+			}
+		} else {
+			p := &Prepare{
+				View: in.view, Slot: ex.Slot, Digest: ex.Digest,
+				Sig: in.sign(phaseMsg(phasePrepare, in.view, ex.Slot, ex.Digest)),
+			}
+			in.broadcast(p)
+			in.onPrepare(p)
+		}
+	}
+	in.deliverReady()
+}
+
+func sortNodeIDs(ids []keys.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func sortSigs(sigs []keys.Signature) {
+	for i := 1; i < len(sigs); i++ {
+		for j := i; j > 0 && less(sigs[j].Signer, sigs[j-1].Signer); j-- {
+			sigs[j], sigs[j-1] = sigs[j-1], sigs[j]
+		}
+	}
+}
+
+func less(a, b keys.NodeID) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	return a.Index < b.Index
 }
 
 // SuspectLeader votes to replace the current leader (view+1). Protocol

@@ -383,6 +383,53 @@ func (c *Collector) banBucket(st *entryState, bucket map[int][]byte) {
 	}
 }
 
+// Missing reports what a stalled entry still needs: the Merkle root of the
+// most promising bucket (the largest one; ties broken by smallest root bytes
+// so every replica computes the same answer) and the sorted chunk IDs that
+// bucket lacks, excluding banned IDs. When no chunk has arrived yet the root
+// is zero and every non-banned chunk ID is missing. ok is false when the
+// entry is already delivered or the sender group is unknown — nothing to
+// repair.
+func (c *Collector) Missing(id types.EntryID) (root merkle.Root, missing []int, ok bool) {
+	p := c.planFor(id.GID)
+	if p == nil {
+		return root, nil, false
+	}
+	st := c.entries[id]
+	if st != nil && st.delivered {
+		return root, nil, false
+	}
+	var bucket map[int][]byte
+	if st != nil {
+		for r, b := range st.buckets {
+			if bucket == nil || len(b) > len(bucket) ||
+				(len(b) == len(bucket) && lessRoot(r, root)) {
+				root, bucket = r, b
+			}
+		}
+	}
+	for idx := 0; idx < p.Total; idx++ {
+		if st != nil && st.banned[idx] {
+			continue
+		}
+		if _, have := bucket[idx]; have {
+			continue
+		}
+		missing = append(missing, idx)
+	}
+	return root, missing, true
+}
+
+// lessRoot orders Merkle roots lexicographically (deterministic tie-break).
+func lessRoot(a, b merkle.Root) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // Delivered reports whether the entry has already been rebuilt and delivered.
 func (c *Collector) Delivered(id types.EntryID) bool {
 	st := c.entries[id]

@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FaultConfig describes the lossy-WAN fault layer (§VI-E extended): seeded
+// per-message probabilistic drop and duplication, extra latency jitter, and
+// (via the Partition* methods) scheduled link partitions between groups.
+// All sampling is driven by a dedicated RNG so runs with the same seed are
+// bit-for-bit reproducible, independent of the base network's jitter stream.
+type FaultConfig struct {
+	// Seed drives the fault sampling RNG. Zero derives a seed from the
+	// network's own seed so faulty runs stay deterministic by default.
+	Seed int64
+	// WANDrop / WANDup are the per-message probabilities that an inter-group
+	// message is lost in transit / delivered twice.
+	WANDrop, WANDup float64
+	// LANDrop / LANDup are the intra-group equivalents (usually far smaller:
+	// data-center fabrics rarely lose frames, but the knob exists so the
+	// chunk LAN re-broadcast path can be exercised too).
+	LANDrop, LANDup float64
+	// Jitter adds up to this fraction of extra random latency on top of the
+	// base Config.Jitter (models WAN route flap under congestion).
+	Jitter float64
+	// DupDelay separates the duplicate copy from the original; zero uses
+	// one extra base latency sample.
+	DupDelay Time
+}
+
+// enabled reports whether any probabilistic fault is configured.
+func (fc FaultConfig) enabled() bool {
+	return fc.WANDrop > 0 || fc.WANDup > 0 || fc.LANDrop > 0 || fc.LANDup > 0 || fc.Jitter > 0
+}
+
+// faultState is the network's live fault layer.
+type faultState struct {
+	cfg FaultConfig
+	rng *rand.Rand
+	// partitions holds currently-severed group pairs, key = normalized pair.
+	partitions map[[2]int]bool
+
+	dropped          int64
+	duplicated       int64
+	partitionDropped int64
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// SetFaults installs (or replaces) the probabilistic fault layer. Active
+// partitions survive a replacement.
+func (nw *Network) SetFaults(fc FaultConfig) {
+	seed := fc.Seed
+	if seed == 0 {
+		seed = nw.cfg.Seed ^ 0x5eed_fa17
+	}
+	parts := map[[2]int]bool{}
+	if nw.faults != nil {
+		parts = nw.faults.partitions
+	}
+	nw.faults = &faultState{cfg: fc, rng: rand.New(rand.NewSource(seed)), partitions: parts}
+}
+
+// ensureFaults lazily creates a zero-rate fault layer (used by partitions
+// when no probabilistic faults were configured).
+func (nw *Network) ensureFaults() *faultState {
+	if nw.faults == nil {
+		nw.SetFaults(FaultConfig{})
+	}
+	return nw.faults
+}
+
+// PartitionGroups severs the WAN link between groups a and b (both
+// directions) until HealGroups is called. Intra-group traffic is unaffected.
+func (nw *Network) PartitionGroups(a, b int) {
+	nw.ensureFaults().partitions[pairKey(a, b)] = true
+}
+
+// HealGroups restores the WAN link between groups a and b.
+func (nw *Network) HealGroups(a, b int) {
+	if nw.faults != nil {
+		delete(nw.faults.partitions, pairKey(a, b))
+	}
+}
+
+// SchedulePartition severs the a<->b link at virtual time `at` and heals it
+// at `healAt` (no heal is scheduled when healAt <= at).
+func (nw *Network) SchedulePartition(at, healAt Time, a, b int) {
+	nw.Schedule(at, func() { nw.PartitionGroups(a, b) })
+	if healAt > at {
+		nw.Schedule(healAt, func() { nw.HealGroups(a, b) })
+	}
+}
+
+// Partitioned reports whether the WAN link between groups a and b is
+// currently severed.
+func (nw *Network) Partitioned(a, b int) bool {
+	return nw.faults != nil && nw.faults.partitions[pairKey(a, b)]
+}
+
+// FaultStats returns cumulative fault-layer counters: messages dropped by
+// loss sampling, extra deliveries from duplication, and messages discarded
+// at a severed partition.
+func (nw *Network) FaultStats() (dropped, duplicated, partitionDropped int64) {
+	if nw.faults == nil {
+		return 0, 0, 0
+	}
+	return nw.faults.dropped, nw.faults.duplicated, nw.faults.partitionDropped
+}
+
+// sample draws the drop/duplicate decision for one message. Sampling order
+// is fixed (drop first, then dup) so the RNG stream is stable.
+func (f *faultState) sample(wan bool) (drop, dup bool) {
+	dropP, dupP := f.cfg.LANDrop, f.cfg.LANDup
+	if wan {
+		dropP, dupP = f.cfg.WANDrop, f.cfg.WANDup
+	}
+	if dropP > 0 && f.rng.Float64() < dropP {
+		return true, false
+	}
+	if dupP > 0 && f.rng.Float64() < dupP {
+		return false, true
+	}
+	return false, false
+}
+
+// extraJitter returns additional latency for one message.
+func (f *faultState) extraJitter(base Time) Time {
+	if f.cfg.Jitter <= 0 {
+		return 0
+	}
+	return Time(f.rng.Float64() * f.cfg.Jitter * float64(base))
+}
+
+// dupDelay returns the extra delay of the duplicate copy.
+func (f *faultState) dupDelay(base Time) Time {
+	if f.cfg.DupDelay > 0 {
+		return f.cfg.DupDelay
+	}
+	d := base / 2
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultDropRate(t *testing.T) {
+	nw := New(Config{GroupSizes: []int{1, 1}, Seed: 11})
+	nw.SetFaults(FaultConfig{WANDrop: 0.5})
+	var r recorder
+	nw.SetHandler(nid(1, 0), &r)
+	src := nw.Node(nid(0, 0))
+	const sends = 400
+	for i := 0; i < sends; i++ {
+		at := Time(i) * time.Millisecond
+		nw.Schedule(at, func() { src.Send(nid(1, 0), "x", 10) })
+	}
+	nw.Run(time.Second)
+	dropped, _, _ := nw.FaultStats()
+	if int(dropped)+len(r.got) != sends {
+		t.Fatalf("dropped=%d delivered=%d, want total %d", dropped, len(r.got), sends)
+	}
+	// 50% loss over 400 trials: expect 200±60 delivered (>6 sigma).
+	if len(r.got) < 140 || len(r.got) > 260 {
+		t.Fatalf("delivered %d of %d at 50%% loss", len(r.got), sends)
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	nw := New(Config{GroupSizes: []int{1, 1}, Seed: 5})
+	nw.SetFaults(FaultConfig{WANDup: 1.0})
+	var r recorder
+	nw.SetHandler(nid(1, 0), &r)
+	src := nw.Node(nid(0, 0))
+	nw.Schedule(0, func() { src.Send(nid(1, 0), "x", 10) })
+	nw.Run(time.Second)
+	if len(r.got) != 2 {
+		t.Fatalf("got %d deliveries, want 2 (original + duplicate)", len(r.got))
+	}
+	if r.at[1] <= r.at[0] {
+		t.Fatalf("duplicate at %v not after original at %v", r.at[1], r.at[0])
+	}
+	if _, dup, _ := nw.FaultStats(); dup != 1 {
+		t.Fatalf("duplicated = %d, want 1", dup)
+	}
+}
+
+func TestFaultLANDropOnlyAffectsLAN(t *testing.T) {
+	nw := New(Config{GroupSizes: []int{2, 1}, Seed: 9})
+	nw.SetFaults(FaultConfig{LANDrop: 1.0})
+	var lan, wan recorder
+	nw.SetHandler(nid(0, 1), &lan)
+	nw.SetHandler(nid(1, 0), &wan)
+	src := nw.Node(nid(0, 0))
+	nw.Schedule(0, func() {
+		src.Send(nid(0, 1), "lan", 10)
+		src.Send(nid(1, 0), "wan", 10)
+	})
+	nw.Run(time.Second)
+	if len(lan.got) != 0 {
+		t.Fatal("LAN message survived 100% LAN loss")
+	}
+	if len(wan.got) != 1 {
+		t.Fatal("WAN message was dropped by LAN loss knob")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	nw := New(Config{GroupSizes: []int{1, 1, 1}})
+	var r1, r2 recorder
+	nw.SetHandler(nid(1, 0), &r1)
+	nw.SetHandler(nid(2, 0), &r2)
+	src := nw.Node(nid(0, 0))
+	nw.SchedulePartition(0, 100*time.Millisecond, 0, 1)
+	nw.Schedule(10*time.Millisecond, func() {
+		if !nw.Partitioned(0, 1) || !nw.Partitioned(1, 0) {
+			t.Error("partition not symmetric")
+		}
+		src.Send(nid(1, 0), "lost", 10)      // severed
+		src.Send(nid(2, 0), "unrelated", 10) // 0<->2 unaffected
+	})
+	nw.Schedule(200*time.Millisecond, func() {
+		if nw.Partitioned(0, 1) {
+			t.Error("partition did not heal")
+		}
+		src.Send(nid(1, 0), "after-heal", 10)
+	})
+	nw.Run(time.Second)
+	if len(r1.got) != 1 || r1.got[0].Payload != "after-heal" {
+		t.Fatalf("group 1 got %v", r1.got)
+	}
+	if len(r2.got) != 1 {
+		t.Fatalf("group 2 got %d messages, want 1", len(r2.got))
+	}
+	if _, _, pd := nw.FaultStats(); pd != 1 {
+		t.Fatalf("partitionDropped = %d, want 1", pd)
+	}
+}
+
+func TestFaultJitterStretchesLatency(t *testing.T) {
+	lat := func(a, b int) Time { return 10 * time.Millisecond }
+	nw := New(Config{GroupSizes: []int{1, 1}, WANLatency: lat, Seed: 4})
+	nw.SetFaults(FaultConfig{Jitter: 1.0})
+	var r recorder
+	nw.SetHandler(nid(1, 0), &r)
+	src := nw.Node(nid(0, 0))
+	for i := 0; i < 30; i++ {
+		at := Time(i) * 100 * time.Millisecond
+		nw.Schedule(at, func() { src.Send(nid(1, 0), "x", 10) })
+	}
+	nw.Run(10 * time.Second)
+	stretched := false
+	for i, at := range r.at {
+		d := at - Time(i)*100*time.Millisecond
+		if d < 10*time.Millisecond || d > 21*time.Millisecond {
+			t.Fatalf("latency %v outside [10ms, 20ms]", d)
+		}
+		if d > 12*time.Millisecond {
+			stretched = true
+		}
+	}
+	if !stretched {
+		t.Fatal("fault jitter had no visible effect")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() ([]Time, int64) {
+		nw := New(Config{GroupSizes: []int{2, 2}, Seed: 7, Jitter: 0.1})
+		nw.SetFaults(FaultConfig{WANDrop: 0.3, WANDup: 0.2, Jitter: 0.5})
+		var r recorder
+		nw.SetHandler(nid(1, 0), &r)
+		src := nw.Node(nid(0, 0))
+		for i := 0; i < 100; i++ {
+			at := Time(i) * time.Millisecond
+			nw.Schedule(at, func() { src.Send(nid(1, 0), "x", 50) })
+		}
+		nw.Run(time.Second)
+		dropped, _, _ := nw.FaultStats()
+		return r.at, dropped
+	}
+	a, ad := run()
+	b, bd := run()
+	if ad != bd || len(a) != len(b) {
+		t.Fatalf("same seed: dropped %d/%d, delivered %d/%d", ad, bd, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different delivery schedule")
+		}
+	}
+	if ad == 0 {
+		t.Fatal("no drops at 30% loss over 100 sends")
+	}
+}
+
+func TestFaultsDoNotPerturbBaseJitterStream(t *testing.T) {
+	// The fault layer must use its own RNG: a faulty run and a clean run with
+	// the same seed must agree on the latency of the messages that survive.
+	deliveryTimes := func(faults bool) map[int]Time {
+		nw := New(Config{GroupSizes: []int{1, 1}, Seed: 21, Jitter: 0.1})
+		if faults {
+			nw.SetFaults(FaultConfig{WANDrop: 0.5})
+		}
+		got := map[int]Time{}
+		nw.SetHandler(nid(1, 0), HandlerFunc(func(n *Node, m Message) {
+			got[m.Payload.(int)] = n.Now()
+		}))
+		src := nw.Node(nid(0, 0))
+		for i := 0; i < 50; i++ {
+			i := i
+			at := Time(i) * 100 * time.Millisecond // spaced out: no queueing
+			nw.Schedule(at, func() { src.Send(nid(1, 0), i, 10) })
+		}
+		nw.Run(10 * time.Second)
+		return got
+	}
+	clean := deliveryTimes(false)
+	faulty := deliveryTimes(true)
+	if len(faulty) == 0 || len(faulty) == len(clean) {
+		t.Fatalf("faulty run delivered %d of %d", len(faulty), len(clean))
+	}
+	for i, at := range faulty {
+		if clean[i] != at {
+			t.Fatalf("message %d: faulty run delivered at %v, clean at %v", i, at, clean[i])
+		}
+	}
+}

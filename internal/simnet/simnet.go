@@ -159,12 +159,13 @@ type Node struct {
 
 // Network is the emulator.
 type Network struct {
-	cfg   Config
-	rng   *rand.Rand
-	now   Time
-	seq   uint64
-	queue eventHeap
-	nodes map[keys.NodeID]*Node
+	cfg    Config
+	rng    *rand.Rand
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nodes  map[keys.NodeID]*Node
+	faults *faultState
 }
 
 // New creates an emulated network per cfg and instantiates all nodes with a
@@ -389,20 +390,50 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 		return
 	}
 	nw := n.nw
+	f := nw.faults
+	wan := to.Group != n.ID.Group
+	if f != nil && wan && f.partitions[pairKey(n.ID.Group, to.Group)] {
+		// A severed WAN link loses the message before it leaves the sender's
+		// NIC (the TCP connection is gone), so no bandwidth is charged.
+		f.partitionDropped++
+		return
+	}
+	var drop, dup bool
+	if f != nil && f.cfg.enabled() {
+		drop, dup = f.sample(wan)
+	}
 	var departEnd Time
-	if to.Group == n.ID.Group {
+	if !wan {
 		departEnd = n.lanUp.transmitLane(nw.now, msg.Size, priority)
 	} else {
 		departEnd = n.wanUp.transmitLane(nw.now, msg.Size, priority)
 	}
-	arrStart := departEnd + nw.latency(n.ID, to)
-	var arrEnd Time
-	if to.Group == n.ID.Group {
-		arrEnd = dst.lanDown.transmitLane(arrStart, msg.Size, priority)
-	} else {
-		arrEnd = dst.wanDown.transmitLane(arrStart, msg.Size, priority)
+	lat := nw.latency(n.ID, to)
+	if f != nil {
+		lat += f.extraJitter(lat)
 	}
-	nw.push(&event{at: arrEnd, node: dst, fn: func() { dst.deliver(msg) }})
+	if drop {
+		// Lost in transit: the sender paid serialization, nothing arrives.
+		// The latency draw above still happens so the base jitter stream
+		// stays aligned with a fault-free run of the same seed.
+		f.dropped++
+		return
+	}
+	arrStart := departEnd + lat
+	deliverCopy := func(arrStart Time) {
+		var arrEnd Time
+		if !wan {
+			arrEnd = dst.lanDown.transmitLane(arrStart, msg.Size, priority)
+		} else {
+			arrEnd = dst.wanDown.transmitLane(arrStart, msg.Size, priority)
+		}
+		nw.push(&event{at: arrEnd, node: dst, fn: func() { dst.deliver(msg) }})
+	}
+	deliverCopy(arrStart)
+	if dup {
+		f.duplicated++
+		deliverCopy(arrStart + f.dupDelay(lat))
+	}
 }
 
 func (n *Node) deliver(msg Message) {

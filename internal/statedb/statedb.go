@@ -109,6 +109,33 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
+// Restore replaces this store's contents with a deep copy of from; the
+// receiver pointer stays valid, so holders (e.g. an execution engine) see the
+// transferred state without rewiring. Used by checkpointed node rejoin.
+func (s *Store) Restore(from *Store) {
+	from.mu.RLock()
+	data := make(map[string][]byte, len(from.data))
+	for k, v := range from.data {
+		data[k] = append([]byte(nil), v...)
+	}
+	from.mu.RUnlock()
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+}
+
+// ByteSize returns the summed length of all keys and values — the transfer
+// cost model for state snapshots.
+func (s *Store) ByteSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for k, v := range s.data {
+		n += len(k) + len(v)
+	}
+	return n
+}
+
 // Save writes a snapshot of the store to w in deterministic (sorted-key)
 // order, prefixed with a magic header and the record count. Together with
 // ledger.Save it forms a restart/state-transfer artifact.

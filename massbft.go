@@ -122,6 +122,28 @@ type Config struct {
 	// enables crashed-group clock takeover (§V-C).
 	ViewChangeTimeout time.Duration
 	TakeoverTimeout   time.Duration
+
+	// RepairTimeout arms the recovery scans (chunk-gap repair, entry fetch
+	// retry with peer rotation, stream-gap repair); zero disables them.
+	RepairTimeout time.Duration
+	// CheckpointInterval is how often nodes fold a rejoin checkpoint
+	// (ledger height + state + orderer clocks); zero disables periodic
+	// checkpoints, though a rejoining node still gets a fresh fold on
+	// demand.
+	CheckpointInterval time.Duration
+	// RejoinTimeout bounds one state-transfer attempt of a recovering node
+	// before it retries another group peer.
+	RejoinTimeout time.Duration
+
+	// Fault injection (deterministic, seeded from Seed): per-message WAN
+	// and LAN drop/duplicate probabilities plus extra latency jitter,
+	// applied by the network fault layer. All zero disables the layer
+	// entirely, keeping fault-free runs bit-identical across versions.
+	WANDropRate float64
+	WANDupRate  float64
+	LANDropRate float64
+	LANDupRate  float64
+	FaultJitter float64
 }
 
 // Cluster is a running (or runnable) consensus deployment.
@@ -168,6 +190,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Warmup:            cfg.Warmup,
 		ViewChangeTimeout: cfg.ViewChangeTimeout,
 		TakeoverTimeout:   cfg.TakeoverTimeout,
+
+		RepairTimeout:      cfg.RepairTimeout,
+		CheckpointInterval: cfg.CheckpointInterval,
+		RejoinTimeout:      cfg.RejoinTimeout,
+		WANDropRate:        cfg.WANDropRate,
+		WANDupRate:         cfg.WANDupRate,
+		LANDropRate:        cfg.LANDropRate,
+		LANDupRate:         cfg.LANDupRate,
+		FaultJitter:        cfg.FaultJitter,
 	}
 	if cfg.Custom != nil {
 		registerCustom(&inner, cfg.Custom, cfg.Seed)
@@ -212,8 +243,23 @@ func (c *Cluster) MakeByzantine(at time.Duration, perGroup int) {
 
 // CrashNode kills a single node at virtual time `at`.
 func (c *Cluster) CrashNode(at time.Duration, group, index int) {
-	id := keys.NodeID{Group: group, Index: index}
-	c.inner.Net.Schedule(at, func() { c.inner.Net.Crash(id) })
+	c.inner.ScheduleNodeCrash(at, keys.NodeID{Group: group, Index: index})
+}
+
+// RecoverNode revives a crashed node at virtual time `at`. The node comes
+// back with its in-memory state wiped and immediately starts the
+// checkpointed-rejoin protocol: it fetches a state checkpoint from a LAN
+// peer, installs it, and catches up via the normal repair paths.
+func (c *Cluster) RecoverNode(at time.Duration, group, index int) {
+	c.inner.ScheduleNodeRecover(at, keys.NodeID{Group: group, Index: index})
+}
+
+// Counter reads one internal diagnostic counter (e.g. "net-dropped",
+// "chunk-repairs", "fetch-retries", "state-transfers"); zero for unknown
+// names. Useful to confirm that fault injection and recovery actually
+// engaged during a run.
+func (c *Cluster) Counter(name string) int64 {
+	return c.inner.Metrics.Counter(name)
 }
 
 // SetNodeBandwidth overrides one node's WAN bandwidth (bytes/second), the

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline: vet, build, full tests, then a
+# short-mode race shard over the packages with the hottest concurrency
+# surface. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./... -timeout 900s
+
+echo "== go test -race -short (simnet, replication, core)"
+go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/
+
+echo "OK"
