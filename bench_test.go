@@ -10,6 +10,7 @@ package massbft
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -109,14 +110,21 @@ func BenchmarkFig10ReplicationTraffic(b *testing.B) {
 	}
 }
 
-// BenchmarkFig11LatencyBreakdown: per-stage latency of the MassBFT pipeline.
+// BenchmarkFig11LatencyBreakdown: per-stage latency of the MassBFT pipeline,
+// from the tracing subsystem's critical-path analysis (the per-stage values
+// sum to the end-to-end critical-path window).
 func BenchmarkFig11LatencyBreakdown(b *testing.B) {
-	res := benchRun(b, Config{Groups: []int{4, 4, 4}, Protocol: ProtocolMassBFT, Workload: "ycsb-a"})
-	for _, stage := range []string{"local-consensus", "encode", "global-replication", "rebuild", "ordering-execution"} {
-		if d, ok := res.Stages[stage]; ok {
-			b.ReportMetric(float64(d.Microseconds()), stage+"_us")
-		}
+	res := benchRun(b, Config{
+		Groups: []int{4, 4, 4}, Protocol: ProtocolMassBFT, Workload: "ycsb-a",
+		TracePath: filepath.Join(b.TempDir(), "fig11-trace.json"),
+	})
+	if res.Trace == nil {
+		b.Fatal("tracing enabled but no trace report")
 	}
+	for _, s := range res.Trace.Stages {
+		b.ReportMetric(float64(s.Avg.Microseconds()), s.Stage+"_us")
+	}
+	b.ReportMetric(float64(res.Trace.E2EAvg.Microseconds()), "critpath_e2e_us")
 }
 
 // BenchmarkFig12AblationLadder: Baseline -> BR -> EBR -> MassBFT on

@@ -232,22 +232,28 @@ func fig10() {
 	}
 }
 
-// fig11 reproduces Fig 11: MassBFT latency breakdown by pipeline stage.
+// fig11 reproduces Fig 11: MassBFT latency breakdown by pipeline stage,
+// derived from the tracing subsystem's critical-path analysis (each entry's
+// end-to-end window is partitioned exactly among the stages, so the rows sum
+// to the end-to-end line).
 func fig11() {
-	header("11", "latency breakdown (MassBFT, YCSB-A, nationwide)")
+	header("11", "latency breakdown (MassBFT, YCSB-A, nationwide, critical path)")
 	res := run(massbft.Config{
-		Groups:   []int{7, 7, 7},
-		Protocol: massbft.ProtocolMassBFT,
-		Workload: "ycsb-a",
+		Groups:    []int{7, 7, 7},
+		Protocol:  massbft.ProtocolMassBFT,
+		Workload:  "ycsb-a",
+		TracePath: os.DevNull,
 	})
-	order := []string{"local-consensus", "encode", "global-replication", "rebuild", "ordering-execution"}
-	fmt.Printf("%-22s %s\n", "stage", "avg")
-	for _, name := range order {
-		if d, ok := res.Stages[name]; ok {
-			fmt.Printf("%-22s %v\n", name, d.Round(10*time.Microsecond))
-		}
+	if res.Trace == nil {
+		fmt.Println("tracing unavailable")
+		return
 	}
-	fmt.Printf("%-22s %v\n", "end-to-end", res.AvgLatency.Round(time.Millisecond))
+	fmt.Printf("%-22s %-12s %s\n", "stage", "avg", "share")
+	for _, s := range res.Trace.Stages {
+		fmt.Printf("%-22s %-12v %.1f%%\n", s.Stage, s.Avg.Round(10*time.Microsecond), 100*s.Share)
+	}
+	fmt.Printf("%-22s %v (critical-path sum %v)\n", "end-to-end",
+		res.AvgLatency.Round(time.Millisecond), res.Trace.E2EAvg.Round(time.Millisecond))
 }
 
 // fig12 reproduces Fig 12: heterogeneous group sizes (G1=4, G2=G3=7) across

@@ -26,6 +26,7 @@ func main() {
 	dup := flag.Float64("dup", 0, "WAN per-message duplicate probability [0,1)")
 	jitter := flag.Float64("jitter", 0, "extra latency jitter fraction [0,1)")
 	crash := flag.Bool("crash", false, "crash one follower per group at T/4, recover at T/2 (checkpointed rejoin)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto) and print the critical-path breakdown")
 	flag.Parse()
 
 	for name, p := range map[string]float64{"wan-drop": *wanDrop, "lan-drop": *lanDrop, "dup": *dup, "jitter": *jitter} {
@@ -48,6 +49,7 @@ func main() {
 		LANDropRate: *lanDrop,
 		WANDupRate:  *dup,
 		FaultJitter: *jitter,
+		TracePath:   *tracePath,
 	}
 	faulty := *wanDrop > 0 || *lanDrop > 0 || *dup > 0 || *jitter > 0 || *crash
 	if faulty {
@@ -87,6 +89,13 @@ func main() {
 		fmt.Printf("%-8d %-16.0f %v\n", p.Second, p.Throughput, p.AvgLatency.Round(time.Millisecond))
 	}
 	fmt.Printf("\nresult: %v\n", res)
+	if res.Trace != nil {
+		fmt.Printf("\ncritical path (%d entries, %d spans, avg e2e %v):\n",
+			res.Trace.Entries, res.Trace.Spans, res.Trace.E2EAvg.Round(time.Microsecond))
+		for _, s := range res.Trace.Stages {
+			fmt.Printf("  %-20s %8v  %5.1f%%\n", s.Stage, s.Avg.Round(time.Microsecond), 100*s.Share)
+		}
+	}
 
 	// Agreement check: drain in-flight entries, then compare state digests.
 	// Under fault injection the loss keeps hitting repair traffic too, so a
@@ -118,5 +127,12 @@ func main() {
 		fmt.Printf("recovery: dropped=%d duplicated=%d chunk-repairs=%d fetch-retries=%d slot-catchups=%d state-transfers=%d\n",
 			c.Counter("net-dropped"), c.Counter("net-duplicated"), c.Counter("repair-reqs"),
 			c.Counter("fetch-retries"), c.Counter("slot-catchups"), c.Counter("state-transfers"))
+	}
+	if *tracePath != "" {
+		if err := c.TraceError(); err != nil {
+			fmt.Fprintf(os.Stderr, "massbft-demo: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s\n", *tracePath)
 	}
 }

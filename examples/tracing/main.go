@@ -1,0 +1,54 @@
+// Tracing: per-entry observability on a live cluster. A two-group MassBFT
+// deployment runs with tracing enabled, exports its spans as Chrome
+// trace-event JSON (open trace.json in Perfetto or chrome://tracing to see
+// every entry's lifecycle laid out per node), and prints the critical-path
+// breakdown — which pipeline stage the end-to-end latency is actually spent
+// in, reconstructed from the spans.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"massbft"
+)
+
+func main() {
+	const tracePath = "trace.json"
+	c, err := massbft.NewCluster(massbft.Config{
+		Groups:    []int{4, 4},
+		Protocol:  massbft.ProtocolMassBFT,
+		Workload:  "ycsb-a",
+		Seed:      2025,
+		Warmup:    time.Second,
+		TracePath: tracePath, // non-empty path enables the subsystem
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := c.Run(5 * time.Second)
+	if err := c.TraceError(); err != nil {
+		log.Fatalf("trace export: %v", err)
+	}
+	fmt.Printf("run: %v\n\n", res)
+
+	// Result.Trace is the critical-path analysis from the observer node's
+	// vantage: each executed entry's propose→execute window is partitioned
+	// exactly among the stages that were actively blocking it, so the
+	// per-stage averages sum to the end-to-end average.
+	tr := res.Trace
+	fmt.Printf("critical path over %d entries (%d spans recorded):\n", tr.Entries, tr.Spans)
+	fmt.Printf("  %-20s %10s %8s\n", "stage", "avg", "share")
+	for _, s := range tr.Stages {
+		fmt.Printf("  %-20s %10v %7.1f%%\n", s.Stage, s.Avg.Round(time.Microsecond), 100*s.Share)
+	}
+	fmt.Printf("  %-20s %10v\n\n", "end-to-end", tr.E2EAvg.Round(time.Microsecond))
+	fmt.Printf("dominant stage: %s — MassBFT's latency lives in WAN transfer and\n", tr.Dominant)
+	fmt.Println("ordering round trips; the encode/rebuild CPU and the local PBFT rounds")
+	fmt.Println("contribute almost nothing to the critical path (the paper's Fig 11 claim).")
+	fmt.Printf("\nwrote %s — load it in https://ui.perfetto.dev to inspect per-entry spans\n", tracePath)
+}

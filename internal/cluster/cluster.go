@@ -10,6 +10,7 @@ import (
 	"massbft/internal/replication"
 	"massbft/internal/simnet"
 	"massbft/internal/statedb"
+	"massbft/internal/trace"
 	"massbft/internal/types"
 	"massbft/internal/workload"
 )
@@ -64,6 +65,9 @@ type NodeCtx struct {
 	EncodeCache  map[string]*replication.Encoded
 	RebuildCache *replication.RebuildCache
 	Faults       *FaultPlan
+	// Trace is the cluster-wide span recorder; nil when tracing is off (all
+	// recorder methods are nil-safe no-ops, so nodes record unconditionally).
+	Trace *trace.Recorder
 }
 
 // Cluster is a fully wired experiment.
@@ -75,6 +79,9 @@ type Cluster struct {
 	Nodes   map[keys.NodeID]Node
 	Metrics *metrics.Collector
 	Faults  *FaultPlan
+	// Trace is the span recorder shared with every node; nil unless
+	// Cfg.TraceEnabled.
+	Trace *trace.Recorder
 
 	started bool
 }
@@ -127,6 +134,10 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 	}
 	encodeCache := make(map[string]*replication.Encoded)
 	rebuildCache := replication.NewRebuildCache()
+	if cfg.TraceEnabled {
+		c.Trace = trace.NewRecorder()
+		nw.SetSendProbe(c.sendProbe)
+	}
 
 	for g, n := range cfg.GroupSizes {
 		var gen workload.Workload
@@ -157,6 +168,7 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 				EncodeCache:  encodeCache,
 				RebuildCache: rebuildCache,
 				Faults:       c.Faults,
+				Trace:        c.Trace,
 			}
 			node := factory(ctx)
 			c.Nodes[id] = node
@@ -164,6 +176,37 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// sendProbe turns delivered WAN replication payloads into wan-chunk /
+// wan-entry spans: uplink enqueue → downlink arrival, tagged with the queue
+// wait and bulk backlog sampled from the sender's token-bucket interface.
+// The span's Node is the receiver, so a vantage node's critical path picks
+// up exactly the transfers addressed to it.
+func (c *Cluster) sendProbe(s simnet.ProbeSample) {
+	if !s.WAN {
+		return
+	}
+	var id types.EntryID
+	var stage string
+	switch p := s.Payload.(type) {
+	case *replication.ChunkMsg:
+		id, stage = p.Entry, trace.StageWANChunk
+	case *replication.ChunkBatch:
+		id, stage = p.Entry, trace.StageWANChunk
+	case *EntryWAN:
+		if p.E == nil || p.E.Entry == nil {
+			return
+		}
+		id, stage = p.E.Entry.ID, trace.StageWANEntry
+	default:
+		return
+	}
+	c.Trace.Record(trace.Span{
+		Entry: id, Stage: stage, Node: s.To,
+		Start: s.Enqueue, End: s.Arrive,
+		Bytes: int64(s.Size), Wait: s.QueueWait, Backlog: s.Backlog,
+	})
 }
 
 // ScheduleGroupCrash kills every node of group g at virtual time `at`

@@ -88,9 +88,9 @@ func TestPresets(t *testing.T) {
 
 func TestRecordsRoundTrip(t *testing.T) {
 	recs := []Record{
-		{Kind: RecTS, Stream: 2, Entry: EntryIDFor(1, 42), TS: 17},
+		{Kind: RecTS, Stream: 2, Entry: EntryIDFor(1, 42), TS: 17, View: 3},
 		{Kind: RecAccept, Stream: 0, Entry: EntryIDFor(0, 1)},
-		{Kind: RecCommit, Stream: 1, Entry: EntryIDFor(2, 9), TS: 3},
+		{Kind: RecCommit, Stream: 1, Entry: EntryIDFor(2, 9), TS: 3, View: 1},
 	}
 	buf := EncodeRecords(recs)
 	got, ok := DecodeRecords(buf)

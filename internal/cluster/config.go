@@ -162,6 +162,12 @@ type Config struct {
 	// instead (benchmarks); correctness tests keep it false.
 	TrustAll bool
 
+	// TraceEnabled arms the per-entry tracing subsystem (internal/trace): a
+	// cluster-wide span recorder plus a passive simnet send probe. Tracing
+	// is strictly observational — a traced run commits the same prefix and
+	// state hashes as an untraced one.
+	TraceEnabled bool
+
 	// RunFor is the virtual duration of the experiment; Warmup trims the
 	// measurement window on both sides.
 	RunFor time.Duration

@@ -83,9 +83,16 @@ type Record struct {
 	Stream int
 	Entry  types.EntryID
 	TS     uint64
+	// View fences the record to the meta view of the leader that emitted it.
+	// Receivers track the highest view seen per origin stream and drop
+	// records from older views: after a meta view change re-emits a record
+	// (restampScan), a surviving in-flight copy from the deposed leader can
+	// no longer certify with a conflicting stamp — every node drops it
+	// identically, since per-origin record streams are FIFO.
+	View uint64
 }
 
-const recordWire = 1 + 4 + 12 + 8
+const recordWire = 1 + 4 + 12 + 8 + 8
 
 // EncodeRecords serializes records as a meta-PBFT payload.
 func EncodeRecords(recs []Record) []byte {
@@ -97,6 +104,7 @@ func EncodeRecords(recs []Record) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(r.Entry.GID))
 		buf = binary.BigEndian.AppendUint64(buf, r.Entry.Seq)
 		buf = binary.BigEndian.AppendUint64(buf, r.TS)
+		buf = binary.BigEndian.AppendUint64(buf, r.View)
 	}
 	return buf
 }
@@ -118,6 +126,7 @@ func DecodeRecords(buf []byte) ([]Record, bool) {
 		recs[i].Entry.GID = int(binary.BigEndian.Uint32(buf[5:]))
 		recs[i].Entry.Seq = binary.BigEndian.Uint64(buf[9:])
 		recs[i].TS = binary.BigEndian.Uint64(buf[17:])
+		recs[i].View = binary.BigEndian.Uint64(buf[25:])
 		buf = buf[recordWire:]
 	}
 	return recs, true
@@ -233,6 +242,10 @@ type Checkpoint struct {
 	StreamTS   []uint64
 	StreamNext []uint64
 	Batches    []*MetaBatch
+	// StreamView is the per-origin view fence (highest Record.View processed
+	// per stream); restoring it keeps the rejoined node dropping the same
+	// stale-view records as everyone else.
+	StreamView []uint64
 
 	LocalView, LocalSlot uint64
 	LocalSlots           []pbft.ExportedSlot
@@ -255,7 +268,7 @@ func (c *Checkpoint) WireSize() int {
 	if c.State != nil {
 		n += c.State.ByteSize()
 	}
-	n += 8*len(c.ExecutedSeq) + 8*len(c.StreamTS) + 8*len(c.StreamNext)
+	n += 8*len(c.ExecutedSeq) + 8*len(c.StreamTS) + 8*len(c.StreamNext) + 8*len(c.StreamView)
 	for i := range c.LocalSlots {
 		n += c.LocalSlots[i].WireSize()
 	}

@@ -153,6 +153,21 @@ type Node struct {
 	// window (or forwards to the new local leader).
 	proposed map[uint64]*proposalSt
 
+	// streamView is the per-origin view fence: the highest Record.View
+	// processed on each group's record stream. Records from older meta views
+	// are dropped — a re-emitted record (restampScan after a view change)
+	// supersedes any surviving in-flight copy from the deposed leader, and
+	// every node drops the stale copy identically because streams are FIFO.
+	streamView map[int]uint64
+
+	// Tracing bookkeeping (populated only when ctx.Trace is enabled; purely
+	// passive). tracePhase holds the previous local-PBFT phase timestamp per
+	// own proposed entry; traceFirstChunk the first-chunk arrival time per
+	// foreign entry (kept separate from entrySt so tracing never changes
+	// entry-state lifetimes).
+	tracePhase      map[types.EntryID]time.Duration
+	traceFirstChunk map[types.EntryID]time.Duration
+
 	// Incoming record streams, FIFO per origin group.
 	streams map[int]*streamIn
 	// batchLog retains recently seen certified MetaBatches per origin (own
@@ -221,6 +236,7 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		entries:      make(map[types.EntryID]*entrySt),
 		proposed:     make(map[uint64]*proposalSt),
 		streams:      make(map[int]*streamIn),
+		streamView:   make(map[int]uint64),
 		batchLog:     make(map[int]map[uint64]*cluster.MetaBatch),
 		lastStreamTS: make(map[int]uint64),
 		lastStreamAt: make(map[int]time.Duration),
@@ -246,6 +262,7 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		After:             ctx.Net.After,
 		ViewChangeTimeout: ctx.Cfg.ViewChangeTimeout,
 		OnViewChange:      n.onLocalViewChange,
+		Trace:             n.localPhaseTrace(),
 	})
 	n.meta = pbft.New(pbft.Config{
 		Self:        ctx.KP,
@@ -329,6 +346,12 @@ func (n *Node) armTicks() {
 	}
 	if n.cfg.RepairTimeout > 0 {
 		n.everyAfter(n.cfg.RepairTimeout, n.cfg.RepairTimeout/2, n.repairTick)
+	} else if n.cfg.TakeoverTimeout > 0 {
+		// No repair cadence configured: the Lemma V.1 entry-fetch scan
+		// (normally driven by repairTick) must still run somewhere.
+		n.everyAfter(n.cfg.TakeoverTimeout, n.cfg.TakeoverTimeout/2, func() {
+			n.fetchMissing(n.now())
+		})
 	}
 	if n.cfg.CheckpointInterval > 0 {
 		n.everyAfter(n.cfg.CheckpointInterval, n.cfg.CheckpointInterval, n.checkpointTick)
@@ -378,7 +401,9 @@ func (n *Node) onLocalViewChange(view uint64) {
 // (queued but uncertified) are re-emitted by the new leader's restampScan
 // after a patience window — the delay lets the old view's in-flight slots
 // certify first, so the re-emission's clamped stamp value (stampTS) observes
-// them and the group's stream stays monotonic.
+// them and the group's stream stays monotonic. Re-emissions carry the new
+// view in Record.View, fencing out any stale copy of the original still in
+// flight (see processRecords).
 func (n *Node) onMetaViewChange(view uint64) {
 	n.lastMetaProgress = n.now()
 }

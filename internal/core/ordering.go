@@ -9,6 +9,7 @@ import (
 	"massbft/internal/cluster"
 	"massbft/internal/keys"
 	"massbft/internal/replication"
+	"massbft/internal/trace"
 	"massbft/internal/types"
 )
 
@@ -130,10 +131,24 @@ func (n *Node) logBatch(b *cluster.MetaBatch) {
 // fall back to state transfer (checkpointed rejoin).
 const batchLogRetain = 512
 
-// processRecords applies certified records from the given origin group.
+// processRecords applies certified records from the given origin group,
+// dropping records fenced to a meta view older than the stream's highest: a
+// re-emitted stamp (restampScan) carries the new leader's view, and a
+// surviving in-flight copy from the deposed leader must not certify with a
+// conflicting value after it. Per-origin streams are FIFO and meta slots
+// commit in order, so a deposed leader's records that did certify (lower
+// slots) always process before the new leader raises the fence — the drop
+// only hits genuinely superseded duplicates, identically on every node.
 func (n *Node) processRecords(origin int, recs []cluster.Record) {
 	n.lastStreamAt[origin] = n.now()
 	for _, rec := range recs {
+		if rec.View < n.streamView[origin] {
+			n.ctx.Metrics.Inc("stale-view-records")
+			continue
+		}
+		if rec.View > n.streamView[origin] {
+			n.streamView[origin] = rec.View
+		}
 		switch rec.Kind {
 		case cluster.RecTS:
 			n.onTSRecord(origin, rec)
@@ -155,7 +170,9 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 	if n.orderer != nil {
 		// Conflicting values can only arise from a takeover racing the
 		// (supposedly crashed) owner; first delivery wins.
-		_ = n.orderer.OnTimestamp(rec.Stream, rec.TS, rec.Entry)
+		if err := n.orderer.OnTimestamp(rec.Stream, rec.TS, rec.Entry); err != nil {
+			n.ctx.Metrics.Inc("ts-conflicts")
+		}
 	}
 	// A stamp from another group on one of OUR entries doubles as that
 	// group's accept (overlapped mode, §V-B).
@@ -227,6 +244,11 @@ func (n *Node) noteAccept(group int, id types.EntryID) {
 		return
 	}
 	st.commitSeen = true
+	if n.ctx.Trace != nil && st.contentAt > 0 {
+		// Content certified locally → majority of groups hold it: the
+		// replication-certificate assembly wait for our own entry.
+		n.traceSpan(id, trace.StageCertAssembly, st.contentAt, n.now())
+	}
 	// Raft-style flow control: the proposer window advances at global
 	// commit, not at execution — execution is a downstream, per-node
 	// concern the paper deliberately decouples (§V).
@@ -237,8 +259,14 @@ func (n *Node) noteAccept(group int, id types.EntryID) {
 			n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
 		}
 	} else if n.opts.GlobalConsensus {
+		// Round mode: committed flips only when our own commit record
+		// certifies in our meta stream (onCommitRecord), exactly like serial
+		// mode. Marking it locally here would let this group execute — and
+		// GC — the entry while the record is still in flight; a meta view
+		// change could then destroy the only copy with nobody left to
+		// re-emit it (restampScan only scans live entries), wedging every
+		// other group's round cursor forever.
 		n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
-		n.markCommitted(id, st)
 	}
 }
 
@@ -261,15 +289,6 @@ func (n *Node) advanceClock() {
 			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: n.clk})
 		}
 	}
-}
-
-// markCommitted transitions an entry to globally-committed exactly once.
-func (n *Node) markCommitted(id types.EntryID, st *entrySt) {
-	if !st.committed {
-		st.committed = true
-		n.commitCount++
-	}
-	n.maybeRoundReady(id, st)
 }
 
 // onCommitRecord finalizes an entry that achieved global consensus.
@@ -323,10 +342,9 @@ func (n *Node) entryContent(id types.EntryID) (*types.Entry, *keys.Certificate, 
 // frozen clock value to entries on its behalf, letting ordering proceed.
 func (n *Node) takeoverTick() {
 	now := n.now()
-	n.fetchMissing(now)
 	n.restampScan(now)
 	n.proposalRepairScan(now)
-	if now < n.cfg.TakeoverTimeout*2 {
+	if now < n.cfg.TakeoverTimeout*5 {
 		return // give every group time to start speaking
 	}
 	alive := func(g int) bool {
@@ -340,7 +358,13 @@ func (n *Node) takeoverTick() {
 		if in := n.streams[g]; in != nil && in.lastArrival > last {
 			last = in.lastArrival
 		}
-		return now-last <= n.cfg.TakeoverTimeout
+		// A takeover stamp that races a live group's real stamp creates
+		// conflicting VTS assignments whose winner is arrival order — a fork,
+		// since WAN interleaving differs per receiving group. A group that can
+		// still certify anything is not crashed, so demand a silence long
+		// enough to outlast view changes and lossy-stream repair (same
+		// reasoning as the round-mode skip below).
+		return now-last <= 4*n.cfg.TakeoverTimeout
 	}
 	// Round mode: every node locally times out crashed groups and skips
 	// their round slots. The skip is irreversible and node-local (the
@@ -395,6 +419,7 @@ func (n *Node) takeoverTick() {
 				continue
 			}
 			sent[id] = true
+			n.ctx.Metrics.Inc("takeover-stamps")
 			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: s, Entry: id, TS: frozen})
 		}
 	}
@@ -435,7 +460,17 @@ func (n *Node) execute(id types.EntryID) {
 	if n.ctx.IsObserver {
 		n.ctx.Metrics.RecordExecution(now, res.Committed, len(res.Aborted))
 		n.ctx.Metrics.RecordLatency(now, now-time.Duration(st.entry.Term))
-		n.ctx.Metrics.RecordStage("ordering-execution", now-st.contentAt)
+	}
+	if n.ctx.Trace != nil {
+		if st.contentAt > 0 {
+			// Content held locally → globally ordered and runnable.
+			n.traceSpan(id, trace.StageOrderingWait, st.contentAt, now)
+		}
+		n.ctx.Trace.Record(trace.Span{
+			Entry: id, Stage: trace.StageExecute, Node: n.id,
+			Start: now, End: now + time.Duration(len(st.entry.Txns))*n.cfg.Cost.ExecPerTxn,
+		})
+		delete(n.traceFirstChunk, id)
 	}
 	// Execution can precede commit-record processing (VTS inference orders
 	// eagerly), and GeoBFT has no commit at all — free the window here if

@@ -7,6 +7,7 @@ import (
 	"massbft/internal/keys"
 	"massbft/internal/plan"
 	"massbft/internal/replication"
+	"massbft/internal/trace"
 	"massbft/internal/types"
 )
 
@@ -59,15 +60,23 @@ func (n *Node) batchTick() {
 	n.nextSeq++
 	n.inFlight++
 	enc := e.Encode()
+	// Retain the proposal until its seq certifies: a view change can fill the
+	// slot with a no-op, and only this node can re-propose the content.
+	// Registered before Propose so the tracing phase hook (which fires
+	// synchronously on the leader's own pre-prepare) sees the entry as ours.
+	n.proposed[e.ID.Seq] = &proposalSt{enc: enc, at: now}
 	if err := n.local.Propose(enc); err != nil {
 		// Lost leadership between the check and the call; retry next tick.
+		delete(n.proposed, e.ID.Seq)
 		n.nextSeq--
 		n.inFlight--
 		return
 	}
-	// Retain the proposal until its seq certifies: a view change can fill the
-	// slot with a no-op, and only this node can re-propose the content.
-	n.proposed[e.ID.Seq] = &proposalSt{enc: enc, at: now}
+	if n.ctx.Trace != nil {
+		// The entry's trace ID is its EntryID, born here; the propose span is
+		// the instant anchor every later span hangs off.
+		n.traceSpan(e.ID, trace.StagePropose, now, now)
+	}
 }
 
 func (n *Node) groupRate() float64 {
@@ -116,6 +125,7 @@ func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate
 	if err != nil || e.ID.GID != n.g {
 		return
 	}
+	_, mine := n.proposed[e.ID.Seq]
 	delete(n.proposed, e.ID.Seq)
 	st := n.st(e.ID)
 	if st.content {
@@ -130,11 +140,13 @@ func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate
 		n.nextSeq = e.ID.Seq + 1 // keep followers ready to take over
 	}
 
-	if n.ctx.IsObserver {
-		n.ctx.Metrics.RecordStage("local-consensus", n.now()-time.Duration(e.Term))
+	if mine && n.ctx.Trace != nil {
+		// Propose → local certification on the proposer: the full local PBFT
+		// round, enclosing the three per-phase spans.
+		n.traceSpan(e.ID, trace.StageLocalConsensus, time.Duration(e.Term), n.now())
 	}
 
-	n.replicate(e, cert, payload)
+	n.replicate(e, cert, payload, mine)
 
 	switch {
 	case n.opts.Ordering == cluster.OrderAsync:
@@ -154,11 +166,12 @@ func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate
 }
 
 // replicate transmits the entry to every other group using the configured
-// strategy (§IV).
-func (n *Node) replicate(e *types.Entry, cert *keys.Certificate, enc []byte) {
+// strategy (§IV). mine marks the original proposer, which owns the entry's
+// origin-side trace spans.
+func (n *Node) replicate(e *types.Entry, cert *keys.Certificate, enc []byte, mine bool) {
 	switch n.opts.Replication {
 	case cluster.ReplEncoded:
-		n.replicateEncoded(e, cert, enc)
+		n.replicateEncoded(e, cert, enc, mine)
 	case cluster.ReplBijective:
 		n.replicateBijective(e, cert)
 	case cluster.ReplOneWay:
@@ -168,7 +181,7 @@ func (n *Node) replicate(e *types.Entry, cert *keys.Certificate, enc []byte) {
 
 // replicateEncoded is the paper's encoded bijective log replication (§IV-B):
 // every node sends its Algorithm-1 chunk assignment to each receiver group.
-func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []byte) {
+func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []byte, mine bool) {
 	byz := n.ctx.Faults.IsByzantine(n.id, n.now())
 	src := enc
 	id := e.ID
@@ -177,6 +190,8 @@ func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []by
 		// honest certificate is replayed with it.
 		src = n.tamper(e)
 	}
+	encStart := n.now()
+	var encCost time.Duration
 	for r := 0; r < n.ng; r++ {
 		if r == n.g {
 			continue
@@ -187,9 +202,7 @@ func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []by
 			continue
 		}
 		n.charge(time.Duration(len(src)) * n.cfg.Cost.EncodePerByte)
-		if n.ctx.IsObserver {
-			n.ctx.Metrics.RecordStage("encode", time.Duration(len(src))*n.cfg.Cost.EncodePerByte)
-		}
+		encCost += time.Duration(len(src)) * n.cfg.Cost.EncodePerByte
 		batches, recvs, err := encd.Batches(n.id.Index, id, cert)
 		if err != nil {
 			continue
@@ -198,6 +211,12 @@ func (n *Node) replicateEncoded(e *types.Entry, cert *keys.Certificate, enc []by
 			to := keys.NodeID{Group: r, Index: recvs[k]}
 			n.ctx.Net.Send(to, &batches[k], batches[k].WireSize())
 		}
+	}
+	if mine && encCost > 0 && n.ctx.Trace != nil {
+		n.ctx.Trace.Record(trace.Span{
+			Entry: id, Stage: trace.StageEncode, Node: n.id,
+			Start: encStart, End: encStart + encCost, Bytes: int64(len(src)),
+		})
 	}
 }
 

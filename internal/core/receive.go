@@ -6,6 +6,7 @@ import (
 	"massbft/internal/cluster"
 	"massbft/internal/keys"
 	"massbft/internal/replication"
+	"massbft/internal/trace"
 	"massbft/internal/types"
 )
 
@@ -56,6 +57,7 @@ func (n *Node) onChunk(from keys.NodeID, c *replication.ChunkMsg, fromRemote boo
 		return
 	}
 	n.noteChunkArrival(c.Entry)
+	n.traceChunkArrival(c.Entry)
 	// Byzantine receivers substitute their own tampered chunks when
 	// re-broadcasting (§VI-E): handled in forwardChunk below.
 	senders := n.chunkFrom[c.Entry]
@@ -85,6 +87,7 @@ func (n *Node) onChunkBatch(from keys.NodeID, b *replication.ChunkBatch, fromRem
 		return
 	}
 	n.noteChunkArrival(b.Entry)
+	n.traceChunkArrival(b.Entry)
 	senders := n.chunkFrom[b.Entry]
 	if senders == nil {
 		senders = make(map[int]keys.NodeID)
@@ -199,9 +202,19 @@ func (n *Node) tamperedChunk(c *replication.ChunkMsg) *replication.ChunkMsg {
 // onRebuilt fires when the collector delivers a rebuilt, certificate-valid
 // foreign entry (§IV-C).
 func (n *Node) onRebuilt(senderGroup int, r replication.Rebuilt) {
-	n.charge(time.Duration(r.Entry.WireSize()) * n.cfg.Cost.RebuildPerByte)
-	if n.ctx.IsObserver {
-		n.ctx.Metrics.RecordStage("rebuild", time.Duration(r.Entry.WireSize())*n.cfg.Cost.RebuildPerByte)
+	cost := time.Duration(r.Entry.WireSize()) * n.cfg.Cost.RebuildPerByte
+	n.charge(cost)
+	if n.ctx.Trace != nil {
+		now := n.now()
+		if first, ok := n.traceFirstChunk[r.Entry.ID]; ok {
+			// First chunk seen → enough chunks to rebuild: collection wait.
+			n.traceSpan(r.Entry.ID, trace.StageChunkCollect, first, now)
+			delete(n.traceFirstChunk, r.Entry.ID)
+		}
+		n.ctx.Trace.Record(trace.Span{
+			Entry: r.Entry.ID, Stage: trace.StageRebuild, Node: n.id,
+			Start: now, End: now + cost, Bytes: int64(r.Entry.WireSize()),
+		})
 	}
 	n.onContent(r.Entry, r.Cert)
 }
@@ -262,8 +275,10 @@ func (n *Node) onContent(e *types.Entry, cert *keys.Certificate) {
 	if own {
 		st.stamps[n.g] = true
 	}
-	if n.ctx.IsObserver && !own {
-		n.ctx.Metrics.RecordStage("global-replication", n.now()-time.Duration(e.Term))
+	if !own && n.ctx.Trace != nil {
+		// Propose on the origin group → content available here: the full
+		// replication hop as seen by this receiver.
+		n.traceSpan(e.ID, trace.StageGlobalReplication, time.Duration(e.Term), n.now())
 	}
 	if n.opts.Ordering == cluster.OrderAsync {
 		n.orderer.MarkReady(e.ID)
@@ -335,6 +350,10 @@ func (n *Node) emitRecord(rec cluster.Record) {
 	if !n.meta.IsLeader() {
 		return
 	}
+	// Fence the record to the emitting leader's meta view: receivers drop
+	// records from views older than the highest they have processed per origin
+	// stream, so a re-emitted stamp supersedes the deposed leader's copy.
+	rec.View = n.meta.View()
 	if rec.Kind == cluster.RecTS && rec.Stream == n.g && rec.TS > n.hiQueuedTS {
 		n.hiQueuedTS = rec.TS
 	}

@@ -121,6 +121,12 @@ func (n *Node) onProposalFwd(from keys.NodeID, m *cluster.ProposalFwd) {
 // crashed fetch target or a lost reply only delays — never strands — the
 // entry. The local leader retries first; followers hold back 3x longer so a
 // healthy leader path does not trigger a group-wide fetch storm.
+//
+// Globally committed entries are the exception to the hold-back: the commit
+// certifies that a majority of groups holds the content and the ordering
+// pipeline is about to block on it, so a copy still missing at commit time
+// is overdue, not merely slow — those fetch on the repair cadence, leaders
+// and followers alike.
 func (n *Node) fetchMissing(now time.Duration) {
 	patience := n.cfg.TakeoverTimeout
 	if !n.local.IsLeader() {
@@ -134,12 +140,16 @@ func (n *Node) fetchMissing(now time.Duration) {
 		if id.Seq <= n.executedSeqOf(id.GID) {
 			continue
 		}
-		if now-st.firstStampAt < patience || now < st.nextFetchAt {
+		pat, base := patience, n.cfg.TakeoverTimeout
+		if (st.committed || st.commitSeen) && n.cfg.RepairTimeout > 0 {
+			pat, base = n.cfg.RepairTimeout, n.cfg.RepairTimeout
+		}
+		if now-st.firstStampAt < pat || now < st.nextFetchAt {
 			continue
 		}
 		attempt := st.fetchAttempts
 		st.fetchAttempts++
-		st.nextFetchAt = now + backoff(n.cfg.TakeoverTimeout, attempt)
+		st.nextFetchAt = now + backoff(base, attempt)
 		target := n.fetchTarget(id, st, attempt)
 		if target == n.id {
 			continue
@@ -153,22 +163,26 @@ func (n *Node) fetchMissing(now time.Duration) {
 }
 
 // fetchTarget picks the fetch destination for one attempt: candidate groups
-// are every group known (or presumed) to hold the entry — the stamping
-// group, every group whose clock stream stamped it, the entry's own origin
-// group, and this node's own group (a rebuilt LAN peer can serve it too).
-// Attempts walk groups first, then node indexes within each group.
+// are every group known (or presumed) to hold the entry — this node's own
+// group first (a converged LAN peer serves in a LAN round trip over a link
+// that is both faster and far more reliable than the WAN), then the stamping
+// group, every group whose clock stream stamped it, and the entry's own
+// origin group. Attempts walk groups first, then node indexes within each
+// group.
 func (n *Node) fetchTarget(id types.EntryID, st *entrySt, attempt int) keys.NodeID {
-	seen := map[int]bool{st.stampedBy: true, id.GID: true, n.g: true}
+	seen := map[int]bool{st.stampedBy: true, id.GID: true}
 	for s := range st.stampedStreams {
 		if s >= 0 && s < n.ng {
 			seen[s] = true
 		}
 	}
-	cands := make([]int, 0, len(seen))
+	delete(seen, n.g)
+	cands := make([]int, 1, len(seen)+1)
+	cands[0] = n.g
 	for g := range seen {
 		cands = append(cands, g)
 	}
-	sort.Ints(cands)
+	sort.Ints(cands[1:])
 	g := cands[attempt%len(cands)]
 	idx := (attempt / len(cands)) % n.cfg.GroupSizes[g]
 	target := keys.NodeID{Group: g, Index: idx}
@@ -189,6 +203,10 @@ func (n *Node) repairTick() {
 	}
 	n.streamRepairScan(now)
 	n.slotRepairScan(now)
+	// Entry fetch lives on the repair cadence (not the takeover tick): a
+	// committed entry's missing content must be curable faster than the
+	// coarse takeover period, or it loses the race against run/drain ends.
+	n.fetchMissing(now)
 }
 
 // pbftWatch tracks one PBFT instance's delivery cursor between repair ticks.
@@ -306,7 +324,11 @@ func (n *Node) streamRepairScan(now time.Duration) {
 // Re-emission is safe: records certify on a single FIFO stream per group, so
 // if both an original and a re-emission certify, every node sees them in the
 // same order and the orderer's first-delivery-wins rule resolves them
-// identically everywhere.
+// identically everywhere. Across view changes the Record.View fence
+// (processRecords) additionally guarantees a deposed leader's surviving copy
+// cannot certify after a new leader's re-emission raised the stream's view —
+// the patience window here paces re-emission, it is not load-bearing for
+// correctness.
 func (n *Node) restampScan(now time.Duration) {
 	if !n.meta.IsLeader() {
 		return
@@ -355,9 +377,11 @@ func (n *Node) restampScan(now time.Duration) {
 				// record certifies, so its absence means the record was lost.
 				requeue(st, cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
 			}
-			if !async && n.opts.GlobalConsensus && st.commitSeen {
-				// Round mode has no certification feedback for commits;
-				// re-emit under backoff until the entry executes (idempotent).
+			if !async && n.opts.GlobalConsensus && st.commitSeen && !st.committed {
+				// Round mode: committed flips only at certification in our
+				// own stream, so its absence past patience means the commit
+				// record was lost (e.g. a meta view change destroyed the
+				// slot); re-emit under backoff until it certifies.
 				requeue(st, cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
 			}
 			continue

@@ -45,12 +45,14 @@ func (n *Node) foldCheckpoint(have uint64) *cluster.Checkpoint {
 		CommitCount: n.commitCount,
 		StreamTS:    make([]uint64, n.ng),
 		StreamNext:  make([]uint64, n.ng),
+		StreamView:  make([]uint64, n.ng),
 	}
 	if n.executedSeq != nil {
 		ck.ExecutedSeq = append([]uint64(nil), n.executedSeq...)
 	}
 	for g := 0; g < n.ng; g++ {
 		ck.StreamTS[g] = n.lastStreamTS[g]
+		ck.StreamView[g] = n.streamView[g]
 		in := n.streams[g]
 		if in == nil {
 			continue
@@ -211,9 +213,17 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 	n.batchLog = make(map[int]map[uint64]*cluster.MetaBatch)
 	n.lastStreamTS = make(map[int]uint64)
 	n.lastStreamAt = make(map[int]time.Duration)
+	n.streamView = make(map[int]uint64)
+	if n.tracePhase != nil {
+		n.tracePhase = make(map[types.EntryID]time.Duration)
+		n.traceFirstChunk = make(map[types.EntryID]time.Duration)
+	}
 	for g := 0; g < n.ng; g++ {
 		if g < len(ck.StreamTS) {
 			n.lastStreamTS[g] = ck.StreamTS[g]
+		}
+		if g < len(ck.StreamView) {
+			n.streamView[g] = ck.StreamView[g]
 		}
 		n.lastStreamAt[g] = now
 		if g != n.g && g < len(ck.StreamNext) {

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -152,14 +153,18 @@ func (c *Collector) AvgLatency() time.Duration {
 	return sum / time.Duration(len(c.latencies))
 }
 
-// PercentileLatency returns the p-th percentile latency (p in (0,100]).
+// PercentileLatency returns the p-th percentile latency (p in (0,100]),
+// using the ceil nearest-rank definition: the smallest sample such that at
+// least p% of samples are <= it. (Truncating instead of ceiling would return
+// a sample below the requested rank whenever p*n is not integral — e.g. the
+// p50 of 5 samples would be the 2nd instead of the 3rd.)
 func (c *Collector) PercentileLatency(p float64) time.Duration {
 	if len(c.latencies) == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), c.latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p/100*float64(len(sorted))) - 1
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}

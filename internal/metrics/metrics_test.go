@@ -50,7 +50,8 @@ func TestLatencyStats(t *testing.T) {
 	if got := c.AvgLatency(); got != 40*time.Millisecond {
 		t.Fatalf("AvgLatency = %v", got)
 	}
-	if got := c.PercentileLatency(50); got != 20*time.Millisecond {
+	// Ceil nearest-rank: p50 of 5 samples is the 3rd smallest.
+	if got := c.PercentileLatency(50); got != 30*time.Millisecond {
 		t.Fatalf("p50 = %v", got)
 	}
 	if got := c.PercentileLatency(100); got != 100*time.Millisecond {
@@ -59,6 +60,47 @@ func TestLatencyStats(t *testing.T) {
 	if got := c.PercentileLatency(1); got != 10*time.Millisecond {
 		t.Fatalf("p1 = %v", got)
 	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	cases := []struct {
+		name    string
+		samples []int
+		p       float64
+		want    time.Duration
+	}{
+		{"p50-of-5-is-3rd", []int{10, 20, 30, 40, 100}, 50, ms(30)},
+		{"p50-of-4-is-2nd", []int{10, 20, 30, 40}, 50, ms(20)},
+		{"p99-of-100-is-99th", seq(1, 100), 99, ms(99)},
+		{"p99-of-200-is-198th", seq(1, 200), 99, ms(198)},
+		{"p90-of-10-is-9th", seq(1, 10), 90, ms(9)},
+		{"p91-of-10-rounds-up-to-10th", seq(1, 10), 91, ms(10)},
+		{"p100-is-max", seq(1, 10), 100, ms(10)},
+		{"p1-of-10-is-min", seq(1, 10), 1, ms(1)},
+		{"single-sample", []int{42}, 50, ms(42)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCollector()
+			c.SetWindow(0, 10*time.Second)
+			for _, v := range tc.samples {
+				c.RecordLatency(time.Second, ms(v))
+			}
+			if got := c.PercentileLatency(tc.p); got != tc.want {
+				t.Fatalf("p%v of %d samples = %v, want %v", tc.p, len(tc.samples), got, tc.want)
+			}
+		})
+	}
+}
+
+// seq returns the ints from lo through hi inclusive.
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
 }
 
 func TestEmptyLatency(t *testing.T) {

@@ -193,6 +193,11 @@ type Config struct {
 	SkipPrepare bool
 	// OnViewChange, when non-nil, is notified after a new view installs.
 	OnViewChange func(view uint64)
+	// Trace, when non-nil, observes slot phase transitions on this replica:
+	// phase is "pre-prepare" (proposal accepted), "prepared" (commit share
+	// sent), or "committed" (quorum reached, about to deliver). Purely
+	// observational — the hook must not feed back into the protocol.
+	Trace func(slot uint64, phase string, payload []byte)
 }
 
 type slotState struct {
@@ -394,6 +399,9 @@ func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
 	if in.nextSlot <= pp.Slot {
 		in.nextSlot = pp.Slot + 1
 	}
+	if in.cfg.Trace != nil {
+		in.cfg.Trace(pp.Slot, "pre-prepare", pp.Payload)
+	}
 	in.armProgressTimer(pp.Slot)
 
 	if in.cfg.SkipPrepare {
@@ -435,6 +443,9 @@ func (in *Instance) maybeCommitPhase(slot uint64, st *slotState) {
 }
 
 func (in *Instance) sendCommit(slot uint64, d keys.Digest, st *slotState) {
+	if in.cfg.Trace != nil {
+		in.cfg.Trace(slot, "prepared", st.payload)
+	}
 	share := keys.SignCertificate(in.cfg.Self, in.group, d)
 	c := &Commit{View: in.view, Slot: slot, Digest: d, Share: share}
 	in.broadcast(c)
@@ -459,6 +470,9 @@ func (in *Instance) onCommit(c *Commit) {
 	if !st.committed && st.prePrepare && len(st.commits) >= in.Quorum() {
 		st.committed = true
 		in.timerSeq++ // progress: cancel pending view-change timers
+		if in.cfg.Trace != nil {
+			in.cfg.Trace(c.Slot, "committed", st.payload)
+		}
 		in.deliverReady()
 	}
 }

@@ -157,6 +157,32 @@ type Node struct {
 	msgsSent, msgsRecv int64
 }
 
+// ProbeSample describes one delivered message for the tracing layer: when
+// it was enqueued at the sender, when its uplink serialization finished,
+// when the (first) copy fully arrived at the receiver's downlink, how long
+// it waited behind earlier traffic in the sender's token-bucket lane, and
+// how far ahead the sender's bulk lane was booked at enqueue time (queue
+// depth). UplinkBytes samples the cumulative bytes through the sender's
+// uplink after this message (bytes-in-flight accounting).
+type ProbeSample struct {
+	From, To    keys.NodeID
+	Payload     any
+	Size        int
+	WAN         bool
+	Priority    bool
+	Enqueue     Time
+	Depart      Time
+	Arrive      Time
+	QueueWait   Time
+	Backlog     Time
+	UplinkBytes int64
+}
+
+// SendProbe observes delivered sends. It must be passive: probes run inside
+// the send path and must not schedule events, send messages, or otherwise
+// perturb the simulation, or determinism against an unprobed run is lost.
+type SendProbe func(ProbeSample)
+
 // Network is the emulator.
 type Network struct {
 	cfg    Config
@@ -166,7 +192,14 @@ type Network struct {
 	queue  eventHeap
 	nodes  map[keys.NodeID]*Node
 	faults *faultState
+	probe  SendProbe
 }
+
+// SetSendProbe installs a passive observer of message sends (tracing).
+// Probes fire only for copies that will actually be delivered — after drop,
+// duplication, and partition sampling — so the fault layer's rng stream and
+// the event schedule are identical with and without a probe.
+func (nw *Network) SetSendProbe(p SendProbe) { nw.probe = p }
 
 // New creates an emulated network per cfg and instantiates all nodes with a
 // nil handler; call SetHandler before Run.
@@ -402,12 +435,26 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 	if f != nil && f.cfg.enabled() {
 		drop, dup = f.sample(wan)
 	}
-	var departEnd Time
-	if !wan {
-		departEnd = n.lanUp.transmitLane(nw.now, msg.Size, priority)
-	} else {
-		departEnd = n.wanUp.transmitLane(nw.now, msg.Size, priority)
+	uplink := &n.lanUp
+	if wan {
+		uplink = &n.wanUp
 	}
+	// Queue-wait / backlog samples must be read before transmitLane books the
+	// message into the lane. Pure reads: a probed run stays bit-identical.
+	var queueWait, backlog Time
+	if nw.probe != nil {
+		if uplink.free > nw.now {
+			backlog = uplink.free - nw.now
+		}
+		queueWait = backlog
+		if priority {
+			queueWait = 0
+			if uplink.prioFree > nw.now {
+				queueWait = uplink.prioFree - nw.now
+			}
+		}
+	}
+	departEnd := uplink.transmitLane(nw.now, msg.Size, priority)
 	lat := nw.latency(n.ID, to)
 	if f != nil {
 		lat += f.extraJitter(lat)
@@ -420,7 +467,7 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 		return
 	}
 	arrStart := departEnd + lat
-	deliverCopy := func(arrStart Time) {
+	deliverCopy := func(arrStart Time) Time {
 		var arrEnd Time
 		if !wan {
 			arrEnd = dst.lanDown.transmitLane(arrStart, msg.Size, priority)
@@ -428,11 +475,20 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 			arrEnd = dst.wanDown.transmitLane(arrStart, msg.Size, priority)
 		}
 		nw.push(&event{at: arrEnd, node: dst, fn: func() { dst.deliver(msg) }})
+		return arrEnd
 	}
-	deliverCopy(arrStart)
+	arrEnd := deliverCopy(arrStart)
 	if dup {
 		f.duplicated++
 		deliverCopy(arrStart + f.dupDelay(lat))
+	}
+	if nw.probe != nil {
+		nw.probe(ProbeSample{
+			From: n.ID, To: to, Payload: msg.Payload, Size: msg.Size,
+			WAN: wan, Priority: priority,
+			Enqueue: nw.now, Depart: departEnd, Arrive: arrEnd,
+			QueueWait: queueWait, Backlog: backlog, UplinkBytes: uplink.bytes,
+		})
 	}
 }
 

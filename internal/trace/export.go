@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Chrome trace-event (the "JSON Object Format" consumed
+// by chrome://tracing and Perfetto). Complete events use Ph "X" with Ts/Dur
+// in microseconds; metadata events use Ph "M" to name processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level export document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChrome serializes spans as Chrome trace-event JSON: one process per
+// group, one thread per node, one complete event per span (instant spans
+// render with a minimal duration so they stay visible). groupSizes names the
+// process/thread metadata; spans from unknown nodes are still emitted.
+func WriteChrome(w io.Writer, spans []Span, groupSizes []int) error {
+	events := make([]chromeEvent, 0, len(spans)+len(groupSizes)*8)
+	for g, size := range groupSizes {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: g,
+			Args: map[string]any{"name": fmt.Sprintf("group %d", g)},
+		})
+		for j := 0; j < size; j++ {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: g, Tid: j,
+				Args: map[string]any{"name": fmt.Sprintf("node %d/%d", g, j)},
+			})
+		}
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Stage,
+			Cat:  "entry",
+			Ph:   "X",
+			Ts:   usec(s.Start),
+			Dur:  usec(s.End - s.Start),
+			Pid:  s.Node.Group,
+			Tid:  s.Node.Index,
+			Args: map[string]any{"entry": s.Entry.String()},
+		}
+		if ev.Dur <= 0 {
+			ev.Dur = 0.001 // keep instant spans visible in the viewer
+		}
+		if s.Bytes > 0 {
+			ev.Args["bytes"] = s.Bytes
+		}
+		if s.Wait > 0 {
+			ev.Args["queue_wait_us"] = usec(s.Wait)
+		}
+		if s.Backlog > 0 {
+			ev.Args["backlog_us"] = usec(s.Backlog)
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ReadChrome parses a Chrome trace-event JSON document back into spans
+// (metadata events are skipped; Entry/Wait/Backlog args are restored). Used
+// by round-trip tests and the trace-validation tooling.
+func ReadChrome(r io.Reader) ([]Span, error) {
+	var doc chromeTrace
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	var spans []Span
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := Span{
+			Stage: ev.Name,
+			Start: time.Duration(ev.Ts * float64(time.Microsecond)),
+		}
+		s.End = s.Start + time.Duration(ev.Dur*float64(time.Microsecond))
+		s.Node.Group = ev.Pid
+		s.Node.Index = ev.Tid
+		if v, ok := ev.Args["entry"].(string); ok {
+			if _, err := fmt.Sscanf(v, "e%d,%d", &s.Entry.GID, &s.Entry.Seq); err != nil {
+				return nil, fmt.Errorf("trace: bad entry id %q", v)
+			}
+		}
+		if v, ok := ev.Args["bytes"].(float64); ok {
+			s.Bytes = int64(v)
+		}
+		if v, ok := ev.Args["queue_wait_us"].(float64); ok {
+			s.Wait = time.Duration(v * float64(time.Microsecond))
+		}
+		if v, ok := ev.Args["backlog_us"].(float64); ok {
+			s.Backlog = time.Duration(v * float64(time.Microsecond))
+		}
+		spans = append(spans, s)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans, nil
+}

@@ -1,0 +1,146 @@
+// Package trace is the per-entry observability subsystem: a span recorder
+// driven by the simulator's virtual clock that captures every lifecycle hop
+// of every entry — local PBFT phases, erasure encode, per-chunk WAN transfer
+// (with queue-wait and backlog samples probed from the token-bucket
+// interfaces), chunk rebuild, replication-certificate assembly, ordering
+// wait, and execution.
+//
+// The recorder is strictly passive: it never schedules events, charges CPU,
+// or draws randomness, so a run with tracing enabled is bit-identical
+// (committed prefix, state hashes, event schedule) to the same run with
+// tracing disabled. All methods are safe on a nil *Recorder, which is the
+// zero-overhead disabled fast path: call sites do a single nil receiver
+// check and return.
+//
+// Spans export as Chrome trace-event JSON (export.go, loadable in Perfetto
+// or chrome://tracing) and feed the critical-path analyzer (critpath.go)
+// that reconstructs each entry's longest dependency chain.
+package trace
+
+import (
+	"time"
+
+	"massbft/internal/keys"
+	"massbft/internal/types"
+)
+
+// Stage names. An entry's trace ID is its EntryID (assigned at proposal);
+// every span carries it, so the whole pipeline of one entry is joinable.
+const (
+	// StagePropose marks the instant the entry was cut by its group leader
+	// (Entry.Term); the zero point of the entry's end-to-end latency.
+	StagePropose = "propose"
+	// StagePrePrepare / StagePrepare / StageCommit are the local PBFT
+	// three-phase rounds, recorded on the proposer only.
+	StagePrePrepare = "pbft-preprepare"
+	StagePrepare    = "pbft-prepare"
+	StageCommit     = "pbft-commit"
+	// StageLocalConsensus is propose → local certification (covers the PBFT
+	// phases; the critical-path partition attributes the inner phases to
+	// their own spans and the remainder here).
+	StageLocalConsensus = "local-consensus"
+	// StageEncode is the erasure-encode CPU cost on the proposer.
+	StageEncode = "encode"
+	// StageWANChunk is one erasure-coded chunk (or chunk batch) crossing the
+	// WAN: uplink enqueue → downlink delivered, with Wait/Backlog sampled
+	// from the sender's token-bucket uplink. Node is the receiver.
+	StageWANChunk = "wan-chunk"
+	// StageWANEntry is a complete entry copy crossing the WAN (one-way and
+	// bijective replication).
+	StageWANEntry = "wan-entry"
+	// StageChunkCollect spans first chunk arrived → rebuild started on one
+	// receiver (LAN chunk exchange and bucket fill).
+	StageChunkCollect = "chunk-collect"
+	// StageRebuild is the erasure-decode CPU cost on one receiver.
+	StageRebuild = "rebuild"
+	// StageGlobalReplication spans propose → content available on one
+	// receiver node (the §IV replication pipeline end to end).
+	StageGlobalReplication = "global-replication"
+	// StageCertAssembly spans content → replication certificate (majority of
+	// groups hold the entry), on nodes of the proposing group.
+	StageCertAssembly = "cert-assembly"
+	// StageOrderingWait spans content → deliverable by the ordering layer
+	// (VTS stamp quorum / round turn) on one node.
+	StageOrderingWait = "ordering-wait"
+	// StageExecute is the execution CPU cost on one node.
+	StageExecute = "execute"
+	// StageWait labels critical-path segments not covered by any recorded
+	// span (pure waiting, e.g. batch-timeout alignment); never recorded,
+	// only synthesized by Analyze.
+	StageWait = "wait"
+)
+
+// Span is one traced interval of one entry's lifecycle on one node. Times
+// are virtual (simulation) time since run start.
+type Span struct {
+	Entry types.EntryID
+	Stage string
+	Node  keys.NodeID
+	Start time.Duration
+	End   time.Duration
+	// Bytes is the wire size involved (chunk size, entry size), when known.
+	Bytes int64
+	// Wait is the queue wait the message saw at the sender's uplink (time
+	// spent behind earlier traffic in the token-bucket serializer).
+	Wait time.Duration
+	// Backlog samples the sender's bulk-lane booked-ahead time at enqueue —
+	// the queue-depth / bytes-in-flight diagnostic.
+	Backlog time.Duration
+}
+
+// maxSpans bounds recorder memory on very long runs. Far above any normal
+// run (a 10 s demo records ~10^5 spans); overflow is counted, never silent.
+const maxSpans = 1 << 20
+
+// Recorder accumulates spans for one cluster run. A nil *Recorder is the
+// disabled state: every method is a no-op returning zero values, so call
+// sites need no flag checks. The simulation is single-threaded, so the
+// recorder needs no locking.
+type Recorder struct {
+	spans   []Span
+	dropped int64
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether spans are being captured.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends one span. No-op on a nil recorder; drops (and counts) once
+// the span cap is reached.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	if len(r.spans) >= maxSpans {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns the recorded spans (the recorder's own slice; callers must
+// not mutate it). Nil on a disabled recorder.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Dropped returns how many spans were discarded at the cap.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"massbft/internal/keys"
+	"massbft/internal/types"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Record(Span{Stage: StagePropose}) // must not panic
+	if r.Spans() != nil || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder returned non-zero state")
+	}
+}
+
+func TestRecorderCapCountsDrops(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < maxSpans+10; i++ {
+		r.Record(Span{Stage: StageExecute, Start: time.Duration(i)})
+	}
+	if r.Len() != maxSpans {
+		t.Fatalf("Len = %d, want %d", r.Len(), maxSpans)
+	}
+	if r.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10", r.Dropped())
+	}
+}
+
+// goldenSpans is a small deterministic lifecycle used by both the golden-file
+// and the round-trip tests.
+func goldenSpans() []Span {
+	origin := keys.NodeID{Group: 0, Index: 0}
+	obs := keys.NodeID{Group: 1, Index: 0}
+	e := types.EntryID{GID: 0, Seq: 1}
+	return []Span{
+		{Entry: e, Stage: StagePropose, Node: origin, Start: ms(10), End: ms(10)},
+		{Entry: e, Stage: StageLocalConsensus, Node: origin, Start: ms(10), End: ms(14)},
+		{Entry: e, Stage: StageEncode, Node: origin, Start: ms(14), End: ms(15), Bytes: 4096},
+		{Entry: e, Stage: StageWANChunk, Node: obs, Start: ms(15), End: ms(40), Bytes: 512,
+			Wait: ms(3), Backlog: ms(5)},
+		{Entry: e, Stage: StageRebuild, Node: obs, Start: ms(41), End: ms(42), Bytes: 4096},
+		{Entry: e, Stage: StageGlobalReplication, Node: obs, Start: ms(10), End: ms(42)},
+		{Entry: e, Stage: StageOrderingWait, Node: obs, Start: ms(42), End: ms(60)},
+		{Entry: e, Stage: StageExecute, Node: obs, Start: ms(60), End: ms(61)},
+	}
+}
+
+// TestWriteChromeGolden pins the exact export format: a change to the Chrome
+// JSON layout must be deliberate (regenerate with -update).
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenSpans(), []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export drifted from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	spans := goldenSpans()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(spans))
+	}
+	// ReadChrome sorts by start; build a lookup by (stage, start) instead of
+	// relying on order.
+	byKey := make(map[string]Span)
+	for _, s := range got {
+		byKey[s.Stage+s.Start.String()] = s
+	}
+	for _, want := range spans {
+		s, ok := byKey[want.Stage+want.Start.String()]
+		if !ok {
+			t.Fatalf("span %s@%v missing after round trip", want.Stage, want.Start)
+		}
+		if s.Entry != want.Entry || s.Node != want.Node || s.Bytes != want.Bytes ||
+			s.Wait != want.Wait || s.Backlog != want.Backlog {
+			t.Fatalf("round trip mutated span: got %+v want %+v", s, want)
+		}
+		end := want.End
+		if end == want.Start {
+			end += time.Nanosecond // instant spans export with a visibility epsilon
+		}
+		if s.End < want.End || s.End > end+time.Microsecond {
+			t.Fatalf("round trip end %v, want ~%v", s.End, want.End)
+		}
+	}
+}
+
+func TestAnalyzePartitionSumsToE2E(t *testing.T) {
+	obs := keys.NodeID{Group: 1, Index: 0}
+	rep := Analyze(goldenSpans(), obs)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("analyzed %d entries, want 1", len(rep.Entries))
+	}
+	p := rep.Entries[0]
+	if p.Start != ms(10) || p.End != ms(60) {
+		t.Fatalf("window [%v, %v], want [10ms, 60ms]", p.Start, p.End)
+	}
+	var sum time.Duration
+	prev := p.Start
+	for _, seg := range p.Segments {
+		if seg.Start != prev {
+			t.Fatalf("gap in partition: segment starts at %v, previous ended at %v", seg.Start, prev)
+		}
+		if seg.End <= seg.Start {
+			t.Fatalf("empty or inverted segment %+v", seg)
+		}
+		prev = seg.End
+		sum += seg.Dur()
+	}
+	if prev != p.End {
+		t.Fatalf("partition ends at %v, window ends at %v", prev, p.End)
+	}
+	if sum != p.E2E() {
+		t.Fatalf("segment sum %v != e2e %v", sum, p.E2E())
+	}
+	if rep.E2EAvg != p.E2E() {
+		t.Fatalf("E2EAvg %v != single entry e2e %v", rep.E2EAvg, p.E2E())
+	}
+	// Stage averages must likewise sum to the e2e average.
+	var stageSum time.Duration
+	for _, s := range rep.Stages {
+		stageSum += s.Avg
+	}
+	if stageSum != rep.E2EAvg {
+		t.Fatalf("stage avgs sum to %v, want %v", stageSum, rep.E2EAvg)
+	}
+}
+
+func TestAnalyzeInnermostAndWait(t *testing.T) {
+	obs := keys.NodeID{Group: 0, Index: 0}
+	e := types.EntryID{GID: 0, Seq: 1}
+	spans := []Span{
+		{Entry: e, Stage: StagePropose, Node: obs, Start: ms(0), End: ms(0)},
+		// Outer span covers [0, 30); inner span [10, 20) must win there.
+		{Entry: e, Stage: StageLocalConsensus, Node: obs, Start: ms(0), End: ms(30)},
+		{Entry: e, Stage: StageEncode, Node: obs, Start: ms(10), End: ms(20)},
+		// [30, 40) is uncovered → wait.
+		{Entry: e, Stage: StageExecute, Node: obs, Start: ms(40), End: ms(41)},
+	}
+	rep := Analyze(spans, obs)
+	if len(rep.Entries) != 1 {
+		t.Fatalf("analyzed %d entries, want 1", len(rep.Entries))
+	}
+	segs := rep.Entries[0].Segments
+	want := []Segment{
+		{Stage: StageLocalConsensus, Start: ms(0), End: ms(10)},
+		{Stage: StageEncode, Start: ms(10), End: ms(20)},
+		{Stage: StageLocalConsensus, Start: ms(20), End: ms(30)},
+		{Stage: StageWait, Start: ms(30), End: ms(40)},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestAnalyzeSkipsUnexecutedAndForeignVantage(t *testing.T) {
+	obs := keys.NodeID{Group: 1, Index: 0}
+	other := keys.NodeID{Group: 2, Index: 0}
+	e1 := types.EntryID{GID: 0, Seq: 1}
+	e2 := types.EntryID{GID: 0, Seq: 2}
+	spans := []Span{
+		// e1 executed only on another node: not visible from obs's vantage.
+		{Entry: e1, Stage: StagePropose, Node: keys.NodeID{}, Start: ms(0), End: ms(0)},
+		{Entry: e1, Stage: StageExecute, Node: other, Start: ms(50), End: ms(51)},
+		// e2 executed at obs.
+		{Entry: e2, Stage: StagePropose, Node: keys.NodeID{}, Start: ms(5), End: ms(5)},
+		{Entry: e2, Stage: StageExecute, Node: obs, Start: ms(45), End: ms(46)},
+	}
+	rep := Analyze(spans, obs)
+	if len(rep.Entries) != 1 || rep.Entries[0].Entry != e2 {
+		t.Fatalf("entries = %+v, want only e2", rep.Entries)
+	}
+	if rep.Dominant != StageWait {
+		t.Fatalf("dominant = %q, want wait (no covering spans)", rep.Dominant)
+	}
+}

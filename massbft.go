@@ -3,6 +3,7 @@ package massbft
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"massbft/internal/cluster"
@@ -10,6 +11,7 @@ import (
 	"massbft/internal/keys"
 	"massbft/internal/ledger"
 	"massbft/internal/statedb"
+	"massbft/internal/trace"
 )
 
 // Protocol selects which of the paper's evaluated protocols a cluster runs
@@ -144,12 +146,21 @@ type Config struct {
 	LANDropRate float64
 	LANDupRate  float64
 	FaultJitter float64
+
+	// TracePath, when non-empty, enables per-entry lifecycle tracing and
+	// writes a Chrome trace-event JSON file (loadable in Perfetto or
+	// chrome://tracing) there after every Run. Tracing is purely passive:
+	// a traced run commits the bit-identical ledger and state hashes of an
+	// untraced one. See Result.Trace for the critical-path analysis.
+	TracePath string
 }
 
 // Cluster is a running (or runnable) consensus deployment.
 type Cluster struct {
-	inner *cluster.Cluster
-	ran   time.Duration
+	inner     *cluster.Cluster
+	ran       time.Duration
+	tracePath string
+	traceErr  error
 }
 
 // NewCluster validates cfg and wires the deployment.
@@ -199,6 +210,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		LANDropRate:        cfg.LANDropRate,
 		LANDupRate:         cfg.LANDupRate,
 		FaultJitter:        cfg.FaultJitter,
+		TraceEnabled:       cfg.TracePath != "",
 	}
 	if cfg.Custom != nil {
 		registerCustom(&inner, cfg.Custom, cfg.Seed)
@@ -207,7 +219,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{inner: c}, nil
+	return &Cluster{inner: c, tracePath: cfg.TracePath}, nil
 }
 
 // Run advances the cluster by d of virtual time and returns the cumulative
@@ -219,8 +231,32 @@ func (c *Cluster) Run(d time.Duration) Result {
 	c.inner.Metrics.SetWindow(c.inner.Cfg.Warmup, c.ran)
 	c.inner.Cfg.RunFor = c.ran
 	c.inner.RunUntil(c.ran)
+	c.writeTrace()
 	return c.result()
 }
+
+// writeTrace exports the accumulated spans as Chrome trace-event JSON to
+// Config.TracePath, overwriting on each Run so the file always reflects the
+// whole run so far.
+func (c *Cluster) writeTrace() {
+	if c.tracePath == "" || c.inner.Trace == nil {
+		return
+	}
+	f, err := os.Create(c.tracePath)
+	if err != nil {
+		c.traceErr = err
+		return
+	}
+	err = trace.WriteChrome(f, c.inner.Trace.Spans(), c.inner.Cfg.GroupSizes)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	c.traceErr = err
+}
+
+// TraceError reports the most recent trace-export failure (nil when tracing
+// is off or the last export succeeded).
+func (c *Cluster) TraceError() error { return c.traceErr }
 
 // Drain stops client load and runs d more virtual time so every in-flight
 // entry executes on every live node; call before comparing StateHash across
@@ -228,6 +264,7 @@ func (c *Cluster) Run(d time.Duration) Result {
 func (c *Cluster) Drain(d time.Duration) {
 	c.ran += d
 	c.inner.Drain(d)
+	c.writeTrace()
 }
 
 // CrashGroup schedules a full data-center outage at virtual time `at`.
@@ -322,7 +359,7 @@ func (c *Cluster) result() Result {
 	for i, p := range pts {
 		series[i] = SeriesPoint{Second: p.Second, Throughput: p.Throughput, AvgLatency: p.AvgLatency}
 	}
-	return Result{
+	res := Result{
 		Throughput:      m.Throughput(),
 		Committed:       m.Committed(),
 		Aborted:         m.Aborted(),
@@ -336,6 +373,25 @@ func (c *Cluster) result() Result {
 		Stages:          m.StageBreakdown(),
 		Series:          series,
 	}
+	if c.inner.Trace != nil {
+		rep := trace.Analyze(c.inner.Trace.Spans(), c.inner.Cfg.Observer)
+		tr := &TraceReport{
+			Entries: len(rep.Entries),
+			Spans:   c.inner.Trace.Len(),
+			Dropped: c.inner.Trace.Dropped(),
+			E2EAvg:  rep.E2EAvg,
+		}
+		if len(rep.Stages) > 0 {
+			tr.Dominant = rep.Stages[0].Stage
+		}
+		res.Stages = make(map[string]time.Duration, len(rep.Stages))
+		for _, s := range rep.Stages {
+			tr.Stages = append(tr.Stages, TraceStage{Stage: s.Stage, Total: s.Total, Avg: s.Avg, Share: s.Share})
+			res.Stages[s.Stage] = s.Avg
+		}
+		res.Trace = tr
+	}
+	return res
 }
 
 func totalNodes(groups []int) int {
@@ -362,10 +418,45 @@ type Result struct {
 	// WAN traffic accounting (Fig 10).
 	WANBytesPerNode float64
 	WANBytesTotal   int64
-	// Stages is the per-stage average latency breakdown (Fig 11).
+	// Stages is the per-stage average latency breakdown (Fig 11), derived
+	// from the trace subsystem's critical-path analysis: each entry's
+	// end-to-end window is partitioned exactly among its pipeline stages, so
+	// the per-stage averages sum to the average end-to-end latency. Populated
+	// only when Config.TracePath enables tracing.
 	Stages map[string]time.Duration
 	// Series is the per-second throughput/latency trace (Fig 15).
 	Series []SeriesPoint
+	// Trace is the critical-path summary of the traced run; nil when tracing
+	// is off (Config.TracePath empty).
+	Trace *TraceReport
+}
+
+// TraceReport summarizes the per-entry critical-path analysis of a traced
+// run, computed from the vantage of the metrics observer node.
+type TraceReport struct {
+	// Entries is the number of entries whose full propose→execute path was
+	// observed; Spans the total spans recorded cluster-wide; Dropped how many
+	// spans the recorder's cap discarded (0 in any reasonably sized run).
+	Entries int
+	Spans   int
+	Dropped int64
+	// Dominant is the stage contributing the most critical-path time.
+	Dominant string
+	// E2EAvg is the average end-to-end (propose→execute) critical-path
+	// window; the per-stage Avgs below sum to it.
+	E2EAvg time.Duration
+	// Stages is sorted by total critical-path contribution, largest first.
+	Stages []TraceStage
+}
+
+// TraceStage is one pipeline stage's aggregate critical-path contribution.
+type TraceStage struct {
+	Stage string
+	// Total is the stage's summed critical-path time across entries; Avg the
+	// per-entry average (Total / entries); Share the fraction of all
+	// critical-path time.
+	Total, Avg time.Duration
+	Share      float64
 }
 
 // SeriesPoint is one second of a run's trace.

@@ -14,7 +14,13 @@ go build ./...
 echo "== go test"
 go test ./... -timeout 900s
 
-echo "== go test -race -short (simnet, replication, core)"
-go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/
+echo "== go test -race -short (simnet, replication, core, pbft, trace)"
+go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/
+
+echo "== trace smoke (demo -trace + JSON validation)"
+tracefile="$(mktemp)"
+go run ./cmd/massbft-demo -groups 2 -nodes 3 -duration 3s -trace "$tracefile" >/dev/null
+go run ./scripts/validate-trace "$tracefile"
+rm -f "$tracefile"
 
 echo "OK"

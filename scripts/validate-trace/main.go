@@ -1,0 +1,46 @@
+// Command validate-trace checks that a Chrome trace-event JSON file (as
+// written by Config.TracePath / massbft-demo -trace) is well-formed: it
+// parses, holds at least one complete span event, and every span carries a
+// joinable entry ID. Used by the CI smoke step; exits non-zero on any
+// problem.
+//
+//	go run ./scripts/validate-trace trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"massbft/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-trace <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "validate-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spans, err := trace.ReadChrome(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "validate-trace: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "validate-trace: %s: no span events\n", os.Args[1])
+		os.Exit(1)
+	}
+	stages := make(map[string]int)
+	for _, s := range spans {
+		if s.End < s.Start {
+			fmt.Fprintf(os.Stderr, "validate-trace: %s: span %s ends before it starts\n", os.Args[1], s.Stage)
+			os.Exit(1)
+		}
+		stages[s.Stage]++
+	}
+	fmt.Printf("%s: %d spans across %d stages\n", os.Args[1], len(spans), len(stages))
+}
