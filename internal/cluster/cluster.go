@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"massbft/internal/aria"
@@ -242,6 +243,39 @@ func (c *Cluster) SchedulePartition(at, healAt time.Duration, a, b int) {
 	c.Net.SchedulePartition(at, healAt, a, b)
 }
 
+// ScheduleByzantineSender makes one node corrupt a fraction of its outgoing
+// MetaBatch messages in flight from virtual time `at`: a deep-copied batch
+// with one record's timestamp perturbed, so the receiver's certificate check
+// must reject it (the cert binds the records' canonical encoding). Because
+// the corruption samples per copy of a broadcast, the same batch also leaves
+// the sender in differing versions for different peers — wire-level
+// equivocation. Counters: simnet's ByzantineStats plus the receivers'
+// batch-cert-rejected.
+func (c *Cluster) ScheduleByzantineSender(at time.Duration, id keys.NodeID, rate float64) {
+	c.Net.Schedule(at, func() {
+		c.Net.SetByzantineSender(id, simnet.ByzantineSender{
+			CorruptRate: rate,
+			Corrupt:     corruptMetaBatch,
+		})
+	})
+}
+
+// corruptMetaBatch returns a tampered copy of a MetaBatch payload (nil for
+// other payload types, leaving them untouched). The records slice is copied
+// before one timestamp is perturbed — the original is shared with every
+// other recipient of the broadcast.
+func corruptMetaBatch(payload any, rng *rand.Rand) any {
+	b, ok := payload.(*MetaBatch)
+	if !ok || len(b.Records) == 0 {
+		return nil
+	}
+	cp := *b
+	cp.Records = append([]Record(nil), b.Records...)
+	i := rng.Intn(len(cp.Records))
+	cp.Records[i].TS += 1 + uint64(rng.Intn(7))
+	return &cp
+}
+
 // ScheduleByzantine makes the first `perGroup` follower nodes of every group
 // Byzantine from virtual time `at`: they replicate a tampered entry instead
 // of the correct one (§VI-E "Node Failures"). Leaders (index 0) stay correct
@@ -283,6 +317,10 @@ func (c *Cluster) RunUntil(t time.Duration) {
 		c.Metrics.Set("net-dropped", dropped)
 		c.Metrics.Set("net-duplicated", dup)
 		c.Metrics.Set("net-partition-dropped", pd)
+	}
+	if corrupted, equiv := c.Net.ByzantineStats(); corrupted+equiv > 0 {
+		c.Metrics.Set("net-corrupted", corrupted)
+		c.Metrics.Set("net-equivocated", equiv)
 	}
 }
 

@@ -185,6 +185,14 @@ type Config struct {
 	// also the base period of the Lemma V.1 entry-fetch retry backoff.
 	TakeoverTimeout time.Duration
 
+	// SuspectTimeout is how long a group's meta leader tolerates silence from
+	// another group before emitting a certified GroupSuspect attestation into
+	// its own stream. The designated successor certifies GroupDead (and only
+	// then takes over / skips rounds) after a Byzantine quorum of groups hold
+	// standing suspicions. Defaults to 4x TakeoverTimeout; only meaningful
+	// when TakeoverTimeout is set.
+	SuspectTimeout time.Duration
+
 	// RepairTimeout is how long a partially-filled chunk bucket may stall
 	// before the receiver NACKs its missing chunk indexes to a LAN peer and
 	// an alternate sender-group node; zero disables chunk repair.
@@ -258,6 +266,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RejoinTimeout == 0 {
 		c.RejoinTimeout = 10 * c.BatchTimeout
+	}
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 4 * c.TakeoverTimeout
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 400

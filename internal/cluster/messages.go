@@ -73,6 +73,23 @@ const (
 	RecAccept
 	// RecCommit announces that Entry achieved global consensus.
 	RecCommit
+	// RecSuspect is a quorum-witnessed-failover attestation: the emitting
+	// group observed 4x-takeover-timeout silence from group Stream. TS
+	// carries the emitter's next-expected MetaBatch seq for the suspected
+	// stream (its "lastSeen" cursor), which bounds the eventual death cut.
+	// Entry is unused (zero).
+	RecSuspect
+	// RecRevoke withdraws the emitting group's standing RecSuspect for group
+	// Stream: the suspected stream produced a certified batch before a death
+	// quorum formed. Entry and TS are unused (zero).
+	RecRevoke
+	// RecDead is the consensus-backed group-death/skip decision: the
+	// designated successor certifies that group Stream is dead with cut
+	// position TS — every node processes exactly Stream's batches [0, TS)
+	// and fences the rest, so the takeover stamps (async) and round skips
+	// (Baseline family) derived from it are identical cluster-wide. Entry is
+	// unused (zero).
+	RecDead
 )
 
 // Record is one certified statement by a group.
@@ -216,12 +233,21 @@ func (p *PendingEntry) WireSize() int {
 	return n
 }
 
+// SuspectEdge is one standing suspicion inside a Checkpoint: group Origin
+// holds a certified, unrevoked RecSuspect for group Suspected, with Origin's
+// stream cursor Cursor at suspicion time.
+type SuspectEdge struct {
+	Suspected, Origin int
+	Cursor            uint64
+}
+
 // Checkpoint is a fold of one node's full replicated state at a virtual
 // instant: the sealed ledger (suffix), the state store, the ordering
 // machinery, both PBFT instances, and every in-flight entry. A recovering
 // node installs it wholesale and resumes from there (checkpointed rejoin).
-// The transfer trusts the serving LAN peer; a production system would verify
-// the state roll against the certified block chain.
+// The installer does not trust the serving LAN peer: it recomputes the
+// suffix's hash chain and state-roll links against its own certified ledger
+// head before appending anything (rejoin-badsuffix on mismatch).
 type Checkpoint struct {
 	Height    uint64
 	Blocks    []*ledger.Block
@@ -259,6 +285,17 @@ type Checkpoint struct {
 	Skipped []types.EntryID
 
 	Pending []PendingEntry
+
+	// Failover state (quorum-witnessed group death): DeadGroups/DeadCuts are
+	// the certified-dead groups and their stream cut positions (parallel
+	// slices); Suspects the standing (unrevoked) suspicion edges; OwnSuspects
+	// the groups the folding node's own group currently suspects — derived
+	// from the own certified stream, so it must survive a rejoin for leader
+	// changes to preserve suspicion/revocation duties.
+	DeadGroups  []int
+	DeadCuts    []uint64
+	Suspects    []SuspectEdge
+	OwnSuspects []int
 }
 
 // WireSize returns the serialized size in bytes (transfer cost model).
@@ -282,6 +319,7 @@ func (c *Checkpoint) WireSize() int {
 	for i := range c.Pending {
 		n += c.Pending[i].WireSize()
 	}
+	n += 12*len(c.DeadGroups) + 16*len(c.Suspects) + 4*len(c.OwnSuspects)
 	return n
 }
 

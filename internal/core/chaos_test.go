@@ -182,3 +182,306 @@ func TestChaosBaseline(t *testing.T) {
 	}
 	chaosRun(t, cluster.PresetBaseline(), 43)
 }
+
+// --- WAN partition schedules (quorum-witnessed failover) --------------------
+
+// partitionChaos builds a chaos-environment cluster (lossy WAN, duplication,
+// jitter) with no crash/recover noise, so the partition schedules below act on
+// an otherwise healthy cluster and the failover counters can be asserted
+// exactly.
+func partitionChaos(t *testing.T, opts cluster.Options, seed int64) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(chaosCfg(opts, seed), NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// liveConverged is chaosConverged restricted to the groups not in skip —
+// permanently crashed groups can never converge and must not gate draining.
+func liveConverged(c *cluster.Cluster, skip map[int]bool) bool {
+	var ref [32]byte
+	var refH uint64
+	var refSet bool
+	for g, size := range c.Cfg.GroupSizes {
+		if skip[g] {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			h := c.StateHash(id)
+			lh := c.Nodes[id].(*Node).Ledger().Height()
+			if !refSet {
+				ref, refH, refSet = h, lh, true
+			} else if h != ref || lh != refH {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// drainLive drains until every live node reaches the same state hash and
+// ledger height, with a hard cap so a genuine wedge still fails the test.
+func drainLive(c *cluster.Cluster, skip map[int]bool) {
+	deadline := c.Net.Now() + 15*time.Second
+	for {
+		c.Drain(500 * time.Millisecond)
+		if liveConverged(c, skip) || c.Net.Now() >= deadline {
+			break
+		}
+	}
+}
+
+// assertLiveSafety checks the partition-safety invariants over live nodes:
+// every ledger verifies, all committed prefixes are identical block-for-block
+// at the minimum sealed height, all states are equal, and no conflicting
+// takeover stamps ever certified.
+func assertLiveSafety(t *testing.T, c *cluster.Cluster, skip map[int]bool) {
+	t.Helper()
+	m := c.Metrics
+	var minH uint64
+	var ref *Node
+	nodes := map[keys.NodeID]*Node{}
+	for g, size := range c.Cfg.GroupSizes {
+		if skip[g] {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			n := c.Nodes[id].(*Node)
+			nodes[id] = n
+			if ref == nil {
+				ref = n
+			}
+			if h := n.Ledger().Height(); minH == 0 || h < minH {
+				minH = h
+			}
+		}
+	}
+	if minH == 0 {
+		t.Fatalf("some live node sealed no blocks: %s", m.Summary())
+	}
+	refAt := ref.Ledger().Block(minH)
+	for id, n := range nodes {
+		l := n.Ledger()
+		if err := l.Verify(); err != nil {
+			t.Fatalf("node %v ledger integrity: %v", id, err)
+		}
+		b := l.Block(minH)
+		if b == nil || refAt == nil || b.Hash() != refAt.Hash() {
+			t.Fatalf("node %v committed prefix diverges at height %d: %s", id, minH, m.Summary())
+		}
+	}
+	assertConsistency(t, c, skip)
+	if m.Counter("ts-conflicts") != 0 {
+		t.Fatalf("conflicting takeover stamps certified: %s", m.Summary())
+	}
+}
+
+// TestPartitionHealBeforeQuorumAsymmetric severs a single WAN link (groups
+// 0<->2) for three seconds. Both endpoint groups certify suspicions of each
+// other, but a death needs a Byzantine quorum of distinct suspecting groups
+// visible at the victim's successor — and with only one link cut, each victim
+// has exactly one suspecter, so the quorum is structurally unreachable no
+// matter how long the partition lasts. The old node-local verdict would have
+// taken over here; the quorum-witnessed protocol must keep both groups in
+// service, certify zero deaths and zero takeover stamps, and retract the
+// suspicions after the heal.
+func TestPartitionHealBeforeQuorumAsymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	c := partitionChaos(t, cluster.PresetMassBFT(), 50)
+	c.SchedulePartition(1*time.Second, 4*time.Second, 0, 2)
+	c.RunUntil(4500 * time.Millisecond)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(c.Cfg.RunFor)
+	drainLive(c, nil)
+	m := c.Metrics
+	if m.Counter("group-suspects") == 0 {
+		t.Fatalf("partition raised no certified suspicion: %s", m.Summary())
+	}
+	if d := m.Counter("group-deaths"); d != 0 {
+		t.Fatalf("asymmetric partition certified %d group deaths (quorum should be unreachable): %s",
+			d, m.Summary())
+	}
+	if s := m.Counter("takeover-stamps"); s != 0 {
+		t.Fatalf("%d takeover stamps emitted without a certified death: %s", s, m.Summary())
+	}
+	if m.Counter("group-revokes") == 0 {
+		t.Fatalf("suspicions never retracted after heal: %s", m.Summary())
+	}
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d made no progress after heal: %s", g, m.Summary())
+		}
+	}
+	assertLiveSafety(t, c, nil)
+}
+
+// TestPartitionHealBeforeQuorumSymmetric fully isolates group 2 — first from
+// group 0, later from group 1 as well — and heals both links before a second
+// suspicion can form. Group 0's certified suspicion stands alone: by the time
+// group 1's silence window would trip, the heal has already revived group 2's
+// stream. The quorum never assembles, no death certifies, and the suspected
+// group returns to service with the suspicion retracted.
+func TestPartitionHealBeforeQuorumSymmetric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	c := partitionChaos(t, cluster.PresetMassBFT(), 51)
+	c.SchedulePartition(1*time.Second, 3*time.Second, 0, 2)
+	c.SchedulePartition(2200*time.Millisecond, 3*time.Second, 1, 2)
+	c.RunUntil(4 * time.Second)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(c.Cfg.RunFor)
+	drainLive(c, nil)
+	m := c.Metrics
+	if m.Counter("group-suspects") == 0 {
+		t.Fatalf("isolation raised no certified suspicion: %s", m.Summary())
+	}
+	if d := m.Counter("group-deaths"); d != 0 {
+		t.Fatalf("heal-before-quorum still certified %d group deaths: %s", d, m.Summary())
+	}
+	if s := m.Counter("takeover-stamps"); s != 0 {
+		t.Fatalf("%d takeover stamps emitted without a certified death: %s", s, m.Summary())
+	}
+	if m.Counter("group-revokes") == 0 {
+		t.Fatalf("suspicions never retracted after heal: %s", m.Summary())
+	}
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d made no progress after heal: %s", g, m.Summary())
+		}
+	}
+	assertLiveSafety(t, c, nil)
+}
+
+// TestPartitionChaosFailover is the acceptance scenario for quorum-witnessed
+// failover: group 2 crashes outright, and while its silence window is still
+// running, a WAN partition splits the two surviving groups — isolating the
+// designated successor (group 0) exactly when the old protocol would have let
+// both sides reach independent local takeover verdicts. Neither side can
+// assemble a suspicion quorum alone (each holds only its own certified
+// suspicion of group 2), so nothing is decided during the split; after the
+// heal the two standing suspicions meet and exactly one GroupDead(2)
+// certifies cluster-wide. The survivors' mutual suspicions retract, the
+// successor's takeover stamps release the ordering backlog, and the live
+// groups converge to identical prefixes.
+func TestPartitionChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := chaosCfg(cluster.PresetMassBFT(), 52)
+	// The default observer lives in group 2 — the group this schedule kills;
+	// progress and latency must be observed from a surviving node.
+	cfg.SetObserver(keys.NodeID{Group: 0, Index: 0})
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleGroupCrash(1*time.Second, 2)
+	c.SchedulePartition(1200*time.Millisecond, 3500*time.Millisecond, 0, 1)
+	c.RunUntil(4500 * time.Millisecond)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(c.Cfg.RunFor)
+	skip := map[int]bool{2: true}
+	drainLive(c, skip)
+	m := c.Metrics
+	if d := m.Counter("deaths-emitted"); d != 1 {
+		t.Fatalf("want exactly one certified GroupDead decision, got %d: %s", d, m.Summary())
+	}
+	if m.Counter("dead-dupes") != 0 {
+		t.Fatalf("duplicate death records certified: %s", m.Summary())
+	}
+	var live int64
+	for g, size := range c.Cfg.GroupSizes {
+		if !skip[g] {
+			live += int64(size)
+		}
+	}
+	if got := m.Counter("group-deaths"); got != live {
+		t.Fatalf("GroupDead processed by %d nodes, want all %d live nodes: %s", got, live, m.Summary())
+	}
+	if m.Counter("takeover-stamps") == 0 {
+		t.Fatalf("successor emitted no takeover stamps after the certified death: %s", m.Summary())
+	}
+	if m.Counter("group-revokes") == 0 {
+		t.Fatalf("survivors' mutual suspicions never retracted after heal: %s", m.Summary())
+	}
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if skip[g] {
+			continue
+		}
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d backlog did not drain after heal (mid=%v end=%v): %s",
+				g, mid, end, m.Summary())
+		}
+	}
+	assertLiveSafety(t, c, skip)
+}
+
+// TestPartitionFailoverReduced is a reduced-schedule partition failover run
+// kept fast enough for the -race -short CI shard (it deliberately does NOT
+// skip under -short): a three-group Baseline cluster — covering the
+// round-ordered skip path — loses group 2 outright, a partition splits the
+// survivors during the silence window, and after the heal exactly one
+// certified GroupDead(2) skip decision forms.
+func TestPartitionFailoverReduced(t *testing.T) {
+	cfg := cluster.Config{
+		GroupSizes:         []int{3, 3, 3},
+		Opts:               cluster.PresetBaseline(),
+		Workload:           "ycsb-a",
+		Seed:               53,
+		MaxBatch:           10,
+		BatchTimeout:       10 * time.Millisecond,
+		PipelineDepth:      4,
+		RunFor:             4 * time.Second,
+		Warmup:             300 * time.Millisecond,
+		TakeoverTimeout:    200 * time.Millisecond,
+		ViewChangeTimeout:  300 * time.Millisecond,
+		RepairTimeout:      100 * time.Millisecond,
+		CheckpointInterval: 400 * time.Millisecond,
+		TrustAll:           true,
+	}
+	// The default observer lives in group 2, which this schedule kills.
+	cfg.SetObserver(keys.NodeID{Group: 0, Index: 0})
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleGroupCrash(800*time.Millisecond, 2)
+	c.SchedulePartition(1*time.Second, 2200*time.Millisecond, 0, 1)
+	c.RunUntil(2200 * time.Millisecond)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(cfg.RunFor)
+	skip := map[int]bool{2: true}
+	drainLive(c, skip)
+	m := c.Metrics
+	if d := m.Counter("deaths-emitted"); d != 1 {
+		t.Fatalf("want exactly one certified GroupDead decision, got %d: %s", d, m.Summary())
+	}
+	if m.Counter("dead-dupes") != 0 {
+		t.Fatalf("duplicate death records certified: %s", m.Summary())
+	}
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if skip[g] {
+			continue
+		}
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d backlog did not drain after heal (mid=%v end=%v): %s",
+				g, mid, end, m.Summary())
+		}
+	}
+	assertLiveSafety(t, c, skip)
+}

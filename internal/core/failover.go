@@ -1,0 +1,330 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/types"
+)
+
+// This file implements the quorum-witnessed failover protocol that replaces
+// the §V-C node-local liveness verdicts. A group's silence is no longer acted
+// on unilaterally: the observing group certifies a GroupSuspect attestation
+// into its own meta stream, the suspected group's revival is withdrawn with a
+// certified GroupRevoke, and only the designated successor — after collecting
+// standing suspicions from a Byzantine quorum of groups — certifies the
+// GroupDead decision that unlocks the async takeover stamps and the
+// round-mode skips. Every transition travels as a certified record on a
+// per-group FIFO stream, so the whole state machine replays identically on
+// every node (and across rejoins, via the checkpoint fold).
+//
+// State machine per suspected group G, as seen by any node:
+//
+//	live --silence > SuspectTimeout--> suspected(origin)   [RecSuspect]
+//	suspected --stream revives-------> live                [RecRevoke]
+//	suspected --quorum of origins----> dead(cut)           [RecDead, successor only]
+//	dead: absorbing — batches of G at seq >= cut are fenced, never processed.
+//
+// The death cut is a position in G's FIFO batch stream: the maximum of every
+// collected suspicion cursor and the successor's own cursor. All nodes
+// process exactly G's batches [0, cut), so the set of G's entries that
+// committed — and therefore the async frozen-clock value and the round-mode
+// skip/await decision per round — is identical cluster-wide.
+
+// lastSeen returns the latest liveness evidence for group g's record stream:
+// the last in-order record processing, or any out-of-order batch arrival
+// (a lossy-but-alive stream is repaired, not suspected).
+func (n *Node) lastSeen(g int) time.Duration {
+	last := n.lastStreamAt[g]
+	if in := n.streams[g]; in != nil && in.lastArrival > last {
+		last = in.lastArrival
+	}
+	return last
+}
+
+// streamCursor returns this node's next-expected MetaBatch seq for group g.
+func (n *Node) streamCursor(g int) uint64 {
+	if in := n.streams[g]; in != nil {
+		return in.next
+	}
+	return 0
+}
+
+// groupQuorum is the Byzantine quorum over groups — the same majority the
+// accept/commit phases use.
+func (n *Node) groupQuorum() int { return (n.ng-1)/2 + 1 }
+
+// successor returns the designated successor for group g: the lowest-numbered
+// group other than g that is not itself certified dead. While the live
+// majority of the cluster is connected this is unique, which is what makes
+// the GroupDead decision single-writer.
+func (n *Node) successor(g int) int {
+	for h := 0; h < n.ng; h++ {
+		if h != g && !n.deadGroups[h] {
+			return h
+		}
+	}
+	return -1
+}
+
+// sortedDeadGroups returns the certified-dead groups in ascending order
+// (takeover iteration must be deterministic).
+func (n *Node) sortedDeadGroups() []int {
+	return sortedIntKeys(n.deadGroups)
+}
+
+// failoverQueued reports whether a failover record of this kind for group g
+// is already queued locally awaiting meta certification, so the scans do not
+// queue duplicates within one flush interval.
+func (n *Node) failoverQueued(kind, g int) bool {
+	for _, r := range n.pendingRecs {
+		if r.Kind == kind && r.Stream == g {
+			return true
+		}
+	}
+	return false
+}
+
+// suspectScan emits (meta leader only) the suspicion half of the protocol:
+// a certified GroupSuspect when another group's stream has been silent past
+// SuspectTimeout, and a certified GroupRevoke withdrawing it if the stream
+// revives before a death quorum forms. The standing-suspicion state
+// (ownSuspects) is derived from the group's certified stream on every
+// member, so a leader change preserves suspicions and the new leader keeps
+// the revocation duty.
+func (n *Node) suspectScan(now time.Duration) {
+	if !n.meta.IsLeader() {
+		return
+	}
+	for g := 0; g < n.ng; g++ {
+		if g == n.g || n.deadGroups[g] {
+			continue
+		}
+		silent := now-n.lastSeen(g) > n.cfg.SuspectTimeout
+		switch {
+		case silent && !n.ownSuspects[g] && !n.failoverQueued(cluster.RecSuspect, g):
+			n.ctx.Metrics.Inc("suspects-emitted")
+			n.emitRecord(cluster.Record{Kind: cluster.RecSuspect, Stream: g, TS: n.streamCursor(g)})
+		case !silent && n.ownSuspects[g] && !n.failoverQueued(cluster.RecRevoke, g):
+			n.ctx.Metrics.Inc("revokes-emitted")
+			n.emitRecord(cluster.Record{Kind: cluster.RecRevoke, Stream: g})
+		}
+	}
+}
+
+// deathScan emits (successor's meta leader only) the decision half: once a
+// Byzantine quorum of groups holds standing certified suspicions for g, the
+// successor certifies GroupDead(g) with the cut — the highest cursor any
+// suspecter attested, raised to the successor's own. Local silence is
+// re-checked at emission time, so a revival observed after the quorum formed
+// aborts the death here instead of racing the revocations over the WAN.
+func (n *Node) deathScan(now time.Duration) {
+	if !n.meta.IsLeader() {
+		return
+	}
+	for g := 0; g < n.ng; g++ {
+		if g == n.g || n.deadGroups[g] || n.successor(g) != n.g {
+			continue
+		}
+		sus := n.suspecters[g]
+		if len(sus) < n.groupQuorum() {
+			continue
+		}
+		if now-n.lastSeen(g) <= n.cfg.SuspectTimeout {
+			continue
+		}
+		if n.failoverQueued(cluster.RecDead, g) {
+			continue
+		}
+		cut := n.streamCursor(g)
+		for _, c := range sus {
+			if c > cut {
+				cut = c
+			}
+		}
+		n.ctx.Metrics.Inc("deaths-emitted")
+		n.emitRecord(cluster.Record{Kind: cluster.RecDead, Stream: g, TS: cut})
+	}
+}
+
+// onSuspectRecord ingests a certified GroupSuspect: origin attests that group
+// rec.Stream's stream is silent, carrying origin's cursor for it in TS.
+func (n *Node) onSuspectRecord(origin int, rec cluster.Record) {
+	g := rec.Stream
+	if g < 0 || g >= n.ng || g == origin || n.deadGroups[g] {
+		return
+	}
+	sus := n.suspecters[g]
+	if sus == nil {
+		sus = make(map[int]uint64)
+		n.suspecters[g] = sus
+	}
+	if cur, ok := sus[origin]; !ok || rec.TS > cur {
+		if !ok {
+			n.ctx.Metrics.Inc("group-suspects")
+		}
+		sus[origin] = rec.TS
+	}
+	if origin == n.g {
+		n.ownSuspects[g] = true
+	}
+}
+
+// onRevokeRecord withdraws origin's standing suspicion for rec.Stream: the
+// suspected group produced certified output again before a quorum formed.
+// Revocations travel on the same certified streams as suspicions, so a
+// receiver that cannot see the revival directly (asymmetric partition) still
+// discards the suspicion.
+func (n *Node) onRevokeRecord(origin int, rec cluster.Record) {
+	g := rec.Stream
+	if g < 0 || g >= n.ng || g == origin || n.deadGroups[g] {
+		return
+	}
+	if sus := n.suspecters[g]; sus != nil {
+		if _, ok := sus[origin]; ok {
+			delete(sus, origin)
+			n.ctx.Metrics.Inc("group-revokes")
+		}
+	}
+	if origin == n.g {
+		delete(n.ownSuspects, g)
+	}
+}
+
+// onDeadRecord applies a certified group death. Exactly one death decision
+// can take effect per group: the successor rule makes the emitting group
+// unique, and a successor's own re-emission (after a meta view change) races
+// only itself on its single FIFO stream, so the first record processed wins
+// identically on every node; later ones count as dead-dupes.
+func (n *Node) onDeadRecord(origin int, rec cluster.Record) {
+	g := rec.Stream
+	if g < 0 || g >= n.ng || g == origin {
+		return
+	}
+	if n.deadGroups[g] {
+		n.ctx.Metrics.Inc("dead-dupes")
+		return
+	}
+	n.deadGroups[g] = true
+	n.deadCut[g] = rec.TS
+	delete(n.suspecters, g)
+	delete(n.ownSuspects, g)
+	delete(n.takeoverSent, g)
+	n.ctx.Metrics.Inc("group-deaths")
+	if g == n.g {
+		// Our own group was declared dead — we were on the losing side of a
+		// partition. Halt proposing and record emission so this group cannot
+		// extend a fork past the certified cut; recovery requires
+		// re-provisioning, which the model does not attempt.
+		n.selfDead = true
+		return
+	}
+	in := n.streams[g]
+	if in == nil {
+		return
+	}
+	// Fence buffered batches at or past the cut — they will never process.
+	seqs := make([]uint64, 0, len(in.buffered))
+	for s := range in.buffered {
+		if s >= rec.TS {
+			seqs = append(seqs, s)
+		}
+	}
+	for _, s := range seqs {
+		delete(in.buffered, s)
+		n.ctx.Metrics.Inc("fenced-batches")
+	}
+	if len(in.buffered) == 0 && in.next >= rec.TS {
+		in.gapSince, in.repairAttempts, in.nextRepairAt = 0, 0, 0
+	}
+}
+
+// skipDeadRounds lets round-based ordering progress past a certified-dead
+// group's permanently-missing entries. Rounds whose entry committed inside
+// the agreed prefix are NOT skipped: the commit certified in the dead
+// group's own stream below the cut, so every node awaits and executes it
+// (the content is fetchable per Lemma V.1). Everything else in the
+// look-ahead window is skipped — deterministically, because the committed
+// set is fully determined by the prefix every node processed identically.
+func (n *Node) skipDeadRounds(s int) {
+	base := n.rounds.Round()
+	for r := base; r < base+512; r++ {
+		if r <= n.executedSeqOf(s) {
+			continue
+		}
+		id := types.EntryID{GID: s, Seq: r}
+		if st := n.entries[id]; st != nil && st.committed {
+			continue
+		}
+		n.rounds.Skip(id)
+	}
+}
+
+// foldFailover snapshots the failover state machine into a checkpoint (the
+// suspicion table and death cuts are protocol state a rejoining node cannot
+// re-derive — they came from certified streams it already consumed).
+func (n *Node) foldFailover(ck *cluster.Checkpoint) {
+	for _, g := range sortedIntKeys(n.deadGroups) {
+		ck.DeadGroups = append(ck.DeadGroups, g)
+		ck.DeadCuts = append(ck.DeadCuts, n.deadCut[g])
+	}
+	sg := make([]int, 0, len(n.suspecters))
+	for g := range n.suspecters {
+		sg = append(sg, g)
+	}
+	sort.Ints(sg)
+	for _, g := range sg {
+		for _, o := range sortedMapKeys(n.suspecters[g]) {
+			ck.Suspects = append(ck.Suspects, cluster.SuspectEdge{
+				Suspected: g, Origin: o, Cursor: n.suspecters[g][o],
+			})
+		}
+	}
+	ck.OwnSuspects = sortedIntKeys(n.ownSuspects)
+}
+
+// restoreFailover installs a checkpoint's failover state wholesale.
+func (n *Node) restoreFailover(ck *cluster.Checkpoint) {
+	n.deadGroups = make(map[int]bool)
+	n.deadCut = make(map[int]uint64)
+	n.suspecters = make(map[int]map[int]uint64)
+	n.ownSuspects = make(map[int]bool)
+	n.selfDead = false
+	for i, g := range ck.DeadGroups {
+		n.deadGroups[g] = true
+		if i < len(ck.DeadCuts) {
+			n.deadCut[g] = ck.DeadCuts[i]
+		}
+		if g == n.g {
+			n.selfDead = true
+		}
+	}
+	for _, e := range ck.Suspects {
+		if n.deadGroups[e.Suspected] {
+			continue
+		}
+		sus := n.suspecters[e.Suspected]
+		if sus == nil {
+			sus = make(map[int]uint64)
+			n.suspecters[e.Suspected] = sus
+		}
+		sus[e.Origin] = e.Cursor
+	}
+	for _, g := range ck.OwnSuspects {
+		if !n.deadGroups[g] {
+			n.ownSuspects[g] = true
+		}
+	}
+}
+
+// sortedMapKeys returns a map's int keys in ascending order (checkpoint
+// folds must be deterministic).
+func sortedMapKeys(m map[int]uint64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

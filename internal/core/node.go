@@ -79,6 +79,10 @@ type entrySt struct {
 	// (recovery from records lost to view-change no-op fills).
 	restampAttempts int
 	nextRestampAt   time.Duration
+	// rebroadcastAttempts / nextRebroadcastAt drive the sender-side entry
+	// re-broadcast (recovery from replication copies lost to a partition).
+	rebroadcastAttempts int
+	nextRebroadcastAt   time.Duration
 }
 
 type streamIn struct {
@@ -177,8 +181,22 @@ type Node struct {
 	lastStreamTS map[int]uint64
 	lastStreamAt map[int]time.Duration
 	// takeoverSent marks (stream, entry) stamps this node emitted on behalf
-	// of a crashed group.
+	// of a certified-dead group; entries are GC'd at execution and the whole
+	// per-group map is reset when a death certifies (failover.go).
 	takeoverSent map[int]map[types.EntryID]bool
+
+	// Quorum-witnessed failover state (failover.go). suspecters[g] maps a
+	// suspected group to the origin groups holding standing certified
+	// suspicions, each with the stream cursor it attested; ownSuspects marks
+	// the groups our own group's certified stream currently suspects (derived
+	// from the stream, so it survives meta leader changes); deadGroups and
+	// deadCut record certified deaths and their stream cut positions;
+	// selfDead halts a group that was itself declared dead.
+	suspecters  map[int]map[int]uint64
+	ownSuspects map[int]bool
+	deadGroups  map[int]bool
+	deadCut     map[int]uint64
+	selfDead    bool
 
 	// Byzantine defence: identified tampering senders (§VI-E).
 	blacklist map[keys.NodeID]bool
@@ -241,6 +259,10 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		lastStreamTS: make(map[int]uint64),
 		lastStreamAt: make(map[int]time.Duration),
 		takeoverSent: make(map[int]map[types.EntryID]bool),
+		suspecters:   make(map[int]map[int]uint64),
+		ownSuspects:  make(map[int]bool),
+		deadGroups:   make(map[int]bool),
+		deadCut:      make(map[int]uint64),
 		blacklist:    make(map[keys.NodeID]bool),
 		chunkFrom:    make(map[types.EntryID]map[int]keys.NodeID),
 		archive:      make(map[types.EntryID]*archived),

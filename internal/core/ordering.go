@@ -17,6 +17,13 @@ import (
 // only); records reach the whole group certified and in a deterministic
 // order, then fan out to other groups as MetaBatch messages.
 func (n *Node) flushTick() {
+	if n.selfDead {
+		// A certified-dead group must not extend its stream past the cut:
+		// receivers would fence the batch anyway, but our own members would
+		// process it (own-group records skip the fence) and diverge.
+		n.pendingRecs = nil
+		return
+	}
 	if !n.meta.IsLeader() || len(n.pendingRecs) == 0 {
 		return
 	}
@@ -70,6 +77,15 @@ func (n *Node) onMetaBatch(from keys.NodeID, b *cluster.MetaBatch) {
 	if b.Cert == nil || b.Cert.Group != b.FromGroup ||
 		b.Cert.Digest != keys.Hash(payload) ||
 		n.ctx.Reg.VerifyCertificate(b.Cert) != nil {
+		n.ctx.Metrics.Inc("batch-cert-rejected")
+		return
+	}
+	// Fence: a certified-dead group's stream is cut at deadCut. Batches at or
+	// past the cut never process (and are not liveness evidence) — a
+	// partition-side revival racing the death decision cannot extend the
+	// stream the takeover stamps already froze.
+	if n.deadGroups[b.FromGroup] && b.Seq >= n.deadCut[b.FromGroup] {
+		n.ctx.Metrics.Inc("fenced-batches")
 		return
 	}
 	in := n.streams[b.FromGroup]
@@ -128,8 +144,13 @@ func (n *Node) logBatch(b *cluster.MetaBatch) {
 }
 
 // batchLogRetain bounds the per-origin batch log; gaps older than the window
-// fall back to state transfer (checkpointed rejoin).
-const batchLogRetain = 512
+// fall back to state transfer (checkpointed rejoin). The window doubles as the
+// partition tolerance horizon: a severed receiver must page the whole missed
+// suffix of an active origin's stream through StreamFetch after the heal, so
+// retention has to cover the batches emitted during the longest partition the
+// failover machinery is meant to ride out (several seconds at the ~200
+// batches/s flush ceiling), not just single lost messages.
+const batchLogRetain = 2048
 
 // processRecords applies certified records from the given origin group,
 // dropping records fenced to a meta view older than the stream's highest: a
@@ -156,6 +177,12 @@ func (n *Node) processRecords(origin int, recs []cluster.Record) {
 			n.onAcceptRecord(origin, rec)
 		case cluster.RecCommit:
 			n.onCommitRecord(origin, rec)
+		case cluster.RecSuspect:
+			n.onSuspectRecord(origin, rec)
+		case cluster.RecRevoke:
+			n.onRevokeRecord(origin, rec)
+		case cluster.RecDead:
+			n.onDeadRecord(origin, rec)
 		}
 	}
 }
@@ -168,10 +195,22 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 		n.lastStreamTS[rec.Stream] = rec.TS
 	}
 	if n.orderer != nil {
-		// Conflicting values can only arise from a takeover racing the
-		// (supposedly crashed) owner; first delivery wins.
 		if err := n.orderer.OnTimestamp(rec.Stream, rec.TS, rec.Entry); err != nil {
-			n.ctx.Metrics.Inc("ts-conflicts")
+			if origin != rec.Stream {
+				// A stamp for stream S arriving via a DIFFERENT group's
+				// certified stream is a takeover stamp racing the (supposedly
+				// dead) owner — the split-brain signal the quorum-witnessed
+				// failover exists to prevent. The owner's own post-cut records
+				// are fenced at the batch layer, so under correct gating this
+				// never fires.
+				n.ctx.Metrics.Inc("ts-conflicts")
+			} else {
+				// Same-stream supersession: a re-emitted stamp (restampScan)
+				// whose clock drifted past the original's in-flight copy, both
+				// certifying in one view. First delivery wins, identically on
+				// every node — records of one origin form a single FIFO stream.
+				n.ctx.Metrics.Inc("ts-reemits")
+			}
 		}
 	}
 	// A stamp from another group on one of OUR entries doubles as that
@@ -190,9 +229,18 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 	if origin != n.g {
 		st.stamps[origin] = true
 	}
-	if !st.content && st.firstStampAt == 0 && origin != n.g {
+	if !st.content && st.firstStampAt == 0 {
 		st.firstStampAt = n.now()
 		st.stampedBy = origin
+		if origin == n.g {
+			// Our own group's stamp proves nothing about local content: it
+			// may be a slow-receiver stamp or a takeover stamp, emitted
+			// precisely because the copy never arrived (e.g. severed by a
+			// partition). The entry's origin group provably holds it (local
+			// commit precedes any stream record), so seed the fetch rotation
+			// there instead.
+			st.stampedBy = rec.Entry.GID
+		}
 	}
 	// Slow-receiver handling (§V-C): once f_g+1 groups have the entry (their
 	// stamps double as accepts, broadcast to all groups), a group that has
@@ -337,71 +385,52 @@ func (n *Node) entryContent(id types.EntryID) (*types.Entry, *keys.Certificate, 
 	return nil, nil, false
 }
 
-// takeoverTick implements §V-C "Crashed Groups": when a group's clock stream
-// falls silent, the lowest-numbered live group's leader assigns that group's
-// frozen clock value to entries on its behalf, letting ordering proceed.
+// takeoverTick drives the quorum-witnessed failover protocol (failover.go)
+// and acts on certified deaths: silence feeds the suspicion scan, a quorum
+// of certified suspicions lets the successor certify GroupDead, and only a
+// certified death unlocks the §V-C takeover stamps (async) or the round
+// skips (round modes). No node-local silence verdict survives here — under
+// a WAN partition both sides may *suspect*, but at most one certified death
+// decision can form, so the old split-brain fork cannot occur.
 func (n *Node) takeoverTick() {
 	now := n.now()
+	if n.selfDead {
+		// A certified-dead group halts: no re-proposal, no re-emission, no
+		// suspicion. Members keep serving fetches for the agreed prefix.
+		return
+	}
 	n.restampScan(now)
 	n.proposalRepairScan(now)
+	n.rebroadcastScan(now)
 	if now < n.cfg.TakeoverTimeout*5 {
 		return // give every group time to start speaking
 	}
-	alive := func(g int) bool {
-		if g == n.g {
-			return true
-		}
-		last := n.lastStreamAt[g]
-		// Out-of-order arrivals count as life: a lossy stream with a cursor
-		// gap is repaired (StreamFetch), not taken over — a takeover racing a
-		// merely-slow group's real stamps would fork the order.
-		if in := n.streams[g]; in != nil && in.lastArrival > last {
-			last = in.lastArrival
-		}
-		// A takeover stamp that races a live group's real stamp creates
-		// conflicting VTS assignments whose winner is arrival order — a fork,
-		// since WAN interleaving differs per receiving group. A group that can
-		// still certify anything is not crashed, so demand a silence long
-		// enough to outlast view changes and lossy-stream repair (same
-		// reasoning as the round-mode skip below).
-		return now-last <= 4*n.cfg.TakeoverTimeout
+	n.suspectScan(now)
+	n.deathScan(now)
+	dead := n.sortedDeadGroups()
+	if len(dead) == 0 {
+		return
 	}
-	// Round mode: every node locally times out crashed groups and skips
-	// their round slots. The skip is irreversible and node-local (the
-	// skipped group's own members never skip their own rounds), so a skip
-	// triggered by a transient stall forks the executed set when the group
-	// revives. Round mode therefore demands a much longer silence than the
-	// async takeover (which is consensus-backed through the meta stream):
-	// brief wedges resolve via stream repair and view changes instead.
 	if n.rounds != nil {
-		for s := 0; s < n.ng; s++ {
-			if s == n.g {
-				continue
-			}
-			last := n.lastStreamAt[s]
-			if in := n.streams[s]; in != nil && in.lastArrival > last {
-				last = in.lastArrival
-			}
-			if now-last > 4*n.cfg.TakeoverTimeout {
-				n.skipCrashedRounds(s)
+		// Round mode: skip a certified-dead group's uncommitted round slots —
+		// but only once this node holds the group's full agreed prefix
+		// [0, cut), so the committed set (and therefore the skip set) is
+		// identical on every node.
+		for _, s := range dead {
+			if n.streamCursor(s) >= n.deadCut[s] {
+				n.skipDeadRounds(s)
 			}
 		}
 		return
 	}
-	// Async mode: the lowest-numbered live group's meta leader takes over
-	// the crashed group's clock (§V-C).
-	lowestAlive := -1
-	for g := 0; g < n.ng; g++ {
-		if alive(g) {
-			lowestAlive = g
-			break
-		}
-	}
-	if lowestAlive != n.g || !n.meta.IsLeader() {
+	// Async mode: the successor's meta leader assigns the dead group's frozen
+	// clock value to entries on its behalf (§V-C), gated on the same agreed
+	// prefix so the frozen value is identical wherever leadership sits.
+	if !n.meta.IsLeader() {
 		return
 	}
-	for s := 0; s < n.ng; s++ {
-		if s == n.g || alive(s) {
+	for _, s := range dead {
+		if n.successor(s) != n.g || n.streamCursor(s) < n.deadCut[s] {
 			continue
 		}
 		sent := n.takeoverSent[s]
@@ -422,16 +451,6 @@ func (n *Node) takeoverTick() {
 			n.ctx.Metrics.Inc("takeover-stamps")
 			n.emitRecord(cluster.Record{Kind: cluster.RecTS, Stream: s, Entry: id, TS: frozen})
 		}
-	}
-}
-
-// skipCrashedRounds lets round-based ordering progress past a crashed
-// group's missing entries. It pre-skips a window of future rounds so
-// progress is not gated on the skip timer's period.
-func (n *Node) skipCrashedRounds(s int) {
-	base := n.rounds.Round()
-	for r := base; r < base+512; r++ {
-		n.rounds.Skip(types.EntryID{GID: s, Seq: r})
 	}
 }
 
@@ -481,6 +500,11 @@ func (n *Node) execute(id types.EntryID) {
 	}
 	delete(n.chunkFrom, id)
 	delete(n.entries, id)
+	// An executed entry can never be re-stamped — drop it from the takeover
+	// bookkeeping too, or the per-stream maps grow for the whole run.
+	for s := range n.takeoverSent {
+		delete(n.takeoverSent[s], id)
+	}
 	// Keep the executed entry servable for straggler recovery, bounded per
 	// group; seqs execute in order, so evicting (seq - archiveRetain) keeps
 	// the window tight without a scan.
@@ -507,15 +531,24 @@ func (n *Node) freeWindow(id types.EntryID, st *entrySt) {
 // outcome into the rolling execution digest.
 func (n *Node) sealBlock(id types.EntryID, st *entrySt, res aria.Result) {
 	d := st.cert.Digest
-	roll := sha256.New()
-	roll.Write(n.stateRoll[:])
-	roll.Write(d[:])
-	var cnt [8]byte
-	binary.BigEndian.PutUint32(cnt[:4], uint32(res.Committed))
-	binary.BigEndian.PutUint32(cnt[4:], uint32(len(res.Aborted)))
-	roll.Write(cnt[:])
-	roll.Sum(n.stateRoll[:0])
+	n.stateRoll = rollForward(n.stateRoll, d, uint32(res.Committed), uint32(len(res.Aborted)))
 	n.ledger.Append(id, d, res.Committed, len(res.Aborted), n.stateRoll)
+}
+
+// rollForward folds one sealed block's outcome into the rolling execution
+// digest — the single definition shared by sealBlock and the rejoin suffix
+// verification (verifySuffix), which recomputes the chain it is offered.
+func rollForward(roll [32]byte, d keys.Digest, committed, aborted uint32) [32]byte {
+	h := sha256.New()
+	h.Write(roll[:])
+	h.Write(d[:])
+	var cnt [8]byte
+	binary.BigEndian.PutUint32(cnt[:4], committed)
+	binary.BigEndian.PutUint32(cnt[4:], aborted)
+	h.Write(cnt[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // executedSeq watermarks let late records for already-executed entries be

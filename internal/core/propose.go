@@ -17,6 +17,9 @@ func (n *Node) batchTick() {
 	now := n.now()
 	dt := now - n.lastTick
 	n.lastTick = now
+	if n.selfDead {
+		return // a certified-dead group stops proposing (see onDeadRecord)
+	}
 	// Rate-limited groups accumulate client transactions continuously
 	// (Fig 2 / Fig 12); saturated groups always have a full batch.
 	if rate := n.groupRate(); rate > 0 {
@@ -134,7 +137,14 @@ func (n *Node) onLocalCommit(slot uint64, payload []byte, cert *keys.Certificate
 	st.entry, st.cert = e, cert
 	st.content = true
 	st.contentAt = n.now()
-	st.stamps[n.g] = true // our own group holds the entry
+	// Our own group now holds the entry; route through noteAccept so the
+	// commit quorum is re-evaluated. Normally the local commit precedes every
+	// foreign stamp and a later accept completes the quorum, but when the
+	// local PBFT slot delivers late (stall + catch-up during a partition) the
+	// foreign stamps are already counted — without this check commitSeen
+	// never flips, the group clock wedges, and the stream's clock gossip
+	// freezes every remote orderer's inference bounds.
+	n.noteAccept(n.g, e.ID)
 	n.lastLocalProgress = n.now()
 	if n.nextSeq <= e.ID.Seq {
 		n.nextSeq = e.ID.Seq + 1 // keep followers ready to take over

@@ -273,7 +273,10 @@ func (n *Node) onContent(e *types.Entry, cert *keys.Certificate) {
 	// (self stamps are the clock's job and carry TS == seq, not n.clk).
 	own := e.ID.GID == n.g
 	if own {
-		st.stamps[n.g] = true
+		// noteAccept rather than a bare stamps[n.g] = true: the fetched copy
+		// may be the last piece of an already-stamped quorum (see
+		// onLocalCommit), and the quorum must be re-evaluated when it lands.
+		n.noteAccept(n.g, e.ID)
 	}
 	if !own && n.ctx.Trace != nil {
 		// Propose on the origin group → content available here: the full
@@ -347,7 +350,7 @@ func (n *Node) stampTS() uint64 {
 // leader proposes, so followers simply remember nothing (the leader observes
 // the same protocol events and queues the same records).
 func (n *Node) emitRecord(rec cluster.Record) {
-	if !n.meta.IsLeader() {
+	if !n.meta.IsLeader() || n.selfDead {
 		return
 	}
 	// Fence the record to the emitting leader's meta view: receivers drop

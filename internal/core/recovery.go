@@ -20,12 +20,7 @@ func (n *Node) sortedEntryIDs() []types.EntryID {
 	for id := range n.entries {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].GID != ids[j].GID {
-			return ids[i].GID < ids[j].GID
-		}
-		return ids[i].Seq < ids[j].Seq
-	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	return ids
 }
 
@@ -289,7 +284,19 @@ func (n *Node) chunkRepairScan(now time.Duration) {
 func (n *Node) streamRepairScan(now time.Duration) {
 	for g := 0; g < n.ng; g++ {
 		in := n.streams[g]
-		if in == nil || in.gapSince == 0 {
+		if in == nil {
+			continue
+		}
+		// Dead-cut catch-up: a certified death obliges every node to process
+		// the dead group's full prefix [0, cut), but a node behind the cut with
+		// nothing buffered has no ordinary gap trigger (gaps arm only when
+		// later batches arrive — and the dead origin sends nothing). The cut
+		// acts as a virtual later batch: arm the gap so the fetch below runs.
+		if in.gapSince == 0 && n.deadGroups[g] && in.next < n.deadCut[g] {
+			in.gapSince, in.gapAt = now, in.next
+			in.repairAttempts, in.nextRepairAt = 0, 0
+		}
+		if in.gapSince == 0 {
 			continue
 		}
 		if now-in.gapSince < n.cfg.RepairTimeout || now < in.nextRepairAt {
@@ -308,6 +315,21 @@ func (n *Node) streamRepairScan(now time.Duration) {
 			n.ctx.Metrics.Inc("stream-repair-reqs")
 		}
 		src := keys.NodeID{Group: g, Index: attempt % n.cfg.GroupSizes[g]}
+		if n.deadGroups[g] {
+			// The origin is dead; rotate over live foreign groups instead —
+			// every group logged the batches it relayed (batchLog), and the
+			// quorum cursors prove the prefix exists somewhere live.
+			var live []int
+			for h := 0; h < n.ng; h++ {
+				if h != n.g && h != g && !n.deadGroups[h] {
+					live = append(live, h)
+				}
+			}
+			if len(live) > 0 {
+				lg := live[attempt%len(live)]
+				src = keys.NodeID{Group: lg, Index: (attempt / len(live)) % n.cfg.GroupSizes[lg]}
+			}
+		}
 		n.ctx.Net.SendPriority(src, req, req.WireSize())
 		n.ctx.Metrics.Inc("stream-repair-reqs")
 	}
@@ -369,9 +391,19 @@ func (n *Node) restampScan(now time.Duration) {
 			continue
 		}
 		if id.GID == n.g {
-			// Own entries: self stamps are never re-emitted — their
+			// Own entries: the self stamp's VALUE never needs recovery — its
 			// assignment is preset deterministically (vts[g] = seq) on every
-			// node, so only the commit record can need recovery.
+			// node. But in overlap mode the certified record itself doubles as
+			// clock gossip: it is what raises other groups' inference bounds
+			// for our stream. advanceClock emits it exactly once, at the
+			// instant the clock walks past the entry, so if a meta view change
+			// destroys that slot (or leadership moves mid-walk, with the new
+			// leader's clock already advanced) the stream's visible clock pins
+			// forever and every remote orderer head wedges on the stale bound.
+			// Re-emission is exact — the assignment is TS == seq.
+			if async && n.opts.OverlapVTS && id.Seq <= n.clk && !st.stampedStreams[n.g] {
+				requeue(st, cluster.Record{Kind: cluster.RecTS, Stream: n.g, Entry: id, TS: id.Seq})
+			}
 			if async && !n.opts.OverlapVTS && st.commitSeen && !st.committed {
 				// Serial mode: local committed flips only when our own commit
 				// record certifies, so its absence means the record was lost.
@@ -407,6 +439,54 @@ func (n *Node) restampScan(now time.Duration) {
 				requeue(st, cluster.Record{Kind: cluster.RecAccept, Stream: n.g, Entry: id})
 			}
 		}
+	}
+}
+
+// rebroadcastScan re-sends own-group entries whose replication copies were
+// swallowed by the WAN — the scenario the per-message loss paths above cannot
+// cure. Chunks are sent exactly once at local commit; under probabilistic loss
+// some copy always lands and the receiver-side NACKs (chunk repair, Lemma V.1
+// fetch) recover the rest. A full partition is different: every copy of every
+// chunk dies in flight, no foreign node ever learns the entry exists, so no
+// receiver-side path can trigger. Without a sender-side retry the group wedges
+// permanently once its pipeline fills — and, after the partition heals, its
+// clock stream can never revive, turning a healed partition into a certified
+// group death. The meta leader therefore re-sends a full entry copy (the §IV-A
+// slow path; correctness over bandwidth on a rare path) to every group whose
+// stamp is still missing after a patience window.
+func (n *Node) rebroadcastScan(now time.Duration) {
+	if !n.meta.IsLeader() {
+		return
+	}
+	patience := 2 * n.cfg.TakeoverTimeout
+	if patience == 0 {
+		return
+	}
+	quorum := (n.ng-1)/2 + 1
+	for _, id := range n.sortedEntryIDs() {
+		st := n.entries[id]
+		if id.GID != n.g || !st.content || st.executed || st.committed || st.commitSeen {
+			continue
+		}
+		if id.Seq <= n.executedSeqOf(n.g) || len(st.stamps) >= quorum {
+			continue
+		}
+		if now-st.contentAt < patience || now < st.nextRebroadcastAt {
+			continue
+		}
+		st.rebroadcastAttempts++
+		st.nextRebroadcastAt = now + backoff(patience, st.rebroadcastAttempts)
+		msg := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: st.entry, Cert: st.cert}}
+		for r := 0; r < n.ng; r++ {
+			if r == n.g || st.stamps[r] || n.deadGroups[r] {
+				continue
+			}
+			copies := n.ctx.Reg.Faulty(r) + 1
+			for j := 0; j < copies && j < n.cfg.GroupSizes[r]; j++ {
+				n.ctx.Net.Send(keys.NodeID{Group: r, Index: j}, msg, msg.WireSize())
+			}
+		}
+		n.ctx.Metrics.Inc("entry-rebroadcasts")
 	}
 }
 

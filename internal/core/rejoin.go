@@ -94,6 +94,7 @@ func (n *Node) foldCheckpoint(have uint64) *cluster.Checkpoint {
 		}
 		ck.Pending = append(ck.Pending, pe)
 	}
+	n.foldFailover(ck)
 	return ck
 }
 
@@ -144,8 +145,9 @@ func (n *Node) sendRejoinReq() {
 }
 
 // onRejoinReq serves a state transfer to a recovering group peer: a fresh
-// fold, carrying only the ledger suffix the requester lacks. The transfer
-// trusts the serving LAN peer (see cluster.Checkpoint).
+// fold, carrying only the ledger suffix the requester lacks. The requester
+// verifies the suffix against its own certified chain before installing
+// (see verifySuffix) — serving honestly is not load-bearing for safety.
 func (n *Node) onRejoinReq(from keys.NodeID, m *cluster.RejoinReq) {
 	if from.Group != n.g || from == n.id {
 		return
@@ -166,16 +168,21 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 	if ck.Height < n.ledger.Height() {
 		return
 	}
+	// Verify the whole offered suffix against our own certified chain BEFORE
+	// installing anything: appending as we validate would leave a partially
+	// extended ledger behind when a later block fails, poisoning the next
+	// transfer attempt.
+	if !n.verifySuffix(ck) {
+		n.ctx.Metrics.Inc("rejoin-badsuffix")
+		return // reject; the retry timer rotates to another peer
+	}
 	for _, b := range ck.Blocks {
 		if b.Height <= n.ledger.Height() {
 			continue
 		}
 		if err := n.ledger.AppendBlock(b); err != nil {
-			return // gapped suffix (peer folded against a stale Have); rotate
+			return
 		}
-	}
-	if n.ledger.Height() != ck.Height {
-		return
 	}
 	n.charge(time.Duration(ck.WireSize()) * n.cfg.Cost.RebuildPerByte)
 
@@ -230,6 +237,10 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 			n.streams[g] = &streamIn{next: ck.StreamNext[g], buffered: make(map[uint64]*cluster.MetaBatch)}
 		}
 	}
+	// Failover state machine (suspicions, certified deaths and their cuts).
+	// lastStreamAt was just reset to now, so the rejoined node re-observes a
+	// fresh silence window before it suspects anyone itself.
+	n.restoreFailover(ck)
 
 	// Ordering machinery.
 	if n.orderer != nil {
@@ -315,6 +326,36 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 			n.Rejoin()
 		}
 	})
+}
+
+// verifySuffix cross-checks an offered checkpoint's ledger suffix against
+// this node's own certified chain — the transfer does NOT trust the serving
+// LAN peer. Heights must run contiguously from our sealed head, prev-hashes
+// must chain from it, and every block's state digest must equal the rolling
+// execution digest recomputed from our own roll with the same fold sealBlock
+// applies. The final roll must also match the checkpoint's claimed
+// StateRoll, binding the state store being installed to the verified chain.
+// (n.stateRoll always equals the head block's StateDigest: both are written
+// only by sealBlock and restored together.)
+func (n *Node) verifySuffix(ck *cluster.Checkpoint) bool {
+	h := n.ledger.Height()
+	prev := n.ledger.Head()
+	roll := n.stateRoll
+	for _, b := range ck.Blocks {
+		if b.Height <= n.ledger.Height() {
+			continue // overlap below our head is ignored, never installed
+		}
+		if b.Height != h+1 || b.Prev != prev {
+			return false
+		}
+		roll = rollForward(roll, b.EntryDigest, b.Committed, b.Aborted)
+		if b.StateDigest != roll {
+			return false
+		}
+		h = b.Height
+		prev = b.Hash()
+	}
+	return h == ck.Height && roll == ck.StateRoll
 }
 
 // sortedIntKeys returns the keys of a set in ascending order (checkpoint

@@ -3,6 +3,8 @@ package simnet
 import (
 	"math/rand"
 	"time"
+
+	"massbft/internal/keys"
 )
 
 // FaultConfig describes the lossy-WAN fault layer (§VI-E extended): seeded
@@ -34,16 +36,50 @@ func (fc FaultConfig) enabled() bool {
 	return fc.WANDrop > 0 || fc.WANDup > 0 || fc.LANDrop > 0 || fc.LANDup > 0 || fc.Jitter > 0
 }
 
+// ByzantineSender configures seeded payload corruption on one node's
+// outgoing messages — the sender-side counterpart of the receiver-side
+// tampering in core: it exercises the certificate/fence rejection paths with
+// traffic that was corrupted in flight rather than at origin.
+type ByzantineSender struct {
+	// CorruptRate is the per-message probability that the outgoing payload is
+	// replaced by Corrupt's result.
+	CorruptRate float64
+	// Corrupt returns a tampered COPY of the payload, or nil to leave the
+	// message untouched. It must never mutate the original: broadcast fan-out
+	// shares one payload pointer across every recipient, so in-place mutation
+	// would corrupt honest copies too.
+	Corrupt func(payload any, rng *rand.Rand) any
+	// Seed drives this sender's private RNG; zero derives one from the
+	// network seed and the node identity, so adding a Byzantine sender leaves
+	// the base fault and jitter streams undisturbed.
+	Seed int64
+}
+
+// byzSender is one node's live corruption state. lastPayload/lastOut detect
+// equivocation: the same broadcast payload leaving this sender in differing
+// versions for different peers. Payloads are pointers throughout the
+// codebase, so the identity comparisons are cheap and never panic.
+type byzSender struct {
+	cfg         ByzantineSender
+	rng         *rand.Rand
+	lastPayload any
+	lastOut     any
+}
+
 // faultState is the network's live fault layer.
 type faultState struct {
 	cfg FaultConfig
 	rng *rand.Rand
 	// partitions holds currently-severed group pairs, key = normalized pair.
 	partitions map[[2]int]bool
+	// byz holds per-node sender corruption; installed via SetByzantineSender.
+	byz map[keys.NodeID]*byzSender
 
 	dropped          int64
 	duplicated       int64
 	partitionDropped int64
+	corrupted        int64
+	equivocated      int64
 }
 
 func pairKey(a, b int) [2]int {
@@ -54,17 +90,66 @@ func pairKey(a, b int) [2]int {
 }
 
 // SetFaults installs (or replaces) the probabilistic fault layer. Active
-// partitions survive a replacement.
+// partitions and Byzantine senders survive a replacement.
 func (nw *Network) SetFaults(fc FaultConfig) {
 	seed := fc.Seed
 	if seed == 0 {
 		seed = nw.cfg.Seed ^ 0x5eed_fa17
 	}
 	parts := map[[2]int]bool{}
+	var byz map[keys.NodeID]*byzSender
 	if nw.faults != nil {
 		parts = nw.faults.partitions
+		byz = nw.faults.byz
 	}
-	nw.faults = &faultState{cfg: fc, rng: rand.New(rand.NewSource(seed)), partitions: parts}
+	nw.faults = &faultState{cfg: fc, rng: rand.New(rand.NewSource(seed)), partitions: parts, byz: byz}
+}
+
+// SetByzantineSender subjects one node's outgoing messages to seeded payload
+// corruption. Pass a zero CorruptRate (or nil Corrupt) to disable the node
+// again.
+func (nw *Network) SetByzantineSender(id keys.NodeID, cfg ByzantineSender) {
+	f := nw.ensureFaults()
+	if f.byz == nil {
+		f.byz = make(map[keys.NodeID]*byzSender)
+	}
+	if cfg.CorruptRate <= 0 || cfg.Corrupt == nil {
+		delete(f.byz, id)
+		return
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		// Mix the node identity in so every Byzantine sender draws an
+		// independent stream.
+		seed = nw.cfg.Seed ^ 0xb12a_c0de ^ int64(id.Group*1315423911) ^ int64(id.Index*2654435761)
+	}
+	f.byz[id] = &byzSender{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// corruptOutbound applies a sender's corruption to one departing message,
+// counting corrupted payloads and equivocations (the same broadcast payload
+// leaving in differing versions). Called from send() after the loopback
+// branch and before partition/loss sampling — a Byzantine sender corrupts at
+// the source, whatever the link then does to the message.
+func (f *faultState) corruptOutbound(from keys.NodeID, msg *Message) {
+	bz := f.byz[from]
+	if bz == nil {
+		return
+	}
+	out := msg.Payload
+	if bz.rng.Float64() < bz.cfg.CorruptRate {
+		if c := bz.cfg.Corrupt(msg.Payload, bz.rng); c != nil {
+			out = c
+		}
+	}
+	if msg.Payload == bz.lastPayload && out != bz.lastOut {
+		f.equivocated++
+	}
+	bz.lastPayload, bz.lastOut = msg.Payload, out
+	if out != msg.Payload {
+		f.corrupted++
+		msg.Payload = out
+	}
 }
 
 // ensureFaults lazily creates a zero-rate fault layer (used by partitions
@@ -112,6 +197,16 @@ func (nw *Network) FaultStats() (dropped, duplicated, partitionDropped int64) {
 		return 0, 0, 0
 	}
 	return nw.faults.dropped, nw.faults.duplicated, nw.faults.partitionDropped
+}
+
+// ByzantineStats returns cumulative sender-corruption counters: payloads
+// replaced in flight, and equivocations (one broadcast payload leaving the
+// sender in differing versions for different peers).
+func (nw *Network) ByzantineStats() (corrupted, equivocated int64) {
+	if nw.faults == nil {
+		return 0, 0
+	}
+	return nw.faults.corrupted, nw.faults.equivocated
 }
 
 // sample draws the drop/duplicate decision for one message. Sampling order

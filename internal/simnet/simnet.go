@@ -425,6 +425,9 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 	nw := n.nw
 	f := nw.faults
 	wan := to.Group != n.ID.Group
+	if f != nil && f.byz != nil {
+		f.corruptOutbound(n.ID, &msg)
+	}
 	if f != nil && wan && f.partitions[pairKey(n.ID.Group, to.Group)] {
 		// A severed WAN link loses the message before it leaves the sender's
 		// NIC (the TCP connection is gone), so no bandwidth is charged.

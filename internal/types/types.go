@@ -79,6 +79,17 @@ type EntryID struct {
 // String formats the ID like the paper: e{gid},{seq}.
 func (id EntryID) String() string { return fmt.Sprintf("e%d,%d", id.GID, id.Seq) }
 
+// Less orders EntryIDs by (GID, Seq) — the canonical iteration order every
+// deterministic scan over entry sets must use (recovery retries, checkpoint
+// folds, takeover stamping all iterate in this order so their event schedules
+// replay identically across runs).
+func (id EntryID) Less(o EntryID) bool {
+	if id.GID != o.GID {
+		return id.GID < o.GID
+	}
+	return id.Seq < o.Seq
+}
+
 // Entry is a log entry: a batch of transactions plus the consensus metadata
 // the paper's Baseline model carries (term and commitIndex for global Raft).
 type Entry struct {

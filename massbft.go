@@ -121,9 +121,15 @@ type Config struct {
 	// meaningful for ProtocolMassBFT (the §V-B ablation).
 	SerialVTS bool
 	// ViewChangeTimeout enables local leader replacement; TakeoverTimeout
-	// enables crashed-group clock takeover (§V-C).
+	// enables the quorum-witnessed group failover (§V-C): observing groups
+	// certify GroupSuspect attestations after SuspectTimeout of stream
+	// silence, and a Byzantine quorum of suspicions lets the designated
+	// successor certify the GroupDead decision that unlocks takeover.
 	ViewChangeTimeout time.Duration
 	TakeoverTimeout   time.Duration
+	// SuspectTimeout is how long a group's record stream must stay silent
+	// before other groups certify a suspicion (default 4x TakeoverTimeout).
+	SuspectTimeout time.Duration
 
 	// RepairTimeout arms the recovery scans (chunk-gap repair, entry fetch
 	// retry with peer rotation, stream-gap repair); zero disables them.
@@ -201,6 +207,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Warmup:            cfg.Warmup,
 		ViewChangeTimeout: cfg.ViewChangeTimeout,
 		TakeoverTimeout:   cfg.TakeoverTimeout,
+		SuspectTimeout:    cfg.SuspectTimeout,
 
 		RepairTimeout:      cfg.RepairTimeout,
 		CheckpointInterval: cfg.CheckpointInterval,
@@ -276,6 +283,14 @@ func (c *Cluster) CrashGroup(at time.Duration, group int) {
 // replicating tampered entries at virtual time `at` (§VI-E).
 func (c *Cluster) MakeByzantine(at time.Duration, perGroup int) {
 	c.inner.ScheduleByzantine(at, perGroup)
+}
+
+// PartitionWAN severs all traffic between groups a and b from virtual time
+// `at` until `healAt` (0 = never heals). Both directions drop; the failover
+// protocol guarantees at most one certified GroupDead decision can form
+// regardless of which side the successor lands on.
+func (c *Cluster) PartitionWAN(at, healAt time.Duration, a, b int) {
+	c.inner.SchedulePartition(at, healAt, a, b)
 }
 
 // CrashNode kills a single node at virtual time `at`.

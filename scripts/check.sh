@@ -2,8 +2,33 @@
 # Local mirror of the CI pipeline: vet, build, full tests, then a
 # short-mode race shard over the packages with the hottest concurrency
 # surface. Run from the repository root.
+#
+# Usage: scripts/check.sh [preset]
+#   (default)        full pipeline: vet, build, tests, race shard, trace smoke
+#   partition-chaos  just the partition/failover chaos suite — the full WAN
+#                    partition schedules plus the reduced schedule under
+#                    -race -short — for iterating on failover changes without
+#                    the full-suite wait
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+preset="${1:-full}"
+
+case "$preset" in
+partition-chaos)
+  echo "== partition chaos (full schedules)"
+  go test -timeout 600s -run 'TestPartition|TestChaos' -v ./internal/core/
+  echo "== partition chaos, reduced schedule (-race -short)"
+  go test -race -short -timeout 300s -run 'TestPartitionFailoverReduced' -v ./internal/core/
+  echo "OK"
+  exit 0
+  ;;
+full) ;;
+*)
+  echo "unknown preset: $preset (want: full, partition-chaos)" >&2
+  exit 2
+  ;;
+esac
 
 echo "== go vet"
 go vet ./...
@@ -14,6 +39,9 @@ go build ./...
 echo "== go test"
 go test ./... -timeout 900s
 
+# The core shard includes TestPartitionFailoverReduced: the reduced WAN
+# partition + group-crash failover schedule runs under the race detector on
+# every pass (the full schedules skip in -short).
 echo "== go test -race -short (simnet, replication, core, pbft, trace)"
 go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/
 
