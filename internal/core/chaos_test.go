@@ -429,6 +429,81 @@ func TestPartitionChaosFailover(t *testing.T) {
 	assertLiveSafety(t, c, skip)
 }
 
+// TestSimultaneousGroupDeathsCertifyTogether kills groups 0 and 1 at the same
+// instant on a four-group cluster. Their naive successors are each other
+// (successor(0)=1, successor(1)=0), so a death scan that resolved successors
+// one group at a time could never certify either death: each decision waited
+// for the other group's death to certify first. The batched scan collects the
+// whole death-eligible set before resolving successors, so group 2 certifies
+// both deaths in a single suspicion window and the survivors drain both
+// backlogs.
+func TestSimultaneousGroupDeathsCertifyTogether(t *testing.T) {
+	cfg := cluster.Config{
+		GroupSizes:         []int{3, 3, 3, 3},
+		Opts:               cluster.PresetMassBFT(),
+		Workload:           "ycsb-a",
+		Seed:               54,
+		MaxBatch:           10,
+		BatchTimeout:       10 * time.Millisecond,
+		PipelineDepth:      4,
+		RunFor:             4 * time.Second,
+		Warmup:             300 * time.Millisecond,
+		TakeoverTimeout:    200 * time.Millisecond,
+		ViewChangeTimeout:  300 * time.Millisecond,
+		RepairTimeout:      100 * time.Millisecond,
+		CheckpointInterval: 400 * time.Millisecond,
+		TrustAll:           true,
+	}
+	// Both dead groups must be observed from a survivor.
+	cfg.SetObserver(keys.NodeID{Group: 2, Index: 0})
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleGroupCrash(800*time.Millisecond, 0)
+	c.ScheduleGroupCrash(800*time.Millisecond, 1)
+	c.RunUntil(2200 * time.Millisecond)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(cfg.RunFor)
+	skip := map[int]bool{0: true, 1: true}
+	drainLive(c, skip)
+	m := c.Metrics
+	if d := m.Counter("deaths-emitted"); d != 2 {
+		t.Fatalf("want both GroupDead decisions certified, got %d: %s", d, m.Summary())
+	}
+	if m.Counter("death-batches") == 0 {
+		t.Fatalf("simultaneous deaths did not certify in one scan: %s", m.Summary())
+	}
+	if m.Counter("dead-dupes") != 0 {
+		t.Fatalf("duplicate death records certified: %s", m.Summary())
+	}
+	var live int64
+	for g, size := range c.Cfg.GroupSizes {
+		if !skip[g] {
+			live += int64(size)
+		}
+	}
+	if got := m.Counter("group-deaths"); got != 2*live {
+		t.Fatalf("GroupDead processed %d times, want 2 deaths x %d live nodes: %s",
+			got, live, m.Summary())
+	}
+	if m.Counter("takeover-stamps") == 0 {
+		t.Fatalf("successor emitted no takeover stamps after the certified deaths: %s", m.Summary())
+	}
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if skip[g] {
+			continue
+		}
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d backlog did not drain after the deaths (mid=%v end=%v): %s",
+				g, mid, end, m.Summary())
+		}
+	}
+	assertLiveSafety(t, c, skip)
+}
+
 // TestPartitionFailoverReduced is a reduced-schedule partition failover run
 // kept fast enough for the -race -short CI shard (it deliberately does NOT
 // skip under -short): a three-group Baseline cluster — covering the

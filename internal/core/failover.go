@@ -119,33 +119,63 @@ func (n *Node) suspectScan(now time.Duration) {
 // suspecter attested, raised to the successor's own. Local silence is
 // re-checked at emission time, so a revival observed after the quorum formed
 // aborts the death here instead of racing the revocations over the WAN.
+//
+// The scan batches its evidence: it first collects every group that is
+// death-eligible right now (quorum of standing suspicions and still silent),
+// then resolves successors against that whole set. Groups that are eligible
+// in the same scan do not count as successors for each other, so
+// simultaneous deaths certify in a single suspicion window instead of
+// serializing — and two groups whose naive successors are each other (e.g.
+// groups 0 and 1 dying together, successor(0)=1, successor(1)=0) do not
+// deadlock waiting for the other's death to certify first.
 func (n *Node) deathScan(now time.Duration) {
 	if !n.meta.IsLeader() {
 		return
 	}
+	eligible := make(map[int]bool)
 	for g := 0; g < n.ng; g++ {
-		if g == n.g || n.deadGroups[g] || n.successor(g) != n.g {
+		if g == n.g || n.deadGroups[g] {
 			continue
 		}
-		sus := n.suspecters[g]
-		if len(sus) < n.groupQuorum() {
+		if len(n.suspecters[g]) < n.groupQuorum() {
 			continue
 		}
 		if now-n.lastSeen(g) <= n.cfg.SuspectTimeout {
 			continue
 		}
-		if n.failoverQueued(cluster.RecDead, g) {
+		eligible[g] = true
+	}
+	emitted := 0
+	for g := 0; g < n.ng; g++ {
+		if !eligible[g] || n.effectiveSuccessor(g, eligible) != n.g ||
+			n.failoverQueued(cluster.RecDead, g) {
 			continue
 		}
 		cut := n.streamCursor(g)
-		for _, c := range sus {
+		for _, c := range n.suspecters[g] {
 			if c > cut {
 				cut = c
 			}
 		}
 		n.ctx.Metrics.Inc("deaths-emitted")
 		n.emitRecord(cluster.Record{Kind: cluster.RecDead, Stream: g, TS: cut})
+		emitted++
 	}
+	if emitted > 1 {
+		n.ctx.Metrics.Inc("death-batches")
+	}
+}
+
+// effectiveSuccessor is successor() evaluated against the certified-dead set
+// extended by the groups found death-eligible in the current scan: the lowest
+// group, other than g, that is neither certified dead nor about to be.
+func (n *Node) effectiveSuccessor(g int, eligible map[int]bool) int {
+	for h := 0; h < n.ng; h++ {
+		if h != g && !n.deadGroups[h] && !eligible[h] {
+			return h
+		}
+	}
+	return -1
 }
 
 // onSuspectRecord ingests a certified GroupSuspect: origin attests that group

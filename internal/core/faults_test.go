@@ -543,3 +543,54 @@ func TestTakeoverBookkeepingGC(t *testing.T) {
 	}
 	t.Logf("takeoverSent retains %d unexecuted ids across live nodes", checked)
 }
+
+// TestByzantineCertMangling covers the collector bugfix end to end: a
+// Byzantine node forwards honest chunk batches whose quorum certificate has a
+// flipped signature byte. The chunks are genuine — root, proofs, and payload
+// all verify — so they land in the honest (root, dataLen) bucket alongside
+// correct peers' chunks, with the mangled certificate as one candidate. When
+// such a batch completes a bucket, rebuild validation must fall back to
+// another candidate certificate instead of banning the honest bucket: the
+// cluster keeps committing, rebuild retries are counted, and no state
+// diverges. Before the fix the triggering certificate's failure banned the
+// bucket wholesale, discarding honest chunks.
+func TestByzantineCertMangling(t *testing.T) {
+	cfg := realCryptoCfg()
+	cfg.RunFor = 4 * time.Second
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := keys.NodeID{Group: 0, Index: 1}
+	c.Net.SetByzantineSender(evil, simnet.ByzantineSender{
+		CorruptRate: 1.0,
+		Corrupt: func(p any, _ *rand.Rand) any {
+			b, ok := p.(*replication.ChunkBatch)
+			if !ok || b.Cert == nil || len(b.Cert.Sigs) == 0 {
+				return nil
+			}
+			// Deep-copy down to the signature being flipped: the original
+			// certificate is shared with the sender's own state.
+			cp := *b
+			cert := *b.Cert
+			cert.Sigs = append([]keys.Signature(nil), b.Cert.Sigs...)
+			sig := cert.Sigs[0]
+			sig.Sig = append([]byte(nil), sig.Sig...)
+			sig.Sig[0] ^= 0xff
+			cert.Sigs[0] = sig
+			cp.Cert = &cert
+			return &cp
+		},
+	})
+	c.Run()
+	c.Drain(2 * time.Second)
+	m := c.Metrics
+	if m.Committed() == 0 {
+		t.Fatalf("no transactions committed under cert mangling: %s", m.Summary())
+	}
+	if m.Counter("cert-retries") == 0 {
+		t.Fatalf("mangled certificates never forced a certificate retry — "+
+			"the Byzantine sender exercised nothing: %s", m.Summary())
+	}
+	assertConsistency(t, c, nil)
+}

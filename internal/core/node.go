@@ -309,6 +309,7 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		n.collector = replication.NewCollector(ctx.Reg, n.recvPlan, n.onRebuilt)
 		n.collector.SetCache(ctx.RebuildCache)
 		n.collector.SetOnFailure(n.onRebuildFailure)
+		n.collector.SetMetricsHook(n.ctx.Metrics.Inc)
 	}
 	return n
 }

@@ -211,6 +211,7 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 		n.collector = replication.NewCollector(n.ctx.Reg, n.recvPlan, n.onRebuilt)
 		n.collector.SetCache(n.ctx.RebuildCache)
 		n.collector.SetOnFailure(n.onRebuildFailure)
+		n.collector.SetMetricsHook(n.ctx.Metrics.Inc)
 	}
 
 	// Stream cursors; arrival times reset to now so takeover detection starts

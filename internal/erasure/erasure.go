@@ -14,6 +14,7 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"massbft/internal/gf256"
 )
@@ -34,16 +35,33 @@ var (
 
 // Encoder encodes and reconstructs shard sets for one (dataShards,
 // parityShards) geometry. An Encoder is safe for concurrent use after
-// construction: all fields are read-only.
+// construction: the matrix is read-only and the decode-matrix cache is
+// guarded by an internal mutex.
 type Encoder struct {
 	dataShards   int
 	parityShards int
 	total        int
 	// matrix is the total x dataShards systematic encoding matrix.
 	matrix *gf256.Matrix
+
+	// invMu guards invCache, which memoizes inverted decode submatrices
+	// keyed by the set of present rows. Reconstructing a stream of entries
+	// that lost the same shard indices (the common case: the same senders
+	// are down or banned for a while) pays the O(dataShards^3) Gauss-Jordan
+	// inversion once instead of per entry.
+	invMu    sync.Mutex
+	invCache map[string]*gf256.Matrix
 }
 
-// New returns an Encoder for the given geometry.
+// invCacheMax bounds the per-encoder decode-matrix cache. Loss patterns are
+// combinations of shard indices, so a small bound covers the realistic churn;
+// on overflow the whole map is dropped (cheap, and keeps behaviour
+// deterministic — no LRU bookkeeping).
+const invCacheMax = 128
+
+// New returns an Encoder for the given geometry. Most callers want Cached
+// instead, which memoizes encoders per geometry and skips the systematic
+// matrix construction (a Vandermonde inversion) on every call.
 func New(dataShards, parityShards int) (*Encoder, error) {
 	if dataShards <= 0 || parityShards < 0 || dataShards+parityShards > MaxShards {
 		return nil, ErrInvalidShardCount
@@ -62,7 +80,47 @@ func New(dataShards, parityShards int) (*Encoder, error) {
 		parityShards: parityShards,
 		total:        total,
 		matrix:       vm.Mul(topInv),
+		invCache:     make(map[string]*gf256.Matrix),
 	}, nil
+}
+
+// Geometry caches: the cluster uses a handful of transfer-plan geometries for
+// its whole lifetime, while the pre-overhaul code rebuilt (and re-inverted)
+// the systematic matrix for every encoded or rebuilt entry.
+var (
+	cacheMu  sync.RWMutex
+	encCache = make(map[[2]int]*Encoder)
+)
+
+// encCacheMax bounds the geometry cache; real clusters use only a few plan
+// geometries, so this exists purely as a leak guard for pathological callers.
+const encCacheMax = 64
+
+// Cached returns a shared Encoder for the given geometry, constructing it on
+// first use. The returned encoder must be treated as shared state (it is);
+// that is safe because Encoder is safe for concurrent use.
+func Cached(dataShards, parityShards int) (*Encoder, error) {
+	key := [2]int{dataShards, parityShards}
+	cacheMu.RLock()
+	e := encCache[key]
+	cacheMu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	e, err := New(dataShards, parityShards)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if prior, ok := encCache[key]; ok {
+		return prior, nil
+	}
+	if len(encCache) >= encCacheMax {
+		encCache = make(map[[2]int]*Encoder)
+	}
+	encCache[key] = e
+	return e, nil
 }
 
 func identityRows(n int) []int {
@@ -88,31 +146,93 @@ func (e *Encoder) ShardSize(dataLen int) int {
 	return (dataLen + e.dataShards - 1) / e.dataShards
 }
 
+// newShardSet allocates total shards of the given size backed by one
+// contiguous buffer: one allocation instead of total, which measurably cuts
+// allocator/GC time on the encode hot path. Each shard is capacity-capped so
+// appends cannot bleed into a neighbour.
+func (e *Encoder) newShardSet(size int) [][]byte {
+	backing := make([]byte, e.total*size)
+	shards := make([][]byte, e.total)
+	for i := range shards {
+		shards[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	return shards
+}
+
+// parityInto computes parity row i of the encoding matrix over the data
+// shards into dst, overwriting it. Sources are consumed in pairs so each
+// destination block is read and written half as often as with one
+// MulAddSlice pass per source; the first pair overwrites, which also saves
+// the initial zero-fill read.
+func (e *Encoder) parityInto(i int, data [][]byte, dst []byte) {
+	row := e.matrix.Row(i)
+	k := e.dataShards
+	j := 0
+	if k >= 2 {
+		gf256.Mul2Slice(row[0], data[0], row[1], data[1], dst)
+		j = 2
+	} else {
+		gf256.MulSlice(row[0], data[0], dst)
+		j = 1
+	}
+	for ; j+2 <= k; j += 2 {
+		gf256.MulAdd2Slice(row[j], data[j], row[j+1], data[j+1], dst)
+	}
+	if j < k {
+		gf256.MulAddSlice(row[j], data[j], dst)
+	}
+}
+
 // Split encodes data into the full set of total shards. The message is padded
 // with zeros to a multiple of the shard size; callers must remember the
 // original length to undo the padding (see Join).
 func (e *Encoder) Split(data []byte) ([][]byte, error) {
+	return e.split(data, 1)
+}
+
+// SplitParallel is Split with parity generation fanned out over up to
+// workers goroutines. Parity rows are disjoint outputs, so the result is
+// bit-identical to the serial path regardless of scheduling; workers <= 1
+// degenerates to Split.
+func (e *Encoder) SplitParallel(data []byte, workers int) ([][]byte, error) {
+	return e.split(data, workers)
+}
+
+func (e *Encoder) split(data []byte, workers int) ([][]byte, error) {
 	if len(data) == 0 {
 		return nil, errors.New("erasure: empty data")
 	}
 	size := e.ShardSize(len(data))
-	shards := make([][]byte, e.total)
+	shards := e.newShardSet(size)
 	// Data shards: verbatim slices (copied, so shards don't alias data).
 	for i := 0; i < e.dataShards; i++ {
-		shards[i] = make([]byte, size)
 		start := i * size
 		if start < len(data) {
 			copy(shards[i], data[start:])
 		}
 	}
 	// Parity shards: rows dataShards..total-1 of the matrix times data.
-	for i := e.dataShards; i < e.total; i++ {
-		shards[i] = make([]byte, size)
-		row := e.matrix.Row(i)
-		for j := 0; j < e.dataShards; j++ {
-			gf256.MulAddSlice(row[j], shards[j], shards[i])
-		}
+	dataView := shards[:e.dataShards]
+	if workers > e.parityShards {
+		workers = e.parityShards
 	}
+	if workers <= 1 {
+		for i := e.dataShards; i < e.total; i++ {
+			e.parityInto(i, dataView, shards[i])
+		}
+		return shards, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := e.dataShards + w; i < e.total; i += workers {
+				e.parityInto(i, dataView, shards[i])
+			}
+		}(w)
+	}
+	wg.Wait()
 	return shards, nil
 }
 
@@ -148,11 +268,78 @@ func (e *Encoder) Join(shards [][]byte, dataLen int) ([]byte, error) {
 	return out, nil
 }
 
+// decodeMatrix returns the inverse of the submatrix formed by the given
+// present rows, memoized per row set. present must hold exactly dataShards
+// ascending indices (< 256, guaranteed by MaxShards).
+func (e *Encoder) decodeMatrix(present []int) (*gf256.Matrix, error) {
+	key := make([]byte, len(present))
+	for i, p := range present {
+		key[i] = byte(p)
+	}
+	k := string(key)
+	e.invMu.Lock()
+	inv, ok := e.invCache[k]
+	e.invMu.Unlock()
+	if ok {
+		return inv, nil
+	}
+	sub := e.matrix.SubMatrix(present)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, err
+	}
+	e.invMu.Lock()
+	if len(e.invCache) >= invCacheMax {
+		e.invCache = make(map[string]*gf256.Matrix)
+	}
+	e.invCache[k] = inv
+	e.invMu.Unlock()
+	return inv, nil
+}
+
+// rowInto combines the given source shards with the coefficients in row into
+// dst (overwrite), pairing sources like parityInto.
+func rowInto(row []byte, srcs [][]byte, dst []byte) {
+	k := len(row)
+	j := 0
+	if k >= 2 {
+		gf256.Mul2Slice(row[0], srcs[0], row[1], srcs[1], dst)
+		j = 2
+	} else {
+		gf256.MulSlice(row[0], srcs[0], dst)
+		j = 1
+	}
+	for ; j+2 <= k; j += 2 {
+		gf256.MulAdd2Slice(row[j], srcs[j], row[j+1], srcs[j+1], dst)
+	}
+	if j < k {
+		gf256.MulAddSlice(row[j], srcs[j], dst)
+	}
+}
+
 // Reconstruct fills in all missing shards (nil entries) in place. It needs at
 // least dataShards present shards; otherwise it returns ErrTooFewShards.
 // Present shards are trusted to be correct — callers verify chunk integrity
 // separately (Merkle proofs in MassBFT, §IV-C).
 func (e *Encoder) Reconstruct(shards [][]byte) error {
+	return e.reconstruct(shards, true, 1)
+}
+
+// ReconstructData fills in only the missing data shards, skipping the parity
+// recompute. This is what the replication rebuild path wants: it joins the
+// data shards immediately after, so regenerating the missing parity rows
+// (over half the total rows at the paper geometry) is pure waste.
+func (e *Encoder) ReconstructData(shards [][]byte) error {
+	return e.reconstruct(shards, false, 1)
+}
+
+// ReconstructParallel is Reconstruct with the per-row solves fanned out over
+// up to workers goroutines; output is bit-identical to the serial path.
+func (e *Encoder) ReconstructParallel(shards [][]byte, workers int) error {
+	return e.reconstruct(shards, true, workers)
+}
+
+func (e *Encoder) reconstruct(shards [][]byte, withParity bool, workers int) error {
 	if len(shards) != e.total {
 		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), e.total)
 	}
@@ -175,47 +362,76 @@ func (e *Encoder) Reconstruct(shards [][]byte) error {
 		return ErrTooFewShards
 	}
 
-	// Fast path: all data shards present — only parity may be missing.
-	allData := true
+	// Solve for missing data shards from any dataShards present rows. Each
+	// inverse row yields one data shard independently, so only the missing
+	// rows are computed (the pre-overhaul code solved all of them).
+	var missingData []int
 	for i := 0; i < e.dataShards; i++ {
 		if shards[i] == nil {
-			allData = false
-			break
+			missingData = append(missingData, i)
 		}
 	}
-	if !allData {
-		// Solve for the original data from any dataShards present rows.
-		sub := e.matrix.SubMatrix(present)
-		inv, err := sub.Invert()
+	if len(missingData) > 0 {
+		inv, err := e.decodeMatrix(present)
 		if err != nil {
 			return fmt.Errorf("erasure: reconstruct: %w", err)
 		}
-		data := make([][]byte, e.dataShards)
-		for r := 0; r < e.dataShards; r++ {
-			data[r] = make([]byte, size)
-			row := inv.Row(r)
-			for c := 0; c < e.dataShards; c++ {
-				gf256.MulAddSlice(row[c], shards[present[c]], data[r])
-			}
+		srcs := make([][]byte, e.dataShards)
+		for c, p := range present {
+			srcs[c] = shards[p]
 		}
-		for i := 0; i < e.dataShards; i++ {
-			if shards[i] == nil {
-				shards[i] = data[i]
-			}
+		solve := func(r int) {
+			buf := make([]byte, size)
+			rowInto(inv.Row(r), srcs, buf)
+			shards[r] = buf
 		}
+		runRows(missingData, workers, solve)
+	}
+	if !withParity {
+		return nil
 	}
 	// Recompute any missing parity from the (now complete) data shards.
+	var missingParity []int
 	for i := e.dataShards; i < e.total; i++ {
-		if shards[i] != nil {
-			continue
-		}
-		shards[i] = make([]byte, size)
-		row := e.matrix.Row(i)
-		for j := 0; j < e.dataShards; j++ {
-			gf256.MulAddSlice(row[j], shards[j], shards[i])
+		if shards[i] == nil {
+			missingParity = append(missingParity, i)
 		}
 	}
+	if len(missingParity) > 0 {
+		dataView := shards[:e.dataShards]
+		runRows(missingParity, workers, func(i int) {
+			buf := make([]byte, size)
+			e.parityInto(i, dataView, buf)
+			shards[i] = buf
+		})
+	}
 	return nil
+}
+
+// runRows invokes fn for every row index, fanning out over up to workers
+// goroutines. Rows are disjoint outputs, so any schedule yields identical
+// results.
+func runRows(rows []int, workers int, fn func(int)) {
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers <= 1 {
+		for _, r := range rows {
+			fn(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(rows); i += workers {
+				fn(rows[i])
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Verify checks that the parity shards are consistent with the data shards.
@@ -238,13 +454,7 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 	}
 	buf := make([]byte, size)
 	for i := e.dataShards; i < e.total; i++ {
-		for j := range buf {
-			buf[j] = 0
-		}
-		row := e.matrix.Row(i)
-		for j := 0; j < e.dataShards; j++ {
-			gf256.MulAddSlice(row[j], shards[j], buf)
-		}
+		e.parityInto(i, shards[:e.dataShards], buf)
 		for j := range buf {
 			if buf[j] != shards[i][j] {
 				return false, nil

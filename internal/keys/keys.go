@@ -8,10 +8,12 @@ package keys
 import (
 	"crypto/ed25519"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies node j in group i, matching the paper's N_{i,j} notation.
@@ -41,8 +43,9 @@ type KeyPair struct {
 // Sign signs msg with the node's private key.
 func (kp *KeyPair) Sign(msg []byte) []byte { return ed25519.Sign(kp.Private, msg) }
 
-// Registry maps node IDs to public keys. It is immutable after construction
-// (except for SetTrustAll, set once before a run) and safe for concurrent
+// Registry maps node IDs to public keys. The key material is immutable after
+// construction (trustAll is set once before a run); the certificate memo
+// cache is guarded by its own mutex, so a Registry is safe for concurrent
 // use.
 type Registry struct {
 	keys map[NodeID]ed25519.PublicKey
@@ -54,6 +57,70 @@ type Registry struct {
 	// running real Ed25519 for millions of simulated verifications would
 	// measure the host, not the protocol. Correctness tests leave it off.
 	trustAll bool
+
+	// Certificate verification memo. The same quorum certificate is verified
+	// many times per entry along the hot path (the collector checks it per
+	// chunk batch, the orderer again per block), and each full check costs
+	// 2f+1 Ed25519 verifications. The cache maps (group, digest, hash of the
+	// signature set) to the verification outcome — including failures, which
+	// a Byzantine peer could otherwise replay to force repeated expensive
+	// re-checks. Bounded: when certCacheLimit entries are reached the map is
+	// dropped and restarted, which keeps the structure deterministic (no
+	// eviction order) and the memory footprint fixed.
+	certMu         sync.Mutex
+	certCache      map[certCacheKey]error
+	certCacheLimit int
+	certHits       uint64
+	certMisses     uint64
+}
+
+// certCacheLimitDefault bounds the memo to roughly 4096 * ~56 bytes of keys
+// plus map overhead — a few hundred KiB per registry.
+const certCacheLimitDefault = 4096
+
+// certCacheKey identifies a certificate by content: the claimed group, the
+// digest it covers, and a hash of the exact signature set. Two certificates
+// over the same digest with different signer sets or signature bytes hash to
+// different keys, so a tampered copy never hits a cached verdict.
+type certCacheKey struct {
+	group    int
+	digest   Digest
+	sigsHash Digest
+}
+
+// certSigsHash hashes the signature set with explicit length framing so
+// signer IDs and variable-length signature bytes cannot alias across
+// boundaries.
+func certSigsHash(sigs []Signature) Digest {
+	h := sha256.New()
+	var frame [12]byte
+	for _, s := range sigs {
+		binary.BigEndian.PutUint32(frame[0:4], uint32(s.Signer.Group))
+		binary.BigEndian.PutUint32(frame[4:8], uint32(s.Signer.Index))
+		binary.BigEndian.PutUint32(frame[8:12], uint32(len(s.Sig)))
+		h.Write(frame[:])
+		h.Write(s.Sig)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// CertCacheStats returns the number of certificate verifications served from
+// the memo cache and the number that ran the full signature check.
+func (r *Registry) CertCacheStats() (hits, misses uint64) {
+	r.certMu.Lock()
+	defer r.certMu.Unlock()
+	return r.certHits, r.certMisses
+}
+
+// ResetCertCache drops the verification memo and its counters. Benchmarks
+// use it to measure the uncached path; production code never needs it.
+func (r *Registry) ResetCertCache() {
+	r.certMu.Lock()
+	r.certCache = nil
+	r.certHits, r.certMisses = 0, 0
+	r.certMu.Unlock()
 }
 
 // SetTrustAll toggles benchmark mode (see the field comment). Call before
@@ -170,10 +237,44 @@ var (
 
 // VerifyCertificate checks that cert carries at least QuorumSize(cert.Group)
 // valid signatures from distinct nodes of cert.Group over cert.Digest.
+// Outcomes are memoized by certificate content (see certCacheKey), so
+// re-verifying the same certificate is a map lookup; trust-all mode bypasses
+// the cache because the check is already trivial and toggling the mode must
+// take effect immediately.
 func (r *Registry) VerifyCertificate(cert *Certificate) error {
 	if cert == nil {
 		return errors.New("keys: nil certificate")
 	}
+	if r.trustAll {
+		return r.verifyCertificate(cert)
+	}
+	key := certCacheKey{group: cert.Group, digest: cert.Digest, sigsHash: certSigsHash(cert.Sigs)}
+	r.certMu.Lock()
+	if err, ok := r.certCache[key]; ok {
+		r.certHits++
+		r.certMu.Unlock()
+		return err
+	}
+	r.certMisses++
+	r.certMu.Unlock()
+
+	err := r.verifyCertificate(cert)
+
+	r.certMu.Lock()
+	limit := r.certCacheLimit
+	if limit == 0 {
+		limit = certCacheLimitDefault
+	}
+	if r.certCache == nil || len(r.certCache) >= limit {
+		r.certCache = make(map[certCacheKey]error, limit/4)
+	}
+	r.certCache[key] = err
+	r.certMu.Unlock()
+	return err
+}
+
+// verifyCertificate is the uncached full check.
+func (r *Registry) verifyCertificate(cert *Certificate) error {
 	msg := certMessage(cert.Group, cert.Digest)
 	seen := make(map[NodeID]bool, len(cert.Sigs))
 	valid := 0

@@ -214,3 +214,123 @@ func TestTrustAllMode(t *testing.T) {
 	}
 	_ = pairs
 }
+
+// TestCertificateMemoization checks that repeated verifications of the same
+// certificate are served from the cache, that both success and failure
+// verdicts are memoized, and that tampering with any signature byte produces
+// a distinct cache key (no stale verdict).
+func TestCertificateMemoization(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 4})
+
+	for i := 0; i < 3; i++ {
+		if err := reg.VerifyCertificate(cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := reg.CertCacheStats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("valid cert: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// A failure verdict is cached too, under its own key.
+	bad := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 4})
+	bad.Sigs[2].Sig[0] ^= 0xff
+	for i := 0; i < 2; i++ {
+		if err := reg.VerifyCertificate(bad); err != ErrCertBadSig {
+			t.Fatalf("tampered cert: got %v, want ErrCertBadSig", err)
+		}
+	}
+	hits, misses = reg.CertCacheStats()
+	if misses != 2 || hits != 3 {
+		t.Fatalf("after tampered cert: hits=%d misses=%d, want 3/2", hits, misses)
+	}
+
+	// Restoring the byte returns to the (cached) valid verdict.
+	bad.Sigs[2].Sig[0] ^= 0xff
+	if err := reg.VerifyCertificate(bad); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = reg.CertCacheStats()
+	if hits != 4 {
+		t.Fatalf("restored cert should hit the valid entry, hits=%d", hits)
+	}
+}
+
+// TestCertificateCacheBounded fills the memo past its limit and checks it
+// restarts instead of growing without bound, while verdicts stay correct.
+func TestCertificateCacheBounded(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	reg.certCacheLimit = 4
+	for i := 0; i < 20; i++ {
+		d := Hash([]byte{byte(i)})
+		cert := buildCert(pairs, 0, d, []int{0, 1, 2})
+		if err := reg.VerifyCertificate(cert); err != nil {
+			t.Fatal(err)
+		}
+		reg.certMu.Lock()
+		if n := len(reg.certCache); n > 4 {
+			reg.certMu.Unlock()
+			t.Fatalf("cache grew to %d entries, limit 4", n)
+		}
+		reg.certMu.Unlock()
+	}
+	_, misses := reg.CertCacheStats()
+	if misses != 20 {
+		t.Fatalf("distinct certs must all miss: misses=%d", misses)
+	}
+}
+
+// TestCertificateMemoTrustAllBypass checks trust-all verification never
+// touches the cache, so toggling the mode takes effect immediately.
+func TestCertificateMemoTrustAllBypass(t *testing.T) {
+	pairs, reg := genTestCluster(t)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 1, d, []int{0, 1, 2, 3, 4})
+	reg.SetTrustAll(true)
+	if err := reg.VerifyCertificate(cert); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := reg.CertCacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("trust-all touched the cache: hits=%d misses=%d", hits, misses)
+	}
+	reg.SetTrustAll(false)
+	if err := reg.VerifyCertificate(cert); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = reg.CertCacheStats(); misses != 1 {
+		t.Fatalf("real verification after trust-all should miss once, misses=%d", misses)
+	}
+}
+
+func BenchmarkVerifyCertificateUncached(b *testing.B) {
+	pairs, reg, _ := GenerateCluster([]int{7}, 1)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 0, d, []int{0, 1, 2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.certMu.Lock()
+		reg.certCache = nil
+		reg.certMu.Unlock()
+		if err := reg.VerifyCertificate(cert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyCertificateCached(b *testing.B) {
+	pairs, reg, _ := GenerateCluster([]int{7}, 1)
+	d := Hash([]byte("payload"))
+	cert := buildCert(pairs, 0, d, []int{0, 1, 2, 3, 4})
+	if err := reg.VerifyCertificate(cert); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.VerifyCertificate(cert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,14 +9,22 @@
 // certificate — to its assigned peers in the receiver group.
 //
 // Receiver side: a Collector groups arriving chunks into buckets keyed by
-// Merkle root (chunks whose proof does not verify against their claimed root
-// are discarded outright). When a bucket reaches n_data chunks the collector
-// optimistically rebuilds the entry and validates it against the embedded
-// certificate. On failure every chunk ID in the bucket is banned for this
-// entry (DoS protection); on success the entry is delivered exactly once.
+// (Merkle root, claimed data length) — chunks whose proof does not verify
+// against their claimed root are discarded outright, and chunks that agree on
+// a root but disagree on the pre-padding length cannot decode together, so
+// they bucket separately. When a bucket reaches n_data chunks the collector
+// optimistically rebuilds the entry. The rebuilt bytes are validated against
+// a quorum certificate drawn from the candidates observed on the bucket's
+// chunks: a single Byzantine sender attaching a mangled certificate must not
+// taint the honest chunks it travelled with, so validation retries every
+// candidate before giving up. Buckets whose *data* is bad (decode failure or
+// wrong entry) are banned wholesale (DoS protection); a bucket whose data is
+// sound but lacks a valid certificate merely waits for one to arrive. Each
+// entry is delivered exactly once.
 package replication
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"errors"
 	"fmt"
@@ -79,7 +87,7 @@ func Encode(entryEnc []byte, p *plan.Plan) (*Encoded, error) {
 	if p.Total > erasure.MaxShards {
 		return nil, fmt.Errorf("replication: plan needs %d shards, max %d", p.Total, erasure.MaxShards)
 	}
-	enc, err := erasure.New(p.Data, p.Parity)
+	enc, err := erasure.Cached(p.Data, p.Parity)
 	if err != nil {
 		return nil, fmt.Errorf("replication: %w", err)
 	}
@@ -143,27 +151,40 @@ var (
 	ErrWrongPlanSize = errors.New("replication: message Total/Data disagree with local plan")
 )
 
-// RebuildCache memoizes rebuild outcomes by Merkle root across collectors.
+// bucketKey identifies a rebuild bucket. Chunks can only decode together
+// when they agree on both the Merkle root and the claimed pre-padding data
+// length: keying on the pair stops a Byzantine sender from poisoning an
+// honest root's bucket with a wrong DataLen (under a root-only key the first
+// writer's DataLen won, so a lying first chunk made the eventual Join
+// produce garbage and the honest chunks were banned for it).
+type bucketKey struct {
+	root    merkle.Root
+	dataLen int
+}
+
+// RebuildCache memoizes rebuild outcomes by bucket key across collectors.
 // It is a simulation-scale optimization: the root commits to the exact chunk
-// set, so any n_data-subset decode yields the same entry on every node —
-// re-running the matrix inversion per node would measure the host CPU, which
-// the cost model charges instead. The outcome additionally caches whether
-// the entry validated against its certificate, which is sound here because
-// the simulation attaches one certificate per entry.
+// set, so any n_data-subset decode at the same claimed length yields the same
+// bytes on every node — re-running the matrix inversion per node would
+// measure the host CPU, which the cost model charges instead. A cached entry
+// means the bucket decoded and certificate-validated at some collector; nil
+// means its chunks are known bad. Certificate validity for delivery is still
+// re-checked per collector against its own candidate set (cheap: package
+// keys memoizes certificate verification).
 type RebuildCache struct {
-	m map[merkle.Root]*cacheOutcome
+	m map[bucketKey]*cacheOutcome
 }
 
 type cacheOutcome struct {
-	entry *types.Entry // nil when the rebuild failed validation
+	entry *types.Entry // nil when the chunks did not decode to a valid entry
 }
 
 // NewRebuildCache creates an empty cache.
-func NewRebuildCache() *RebuildCache { return &RebuildCache{m: make(map[merkle.Root]*cacheOutcome)} }
+func NewRebuildCache() *RebuildCache { return &RebuildCache{m: make(map[bucketKey]*cacheOutcome)} }
 
 // put inserts an outcome, evicting arbitrary entries once the table exceeds
 // its bound (outcomes are re-derivable from chunks).
-func (rc *RebuildCache) put(root merkle.Root, out *cacheOutcome) {
+func (rc *RebuildCache) put(bk bucketKey, out *cacheOutcome) {
 	if len(rc.m) >= 2048 {
 		for k := range rc.m {
 			delete(rc.m, k)
@@ -172,7 +193,7 @@ func (rc *RebuildCache) put(root merkle.Root, out *cacheOutcome) {
 			}
 		}
 	}
-	rc.m[root] = out
+	rc.m[bk] = out
 }
 
 // Collector reassembles entries from chunks at one receiver-group node.
@@ -188,13 +209,17 @@ type Collector struct {
 	// onFailure, when set, is notified with the chunk IDs of a bucket that
 	// failed validation, letting the node blacklist their senders (§VI-E).
 	onFailure func(id types.EntryID, chunkIDs []int)
+	// onMetric, when set, receives named counter increments (kebab-case, the
+	// hosting node's metrics convention) for events worth surfacing outside
+	// the Stats accessors, e.g. certificate-validation retries.
+	onMetric func(name string)
 	// cache, when set, shares rebuild outcomes across nodes.
 	cache *RebuildCache
 
 	entries map[types.EntryID]*entryState
 
 	// Stats
-	rebuilds, failedRebuilds, rejectedChunks int
+	rebuilds, failedRebuilds, rejectedChunks, certRetries int
 }
 
 // SetCache installs a shared rebuild cache (see RebuildCache).
@@ -203,12 +228,74 @@ func (c *Collector) SetCache(rc *RebuildCache) { c.cache = rc }
 // SetOnFailure installs the failed-rebuild notification callback.
 func (c *Collector) SetOnFailure(fn func(id types.EntryID, chunkIDs []int)) { c.onFailure = fn }
 
+// SetMetricsHook installs the named-counter callback (see onMetric).
+func (c *Collector) SetMetricsHook(fn func(name string)) { c.onMetric = fn }
+
+func (c *Collector) metric(name string) {
+	if c.onMetric != nil {
+		c.onMetric(name)
+	}
+}
+
+// maxCandidateCerts bounds the distinct certificates remembered per bucket.
+// One honest certificate exists per entry, so the bound only limits how many
+// mangled variants a Byzantine sender can make us store.
+const maxCandidateCerts = 8
+
 type entryState struct {
 	delivered bool
 	banned    map[int]bool
-	buckets   map[merkle.Root]map[int][]byte
-	cert      *keys.Certificate
-	dataLen   map[merkle.Root]int
+	buckets   map[bucketKey]map[int][]byte
+	// certs holds the candidate certificates observed on each bucket's
+	// chunks, deduplicated, in arrival order. Rebuild validation tries them
+	// all: the certificate that travelled with the triggering chunk may be
+	// mangled while an earlier sender's copy is honest.
+	certs map[bucketKey][]*keys.Certificate
+	// pending caches a bucket's successfully decoded entry while no candidate
+	// certificate validates yet, so retries triggered by later certificate
+	// arrivals skip the decode.
+	pending map[bucketKey]*types.Entry
+}
+
+func newEntryState() *entryState {
+	return &entryState{
+		banned:  make(map[int]bool),
+		buckets: make(map[bucketKey]map[int][]byte),
+		certs:   make(map[bucketKey][]*keys.Certificate),
+		pending: make(map[bucketKey]*types.Entry),
+	}
+}
+
+// certEqual compares certificates by content.
+func certEqual(a, b *keys.Certificate) bool {
+	if a == b {
+		return true
+	}
+	if a.Group != b.Group || a.Digest != b.Digest || len(a.Sigs) != len(b.Sigs) {
+		return false
+	}
+	for i := range a.Sigs {
+		if a.Sigs[i].Signer != b.Sigs[i].Signer || !bytes.Equal(a.Sigs[i].Sig, b.Sigs[i].Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// addCandidateCert records cert as a validation candidate for the bucket,
+// returning whether it was new.
+func (st *entryState) addCandidateCert(bk bucketKey, cert *keys.Certificate) bool {
+	list := st.certs[bk]
+	for _, have := range list {
+		if certEqual(have, cert) {
+			return false
+		}
+	}
+	if len(list) >= maxCandidateCerts {
+		return false
+	}
+	st.certs[bk] = append(list, cert)
+	return true
 }
 
 // NewCollector creates a collector. planFor must return the Algorithm-1 plan
@@ -247,11 +334,7 @@ func (c *Collector) AddChunk(m *ChunkMsg) (bool, error) {
 	}
 	st := c.entries[m.Entry]
 	if st == nil {
-		st = &entryState{
-			banned:  make(map[int]bool),
-			buckets: make(map[merkle.Root]map[int][]byte),
-			dataLen: make(map[merkle.Root]int),
-		}
+		st = newEntryState()
 		c.entries[m.Entry] = st
 	}
 	if st.delivered {
@@ -267,118 +350,173 @@ func (c *Collector) AddChunk(m *ChunkMsg) (bool, error) {
 		c.rejectedChunks++
 		return false, ErrBadProof
 	}
-	bucket := st.buckets[m.Root]
+	bk := bucketKey{root: m.Root, dataLen: m.DataLen}
+	bucket := st.buckets[bk]
 	if bucket == nil {
 		bucket = make(map[int][]byte)
-		st.buckets[m.Root] = bucket
-		st.dataLen[m.Root] = m.DataLen
+		st.buckets[bk] = bucket
 	}
+	newCert := st.addCandidateCert(bk, m.Cert)
 	if _, dup := bucket[m.Index]; dup {
+		// The chunk is stale but its certificate may be the one a
+		// cert-stalled full bucket has been waiting for.
+		if newCert && len(bucket) >= p.Data {
+			c.tryRebuild(m.Entry, st, bk, p, m.Cert)
+		}
 		return false, ErrDuplicate
 	}
 	bucket[m.Index] = m.Chunk
-	if st.cert == nil {
-		st.cert = m.Cert
-	}
 	if len(bucket) >= p.Data {
-		c.tryRebuild(m.Entry, st, m.Root, m.Cert, p)
+		c.tryRebuild(m.Entry, st, bk, p, m.Cert)
 	}
 	return true, nil
 }
 
-func (c *Collector) tryRebuild(id types.EntryID, st *entryState, root merkle.Root, cert *keys.Certificate, p *plan.Plan) {
-	bucket := st.buckets[root]
-	if c.cache != nil {
-		if out, ok := c.cache.m[root]; ok {
+// tryRebuild attempts to decode the bucket and deliver the entry. The decode
+// verdict depends only on the chunk bytes, so a bad decode bans the bucket.
+// Certificate validation is separate: it tries every candidate certificate
+// observed on the bucket's chunks, and when none validates the bucket is kept
+// — the data is proven sound, only the quorum proof is still missing, and a
+// later chunk (or a duplicate from an honest sender) can supply it.
+func (c *Collector) tryRebuild(id types.EntryID, st *entryState, bk bucketKey, p *plan.Plan, trigger *keys.Certificate) {
+	bucket := st.buckets[bk]
+	entry := st.pending[bk]
+	if entry == nil && c.cache != nil {
+		if out, ok := c.cache.m[bk]; ok {
 			if out.entry == nil || out.entry.ID != id {
-				c.banBucketNotify(id, st, bucket)
+				c.banBucketNotify(id, st, bk)
 				return
 			}
-			st.delivered = true
-			st.buckets = nil
-			c.rebuilds++
-			c.onRebuilt(id.GID, Rebuilt{Entry: out.entry, Cert: cert})
+			entry = out.entry
+		}
+	}
+	if entry == nil {
+		enc, err := erasure.Cached(p.Data, p.Parity)
+		if err != nil {
+			return
+		}
+		shards := make([][]byte, p.Total)
+		for idx, chunk := range bucket {
+			shards[idx] = chunk
+		}
+		// Only the data shards are needed to join the entry; skip the parity
+		// recompute the full Reconstruct would do.
+		if err := enc.ReconstructData(shards); err != nil {
+			c.rebuildFailed(id, st, bk)
+			return
+		}
+		entryEnc, err := enc.Join(shards, bk.dataLen)
+		if err != nil {
+			c.rebuildFailed(id, st, bk)
+			return
+		}
+		entry, err = types.DecodeEntry(entryEnc)
+		if err != nil || entry.ID != id {
+			c.rebuildFailed(id, st, bk)
 			return
 		}
 	}
-	enc, err := erasure.New(p.Data, p.Parity)
-	if err != nil {
-		return
-	}
-	shards := make([][]byte, p.Total)
-	for idx, chunk := range bucket {
-		shards[idx] = chunk
-	}
-	if err := enc.Reconstruct(shards); err != nil {
-		c.rebuildFailed(id, st, root, bucket)
-		return
-	}
-	entryEnc, err := enc.Join(shards, st.dataLen[root])
-	if err != nil {
-		c.rebuildFailed(id, st, root, bucket)
-		return
-	}
-	entry, err := types.DecodeEntry(entryEnc)
-	if err != nil {
-		c.rebuildFailed(id, st, root, bucket)
-		return
-	}
-	// Validate the rebuilt entry against its PBFT certificate: the digest
-	// must match and the certificate must carry 2f+1 valid signatures from
-	// the sender group.
-	if entry.ID != id || cert.Group != id.GID || entry.Digest() != cert.Digest ||
-		c.registry.VerifyCertificate(cert) != nil {
-		c.rebuildFailed(id, st, root, bucket)
+	// The rebuilt entry must be covered by a quorum certificate from the
+	// sender group: 2f+1 valid signatures over its digest.
+	cert, digestMatched := c.pickValidCert(id, st, bk, entry, trigger)
+	if cert == nil {
+		if !digestMatched {
+			// No candidate certificate even claims a quorum over these
+			// bytes: the bucket is fabricated content replaying some other
+			// entry's certificate. Ban it (§VI-E).
+			c.rebuildFailed(id, st, bk)
+			return
+		}
+		// Some sender claims a quorum over exactly this content but its
+		// signatures do not check out — consistent with honest chunks whose
+		// certificate copy was mangled in transit or by a Byzantine sender.
+		// Keep the decoded entry and wait for a clean certificate copy.
+		st.pending[bk] = entry
 		return
 	}
 	if c.cache != nil {
-		c.cache.put(root, &cacheOutcome{entry: entry})
+		c.cache.put(bk, &cacheOutcome{entry: entry})
 	}
 	st.delivered = true
-	st.buckets = nil // free chunk memory
+	st.buckets, st.certs, st.pending = nil, nil, nil // free chunk memory
 	c.rebuilds++
 	c.onRebuilt(id.GID, Rebuilt{Entry: entry, Cert: cert})
 }
 
-// rebuildFailed records a failed outcome in the cache and bans the bucket.
-func (c *Collector) rebuildFailed(id types.EntryID, st *entryState, root merkle.Root, bucket map[int][]byte) {
-	if c.cache != nil {
-		c.cache.put(root, &cacheOutcome{})
+// pickValidCert returns the first certificate that proves the rebuilt entry,
+// plus whether any candidate at least claimed the entry's digest. The
+// triggering chunk's certificate is tried first (it is what the pre-overhaul
+// path validated exclusively); attempts beyond it fall back to the other
+// candidates observed on the bucket and are counted as cert retries.
+func (c *Collector) pickValidCert(id types.EntryID, st *entryState, bk bucketKey, entry *types.Entry, trigger *keys.Certificate) (*keys.Certificate, bool) {
+	d := entry.Digest()
+	attempts := 0
+	try := func(cert *keys.Certificate) bool {
+		if cert.Group != id.GID || cert.Digest != d {
+			return false
+		}
+		attempts++
+		if attempts > 1 {
+			c.certRetries++
+			c.metric("cert-retries")
+		}
+		return c.registry.VerifyCertificate(cert) == nil
 	}
-	c.banBucketNotify(id, st, bucket)
+	if trigger != nil && try(trigger) {
+		return trigger, true
+	}
+	for _, cert := range st.certs[bk] {
+		if trigger != nil && certEqual(cert, trigger) {
+			continue
+		}
+		if try(cert) {
+			return cert, true
+		}
+	}
+	return nil, attempts > 0
+}
+
+// rebuildFailed records a bad-decode outcome in the cache and bans the bucket.
+func (c *Collector) rebuildFailed(id types.EntryID, st *entryState, bk bucketKey) {
+	if c.cache != nil {
+		c.cache.put(bk, &cacheOutcome{})
+	}
+	c.banBucketNotify(id, st, bk)
 }
 
 // banBucketNotify bans the bucket and fires the failure callback.
-func (c *Collector) banBucketNotify(id types.EntryID, st *entryState, bucket map[int][]byte) {
+func (c *Collector) banBucketNotify(id types.EntryID, st *entryState, bk bucketKey) {
 	if c.onFailure != nil {
+		bucket := st.buckets[bk]
 		ids := make([]int, 0, len(bucket))
 		for idx := range bucket {
 			ids = append(ids, idx)
 		}
 		c.onFailure(id, ids)
 	}
-	c.banBucket(st, bucket)
+	c.banBucket(st, bk)
 }
 
-// banBucket logs the chunk IDs of a bucket that failed validation: all its
-// chunks share a Merkle root, so they are all fake. Future chunks with these
-// IDs are refused, preventing DoS by repeated fake-bucket fills (§IV-C).
-func (c *Collector) banBucket(st *entryState, bucket map[int][]byte) {
+// banBucket logs the chunk IDs of a bucket whose data failed validation: all
+// its chunks share a Merkle root, so they are all fake. Future chunks with
+// these IDs are refused, preventing DoS by repeated fake-bucket fills (§IV-C).
+func (c *Collector) banBucket(st *entryState, bk bucketKey) {
 	c.failedRebuilds++
-	for idx := range bucket {
+	for idx := range st.buckets[bk] {
 		st.banned[idx] = true
 	}
 	// Remove banned chunks from every other bucket too; they can no longer
 	// participate in a rebuild.
-	for root, b := range st.buckets {
+	for key, b := range st.buckets {
 		for idx := range b {
 			if st.banned[idx] {
 				delete(b, idx)
 			}
 		}
 		if len(b) == 0 {
-			delete(st.buckets, root)
-			delete(st.dataLen, root)
+			delete(st.buckets, key)
+			delete(st.certs, key)
+			delete(st.pending, key)
 		}
 	}
 }
@@ -400,13 +538,15 @@ func (c *Collector) Missing(id types.EntryID) (root merkle.Root, missing []int, 
 		return root, nil, false
 	}
 	var bucket map[int][]byte
+	var best bucketKey
 	if st != nil {
-		for r, b := range st.buckets {
+		for bk, b := range st.buckets {
 			if bucket == nil || len(b) > len(bucket) ||
-				(len(b) == len(bucket) && lessRoot(r, root)) {
-				root, bucket = r, b
+				(len(b) == len(bucket) && lessBucketKey(bk, best)) {
+				best, bucket = bk, b
 			}
 		}
+		root = best.root
 	}
 	for idx := 0; idx < p.Total; idx++ {
 		if st != nil && st.banned[idx] {
@@ -430,6 +570,15 @@ func lessRoot(a, b merkle.Root) bool {
 	return false
 }
 
+// lessBucketKey orders bucket keys by root, then claimed data length, so
+// every replica picks the same bucket among equals.
+func lessBucketKey(a, b bucketKey) bool {
+	if a.root != b.root {
+		return lessRoot(a.root, b.root)
+	}
+	return a.dataLen < b.dataLen
+}
+
 // Delivered reports whether the entry has already been rebuilt and delivered.
 func (c *Collector) Delivered(id types.EntryID) bool {
 	st := c.entries[id]
@@ -444,6 +593,11 @@ func (c *Collector) Forget(id types.EntryID) { delete(c.entries, id) }
 func (c *Collector) Stats() (rebuilds, failed, rejected int) {
 	return c.rebuilds, c.failedRebuilds, c.rejectedChunks
 }
+
+// CertRetries returns how many times rebuild validation had to move past the
+// first candidate certificate (i.e. some sender shipped a certificate that
+// did not validate for an otherwise sound bucket).
+func (c *Collector) CertRetries() int { return c.certRetries }
 
 // --- Plain (non-encoded) replication strategies used by baselines ---
 
@@ -599,11 +753,7 @@ func (c *Collector) AddBatch(b *ChunkBatch) (bool, error) {
 	}
 	st := c.entries[b.Entry]
 	if st == nil {
-		st = &entryState{
-			banned:  make(map[int]bool),
-			buckets: make(map[merkle.Root]map[int][]byte),
-			dataLen: make(map[merkle.Root]int),
-		}
+		st = newEntryState()
 		c.entries[b.Entry] = st
 	}
 	if st.delivered {
@@ -613,12 +763,13 @@ func (c *Collector) AddBatch(b *ChunkBatch) (bool, error) {
 		c.rejectedChunks += len(b.Indices)
 		return false, ErrBadProof
 	}
-	bucket := st.buckets[b.Root]
+	bk := bucketKey{root: b.Root, dataLen: b.DataLen}
+	bucket := st.buckets[bk]
 	if bucket == nil {
 		bucket = make(map[int][]byte)
-		st.buckets[b.Root] = bucket
-		st.dataLen[b.Root] = b.DataLen
+		st.buckets[bk] = bucket
 	}
+	newCert := st.addCandidateCert(bk, b.Cert)
 	fresh := false
 	for k, idx := range b.Indices {
 		if st.banned[idx] {
@@ -631,11 +782,8 @@ func (c *Collector) AddBatch(b *ChunkBatch) (bool, error) {
 		bucket[idx] = b.Chunks[k]
 		fresh = true
 	}
-	if st.cert == nil {
-		st.cert = b.Cert
-	}
-	if len(bucket) >= p.Data && !st.delivered {
-		c.tryRebuild(b.Entry, st, b.Root, b.Cert, p)
+	if (fresh || newCert) && len(bucket) >= p.Data && !st.delivered {
+		c.tryRebuild(b.Entry, st, bk, p, b.Cert)
 	}
 	if !fresh {
 		return false, ErrDuplicate

@@ -486,3 +486,141 @@ func TestAddBatchRejectsTampering(t *testing.T) {
 		t.Fatalf("got %v, want ErrDuplicate", err)
 	}
 }
+
+func TestTriggeringChunkWithMangledCertDoesNotBanHonestBucket(t *testing.T) {
+	// A Byzantine sender ships an honest chunk but mangles the attached
+	// certificate's signature bytes. If that chunk is the one that fills the
+	// bucket, validation must fall back to the certificate candidates the
+	// honest chunks carried instead of banning the whole (honest) bucket.
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+
+	var msgs []ChunkMsg
+	for i := 0; i < 4; i++ {
+		ms, _, err := f.encoded.Messages(i, f.entry.ID, f.cert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, ms...)
+	}
+	for k := 0; k < f.plan.Data-1; k++ {
+		if _, err := c.AddChunk(&msgs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mangled := *f.cert
+	mangled.Sigs = append([]keys.Signature(nil), f.cert.Sigs...)
+	mangled.Sigs[0].Sig = append([]byte(nil), f.cert.Sigs[0].Sig...)
+	mangled.Sigs[0].Sig[0] ^= 0xff
+	trigger := msgs[f.plan.Data-1]
+	trigger.Cert = &mangled
+	if _, err := c.AddChunk(&trigger); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 1 {
+		t.Fatalf("entry not delivered: got %d deliveries", len(got))
+	}
+	if got[0].Entry.Digest() != f.entry.Digest() {
+		t.Fatal("delivered wrong entry")
+	}
+	if err := f.reg.VerifyCertificate(got[0].Cert); err != nil {
+		t.Fatalf("delivered with invalid certificate: %v", err)
+	}
+	if c.CertRetries() == 0 {
+		t.Fatal("cert retry not counted")
+	}
+	_, failed, _ := c.Stats()
+	if failed != 0 {
+		t.Fatalf("honest bucket recorded as failed rebuild (%d)", failed)
+	}
+}
+
+func TestMangledCertOnlyBucketDeliversOnceValidCertArrives(t *testing.T) {
+	// Worse case: every chunk that fills the bucket carries the mangled
+	// certificate (one Byzantine sender can ship any index, since proofs
+	// verify against the root). The data is sound, so the bucket must not be
+	// banned; the entry is delivered as soon as any chunk brings a clean
+	// certificate copy — here a duplicate of an already-seen index.
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+
+	mangled := *f.cert
+	mangled.Sigs = append([]keys.Signature(nil), f.cert.Sigs...)
+	mangled.Sigs[0].Sig = append([]byte(nil), f.cert.Sigs[0].Sig...)
+	mangled.Sigs[0].Sig[0] ^= 0xff
+
+	var msgs []ChunkMsg
+	for i := 0; i < 4; i++ {
+		ms, _, err := f.encoded.Messages(i, f.entry.ID, &mangled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, ms...)
+	}
+	for k := 0; k < f.plan.Data; k++ {
+		if _, err := c.AddChunk(&msgs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatal("delivered without any valid certificate")
+	}
+	_, failed, _ := c.Stats()
+	if failed != 0 {
+		t.Fatal("sound bucket banned for a mangled certificate")
+	}
+
+	honest := msgs[0]
+	honest.Cert = f.cert
+	if _, err := c.AddChunk(&honest); err != ErrDuplicate {
+		t.Fatalf("got %v, want ErrDuplicate", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("entry not delivered after valid cert arrived: %d", len(got))
+	}
+	if err := f.reg.VerifyCertificate(got[0].Cert); err != nil {
+		t.Fatalf("delivered with invalid certificate: %v", err)
+	}
+}
+
+func TestDataLenDisagreementBucketsSeparately(t *testing.T) {
+	// A Byzantine sender replays an honest chunk (valid proof, same root)
+	// but lies about DataLen. Chunks that disagree on DataLen cannot decode
+	// together, so they must not share a bucket: under the old root-only
+	// bucketing the lying first writer fixed the length for everyone and the
+	// honest chunks were banned when the join produced garbage.
+	f := newFixture(t, 4, 7, 20)
+	var got []Rebuilt
+	c := collectorFor(f, &got)
+
+	var msgs []ChunkMsg
+	for i := 0; i < 4; i++ {
+		ms, _, err := f.encoded.Messages(i, f.entry.ID, f.cert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, ms...)
+	}
+
+	// Byzantine copy arrives first and would fix the bucket's DataLen.
+	liar := msgs[0]
+	liar.DataLen = msgs[0].DataLen - 7
+	if _, err := c.AddChunk(&liar); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < f.plan.Data; k++ {
+		if _, err := c.AddChunk(&msgs[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("honest chunks did not rebuild: delivered=%d", len(got))
+	}
+	if got[0].Entry.Digest() != f.entry.Digest() {
+		t.Fatal("delivered wrong entry")
+	}
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmark harness (scripts/bench) and validates the
+# emitted baseline. Run from anywhere; writes BENCH_hotpath.json at the repo
+# root by default.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_hotpath.json}"
+
+echo "== hot-path benchmarks -> $out"
+go run ./scripts/bench -out "$out"
+go run ./scripts/validate-bench "$out"

@@ -42,8 +42,14 @@ go test ./... -timeout 900s
 # The core shard includes TestPartitionFailoverReduced: the reduced WAN
 # partition + group-crash failover schedule runs under the race detector on
 # every pass (the full schedules skip in -short).
-echo "== go test -race -short (simnet, replication, core, pbft, trace)"
-go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/
+echo "== go test -race -short (simnet, replication, core, pbft, trace, erasure, gf256, keys)"
+go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/ ./internal/erasure/ ./internal/gf256/ ./internal/keys/
+
+echo "== bench smoke (hot-path harness + baseline validation)"
+go run ./scripts/validate-bench BENCH_hotpath.json
+benchfile="$(mktemp)"
+bash scripts/bench.sh "$benchfile"
+rm -f "$benchfile"
 
 echo "== trace smoke (demo -trace + JSON validation)"
 tracefile="$(mktemp)"

@@ -1,0 +1,97 @@
+// Command validate-bench checks a BENCH_hotpath.json baseline (as written by
+// scripts/bench): the schema tag matches, every expected benchmark is present
+// with a positive timing, and the split/reconstruct speedups clear a floor.
+// The floor is deliberately looser than the ≥4x recorded in the committed
+// baseline — CI runners are noisy shared machines — but still far above 1x,
+// so a regression that erases the hot-path win fails the smoke job. Exits
+// non-zero on any problem.
+//
+//	go run ./scripts/validate-bench BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const wantSchema = "massbft-bench/v1"
+
+// speedupFloor is the CI-safe minimum for the codec speedups (the committed
+// baseline records ≥4x; see the package comment).
+const speedupFloor = 2.0
+
+var wantResults = []string{
+	"muladd_slice", "muladd_slice_ref",
+	"split", "split_ref",
+	"reconstruct", "reconstruct_ref",
+	"verify_cert_memoized", "verify_cert_full",
+}
+
+type report struct {
+	Schema   string `json:"schema"`
+	Geometry struct {
+		DataShards   int `json:"data_shards"`
+		ParityShards int `json:"parity_shards"`
+	} `json:"geometry"`
+	PayloadBytes int `json:"payload_bytes"`
+	Results      []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+		Iters   int     `json:"iterations"`
+	} `json:"results"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validate-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-bench <BENCH_hotpath.json>")
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	if rep.Schema != wantSchema {
+		fail("%s: schema %q, want %q", os.Args[1], rep.Schema, wantSchema)
+	}
+	if rep.Geometry.DataShards <= 0 || rep.Geometry.ParityShards <= 0 {
+		fail("%s: missing geometry", os.Args[1])
+	}
+	if rep.PayloadBytes <= 0 {
+		fail("%s: missing payload_bytes", os.Args[1])
+	}
+	byName := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iters <= 0 {
+			fail("%s: result %q has non-positive timing", os.Args[1], r.Name)
+		}
+		byName[r.Name] = true
+	}
+	for _, name := range wantResults {
+		if !byName[name] {
+			fail("%s: missing result %q", os.Args[1], name)
+		}
+	}
+	for _, k := range []string{"muladd_slice", "split", "reconstruct", "verify_cert"} {
+		if _, ok := rep.Speedups[k]; !ok {
+			fail("%s: missing speedup %q", os.Args[1], k)
+		}
+	}
+	for _, k := range []string{"split", "reconstruct"} {
+		if s := rep.Speedups[k]; s < speedupFloor {
+			fail("%s: %s speedup %.2fx below floor %.1fx", os.Args[1], k, s, speedupFloor)
+		}
+	}
+	fmt.Printf("validate-bench: %s OK (split %.2fx, reconstruct %.2fx, verify_cert %.0fx)\n",
+		os.Args[1], rep.Speedups["split"], rep.Speedups["reconstruct"], rep.Speedups["verify_cert"])
+}
