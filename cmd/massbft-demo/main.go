@@ -89,6 +89,9 @@ func main() {
 		fmt.Printf("%-8d %-16.0f %v\n", p.Second, p.Throughput, p.AvgLatency.Round(time.Millisecond))
 	}
 	fmt.Printf("\nresult: %v\n", res)
+	fmt.Printf("transport: fabric=sim wan-bytes-total=%d wan-bytes/node=%.0f dropped=%d duplicated=%d\n",
+		res.WANBytesTotal, res.WANBytesPerNode,
+		c.Counter("net-dropped"), c.Counter("net-duplicated"))
 	if res.Trace != nil {
 		fmt.Printf("\ncritical path (%d entries, %d spans, avg e2e %v):\n",
 			res.Trace.Entries, res.Trace.Spans, res.Trace.E2EAvg.Round(time.Microsecond))

@@ -12,15 +12,16 @@ import (
 	"massbft/internal/simnet"
 	"massbft/internal/statedb"
 	"massbft/internal/trace"
+	"massbft/internal/transport"
 	"massbft/internal/types"
 	"massbft/internal/workload"
 )
 
 // Node is one protocol participant. Start is called once after every node is
 // constructed and registered; message delivery happens through the
-// simnet.Handler interface.
+// transport.Handler interface.
 type Node interface {
-	simnet.Handler
+	transport.Handler
 	Start()
 }
 
@@ -51,7 +52,10 @@ type NodeCtx struct {
 	KP  *keys.KeyPair
 	Cfg *Config
 	Reg *keys.Registry
-	Net *simnet.Node
+	// Net is this node's handle on the message fabric: the emulator in
+	// simulated clusters (Cluster wires transport.SimNetwork), the TCP
+	// backend in real multi-process deployments (massbft.StartNode).
+	Net transport.Endpoint
 	// Gen is the group-shared transaction generator (only the current group
 	// leader pulls from it).
 	Gen workload.Workload
@@ -73,8 +77,11 @@ type NodeCtx struct {
 
 // Cluster is a fully wired experiment.
 type Cluster struct {
-	Cfg     Config
-	Net     *simnet.Network
+	Cfg Config
+	// Net is the underlying emulator (fault scheduling, traffic accounting);
+	// Transport is the seam the nodes are actually wired through.
+	Net       *simnet.Network
+	Transport transport.Network
 	Reg     *keys.Registry
 	Pairs   [][]*keys.KeyPair
 	Nodes   map[keys.NodeID]Node
@@ -125,13 +132,14 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 	col.SetWindow(cfg.Warmup, cfg.RunFor-cfg.Warmup/2)
 
 	c := &Cluster{
-		Cfg:     cfg,
-		Net:     nw,
-		Reg:     reg,
-		Pairs:   pairs,
-		Nodes:   make(map[keys.NodeID]Node),
-		Metrics: col,
-		Faults:  &FaultPlan{ByzantineNodes: make(map[keys.NodeID]bool)},
+		Cfg:       cfg,
+		Net:       nw,
+		Transport: transport.NewSimNetwork(nw),
+		Reg:       reg,
+		Pairs:     pairs,
+		Nodes:     make(map[keys.NodeID]Node),
+		Metrics:   col,
+		Faults:    &FaultPlan{ByzantineNodes: make(map[keys.NodeID]bool)},
 	}
 	encodeCache := make(map[string]*replication.Encoded)
 	rebuildCache := replication.NewRebuildCache()
@@ -161,7 +169,7 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 				KP:           pairs[g][j],
 				Cfg:          &c.Cfg,
 				Reg:          reg,
-				Net:          nw.Node(id),
+				Net:          c.Transport.Endpoint(id),
 				Gen:          gen,
 				Engine:       aria.NewEngine(db, exec),
 				Metrics:      col,
@@ -173,7 +181,7 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 			}
 			node := factory(ctx)
 			c.Nodes[id] = node
-			nw.SetHandler(id, node)
+			c.Transport.SetHandler(id, node)
 		}
 	}
 	return c, nil

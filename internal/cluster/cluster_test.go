@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"massbft/internal/keys"
-	"massbft/internal/simnet"
+	"massbft/internal/transport"
 )
 
 func TestConfigDefaults(t *testing.T) {
@@ -168,7 +168,7 @@ type stubNode struct {
 }
 
 func (s *stubNode) Start()                                         { s.started++ }
-func (s *stubNode) HandleMessage(n *simnet.Node, m simnet.Message) {}
+func (s *stubNode) HandleMessage(m transport.Message) {}
 
 func TestClusterWiring(t *testing.T) {
 	var nodes []*stubNode

@@ -244,6 +244,11 @@ func (c *Config) SetObserver(id keys.NodeID) {
 	c.observerSet = true
 }
 
+// WithDefaults returns the config with every unset knob at its default.
+// Cluster.New applies it automatically; exported for multi-process wiring
+// (massbft.StartNode), which builds a single NodeCtx without a Cluster.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.Workload == "" {

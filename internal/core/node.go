@@ -31,7 +31,7 @@ import (
 	"massbft/internal/pbft"
 	"massbft/internal/plan"
 	"massbft/internal/replication"
-	"massbft/internal/simnet"
+	"massbft/internal/transport"
 	"massbft/internal/statedb"
 	"massbft/internal/types"
 )
@@ -225,7 +225,7 @@ type Node struct {
 	tickGen        uint64
 	rejoining      bool
 	rejoinAttempts int
-	rejoinBuf      []simnet.Message
+	rejoinBuf      []transport.Message
 	// latestCheckpoint is the periodic fold (CheckpointInterval); rejoin
 	// serving folds fresh, but the periodic fold models the persistence a
 	// real deployment would restart from.
@@ -431,8 +431,8 @@ func (n *Node) onMetaViewChange(view uint64) {
 	n.lastMetaProgress = n.now()
 }
 
-// HandleMessage implements simnet.Handler: the top-level demultiplexer.
-func (n *Node) HandleMessage(sn *simnet.Node, msg simnet.Message) {
+// HandleMessage implements transport.Handler: the top-level demultiplexer.
+func (n *Node) HandleMessage(msg transport.Message) {
 	n.charge(n.cfg.Cost.MsgOverhead)
 	if n.rejoining {
 		// Only the state-transfer exchange proceeds during a rejoin;

@@ -304,7 +304,7 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 	buf := n.rejoinBuf
 	n.rejoinBuf = nil
 	for i := range buf {
-		n.HandleMessage(n.ctx.Net, buf[i])
+		n.HandleMessage(buf[i])
 	}
 
 	// Watchdog: if execution makes no progress for a long while after the

@@ -1,0 +1,215 @@
+package transport
+
+// FaultInjector wraps any Network and applies seeded faults at the seam —
+// the same chaos philosophy as the simnet fault layer, but usable over the
+// real TCP backend. It perturbs traffic *above* the fabric:
+//
+//   - drop: the send never reaches the inner fabric;
+//   - delay: the send is re-scheduled on the sender's event loop after a
+//     seeded interval (so even the TCP backend sees reordering);
+//   - corrupt: the payload is round-tripped through the injected codec with
+//     one byte flipped — if the flip breaks decoding the message is dropped
+//     (exactly what the frame checksum would do), otherwise the corrupted
+//     decode is delivered, exercising the protocol's validation paths;
+//   - disconnect: a directed peer pair goes dark for a window, emulating a
+//     link cut the connection supervisor must ride out.
+//
+// What it cannot do that simnet can: it has no global virtual clock, so it
+// cannot make faults deterministic across processes or compress time; and it
+// perturbs whole payloads, not bytes on a live socket (kernel-level partial
+// writes are out of scope). Use simnet for reproducible protocol chaos; use
+// this to harden a real deployment.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"massbft/internal/keys"
+)
+
+// FaultConfig parameterizes the injector. All rates are probabilities per
+// send in [0,1], evaluated in order: disconnect window, drop, corrupt,
+// delay.
+type FaultConfig struct {
+	Seed int64
+
+	DropRate    float64
+	CorruptRate float64
+
+	DelayRate          float64
+	DelayMin, DelayMax time.Duration
+
+	DisconnectRate float64
+	DisconnectDur  time.Duration
+
+	// Encode/Decode are the envelope codec used for corruption faults
+	// (typically cluster.EncodeEnvelope/DecodeEnvelope, injected to avoid
+	// an import cycle). If nil, corrupt faults degrade to drops.
+	Encode func(payload any) ([]byte, error)
+	Decode func(buf []byte) (any, error)
+}
+
+// FaultStats counts injected faults, readable concurrently.
+type FaultStats struct {
+	Dropped     atomic.Uint64
+	Delayed     atomic.Uint64
+	Corrupted   atomic.Uint64
+	Disconnects atomic.Uint64
+}
+
+// FaultInjector implements Network by delegating to an inner fabric with
+// seeded interference. Handlers pass through untouched.
+type FaultInjector struct {
+	inner Network
+	cfg   FaultConfig
+	Stats FaultStats
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cut map[[2]keys.NodeID]time.Duration // directed pair -> dark until (sender clock)
+}
+
+// NewFaultInjector wraps inner with seeded fault injection.
+func NewFaultInjector(inner Network, cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cut:   make(map[[2]keys.NodeID]time.Duration),
+	}
+}
+
+// Endpoint implements Network.
+func (f *FaultInjector) Endpoint(id keys.NodeID) Endpoint {
+	ep := f.inner.Endpoint(id)
+	if ep == nil {
+		return nil
+	}
+	return &faultEndpoint{inj: f, id: id, ep: ep}
+}
+
+// SetHandler implements Network.
+func (f *FaultInjector) SetHandler(id keys.NodeID, h Handler) { f.inner.SetHandler(id, h) }
+
+// Close implements Network.
+func (f *FaultInjector) Close() error { return f.inner.Close() }
+
+// faultAction is the decision for one send.
+type faultAction struct {
+	drop    bool
+	corrupt bool
+	delay   time.Duration
+}
+
+// decide rolls the dice for one send under the mutex (endpoints of distinct
+// nodes share this process and call concurrently).
+func (f *FaultInjector) decide(from, to keys.NodeID, now time.Duration) faultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pair := [2]keys.NodeID{from, to}
+	if until, ok := f.cut[pair]; ok {
+		if now < until {
+			return faultAction{drop: true}
+		}
+		delete(f.cut, pair)
+	}
+	if f.cfg.DisconnectRate > 0 && f.rng.Float64() < f.cfg.DisconnectRate {
+		f.cut[pair] = now + f.cfg.DisconnectDur
+		f.Stats.Disconnects.Add(1)
+		return faultAction{drop: true}
+	}
+	if f.cfg.DropRate > 0 && f.rng.Float64() < f.cfg.DropRate {
+		return faultAction{drop: true}
+	}
+	var a faultAction
+	if f.cfg.CorruptRate > 0 && f.rng.Float64() < f.cfg.CorruptRate {
+		a.corrupt = true
+	}
+	if f.cfg.DelayRate > 0 && f.rng.Float64() < f.cfg.DelayRate {
+		span := f.cfg.DelayMax - f.cfg.DelayMin
+		a.delay = f.cfg.DelayMin
+		if span > 0 {
+			a.delay += time.Duration(f.rng.Int63n(int64(span)))
+		}
+	}
+	return a
+}
+
+// flipByte returns enc with one seeded byte XOR-flipped.
+func (f *FaultInjector) flipByte(enc []byte) {
+	f.mu.Lock()
+	i := f.rng.Intn(len(enc))
+	bit := byte(1) << f.rng.Intn(8)
+	f.mu.Unlock()
+	enc[i] ^= bit
+}
+
+type faultEndpoint struct {
+	inj *FaultInjector
+	id  keys.NodeID
+	ep  Endpoint
+}
+
+func (e *faultEndpoint) send(to keys.NodeID, payload any, size int, prio bool) {
+	f := e.inj
+	a := f.decide(e.id, to, e.ep.Now())
+	if a.drop {
+		f.Stats.Dropped.Add(1)
+		return
+	}
+	if a.corrupt {
+		if f.cfg.Encode == nil || f.cfg.Decode == nil {
+			f.Stats.Dropped.Add(1)
+			return
+		}
+		enc, err := f.cfg.Encode(payload)
+		if err != nil || len(enc) == 0 {
+			f.Stats.Dropped.Add(1)
+			return
+		}
+		f.flipByte(enc)
+		mangled, err := f.cfg.Decode(enc)
+		if err != nil {
+			// The flip broke the encoding; a checksumming wire would
+			// reject the frame, so the send becomes a drop.
+			f.Stats.Dropped.Add(1)
+			return
+		}
+		f.Stats.Corrupted.Add(1)
+		payload = mangled
+	}
+	deliver := func() {
+		if prio {
+			e.ep.SendPriority(to, payload, size)
+		} else {
+			e.ep.Send(to, payload, size)
+		}
+	}
+	if a.delay > 0 {
+		f.Stats.Delayed.Add(1)
+		p := payload
+		e.ep.After(a.delay, func() {
+			if prio {
+				e.ep.SendPriority(to, p, size)
+			} else {
+				e.ep.Send(to, p, size)
+			}
+		})
+		return
+	}
+	deliver()
+}
+
+func (e *faultEndpoint) Send(to keys.NodeID, payload any, size int) {
+	e.send(to, payload, size, false)
+}
+
+func (e *faultEndpoint) SendPriority(to keys.NodeID, payload any, size int) {
+	e.send(to, payload, size, true)
+}
+
+func (e *faultEndpoint) After(d time.Duration, fn func()) { e.ep.After(d, fn) }
+func (e *faultEndpoint) Now() time.Duration               { return e.ep.Now() }
+func (e *faultEndpoint) Charge(d time.Duration)           { e.ep.Charge(d) }

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	flagSets := []byte{0, FlagPriority, FlagControl, FlagPriority | FlagControl}
+	for _, p := range payloads {
+		for _, fl := range flagSets {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, fl, p); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			gotFlags, got, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if gotFlags != fl || !bytes.Equal(got, p) {
+				t.Fatalf("round-trip mismatch: flags %d->%d, %d bytes -> %d", fl, gotFlags, len(p), len(got))
+			}
+		}
+	}
+}
+
+// TestFrameCorruption: flipping any single byte of a frame must make
+// ReadFrame reject it (magic, version, flags, length, or checksum error) —
+// never decode silently, never panic.
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FlagPriority, []byte("the payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := range frame {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= bit
+			_, _, err := ReadFrame(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("corrupted byte %d (bit %#x) accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := 0; i < len(frame); i++ {
+		_, _, err := ReadFrame(bytes.NewReader(frame[:i]))
+		if err == nil {
+			t.Fatalf("truncated frame (%d/%d bytes) accepted", i, len(frame))
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+			!errors.Is(err, ErrFrameMagic) && !errors.Is(err, ErrFrameChecksum) {
+			// Any of the above is fine; anything else is unexpected.
+			t.Fatalf("truncation at %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// Oversize write is refused before touching the writer.
+	err := WriteFrame(io.Discard, 0, make([]byte, MaxFrameSize+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize write: got %v", err)
+	}
+	// A hostile length prefix is refused before allocation.
+	hdr := []byte{'M', 'B', FrameVersion, 0}
+	hdr = binary.BigEndian.AppendUint32(hdr, MaxFrameSize+1)
+	hdr = binary.BigEndian.AppendUint32(hdr, 0)
+	_, _, err = ReadFrame(bytes.NewReader(hdr))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: got %v", err)
+	}
+	// Unknown flag bits are refused (reserved for future versions).
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[3] = 0x80
+	_, _, err = ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrFrameFlags) {
+		t.Fatalf("unknown flags: got %v", err)
+	}
+	// Wrong version is refused.
+	frame[3] = 0
+	frame[2] = FrameVersion + 1
+	_, _, err = ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("wrong version: got %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"massbft/internal/keys"
+	"massbft/internal/simnet"
+)
+
+// SimNetwork adapts the deterministic in-process emulator to the transport
+// seam. It is a zero-cost veneer: Endpoint returns the *simnet.Node itself
+// (which already satisfies Endpoint), and SetHandler installs a thin shim
+// that re-labels simnet.Message as transport.Message. No scheduling, rng
+// draw, or allocation order changes, so a cluster run through the seam is
+// bit-identical to one wired directly against the emulator.
+type SimNetwork struct {
+	nw *simnet.Network
+}
+
+// NewSimNetwork wraps an emulated network.
+func NewSimNetwork(nw *simnet.Network) *SimNetwork { return &SimNetwork{nw: nw} }
+
+// Endpoint implements Network.
+func (s *SimNetwork) Endpoint(id keys.NodeID) Endpoint {
+	n := s.nw.Node(id)
+	if n == nil {
+		return nil
+	}
+	return n
+}
+
+// SetHandler implements Network.
+func (s *SimNetwork) SetHandler(id keys.NodeID, h Handler) {
+	s.nw.SetHandler(id, simHandler{h})
+}
+
+// Close implements Network. The emulator has no resources to release; the
+// harness that built it owns its lifecycle.
+func (s *SimNetwork) Close() error { return nil }
+
+// simHandler bridges the emulator's delivery callback to the seam handler.
+type simHandler struct{ h Handler }
+
+func (s simHandler) HandleMessage(_ *simnet.Node, msg simnet.Message) {
+	s.h.HandleMessage(Message{From: msg.From, To: msg.To, Payload: msg.Payload, Size: msg.Size})
+}

@@ -93,6 +93,12 @@ type Config struct {
 	Custom CustomWorkload
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed int64
+	// Transport selects the message fabric. NewCluster runs on the
+	// deterministic in-process emulator (TransportSim, the default — the
+	// only fabric where Run's virtual time is meaningful). To run over
+	// real sockets (TransportTCP), deploy one process per node with
+	// StartNode or cmd/massbft-node instead.
+	Transport TransportKind
 
 	// Latency is the WAN latency model (default Nationwide). WANBandwidth
 	// and LANBandwidth are per-node bytes/second.
@@ -178,6 +184,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if n < 1 {
 			return nil, fmt.Errorf("massbft: group %d has invalid size %d", g, n)
 		}
+	}
+	switch cfg.Transport {
+	case "", TransportSim:
+	case TransportTCP:
+		return nil, fmt.Errorf("massbft: TransportTCP runs one process per node — use StartNode (or cmd/massbft-node), not NewCluster")
+	default:
+		return nil, fmt.Errorf("massbft: unknown transport %q", cfg.Transport)
 	}
 	opts, err := cfg.Protocol.options(cfg.EpochLength)
 	if err != nil {

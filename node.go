@@ -1,0 +1,414 @@
+package massbft
+
+// Multi-process deployment: StartNode hosts ONE protocol node in this
+// process and wires it to its peers over the real TCP transport
+// (internal/transport/tcp) instead of the in-process emulator. Every
+// process loads the same Topology (group sizes, shared seed, per-node
+// addresses); keys.GenerateCluster is deterministic, so all processes
+// derive identical key material and certificates verify across machines
+// without any key distribution step. cmd/massbft-node is the thin CLI over
+// this API.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"massbft/internal/aria"
+	"massbft/internal/cluster"
+	"massbft/internal/core"
+	"massbft/internal/keys"
+	"massbft/internal/ledger"
+	"massbft/internal/metrics"
+	"massbft/internal/replication"
+	"massbft/internal/statedb"
+	"massbft/internal/transport"
+	"massbft/internal/transport/tcp"
+	"massbft/internal/workload"
+)
+
+// TransportKind selects the message fabric.
+type TransportKind string
+
+const (
+	// TransportSim is the deterministic in-process emulator: virtual time,
+	// bit-identical runs, whole cluster in one process. NewCluster's
+	// default and only option — Run(d) advances virtual time, which has no
+	// meaning over real sockets.
+	TransportSim TransportKind = "sim"
+	// TransportTCP runs over real sockets, one OS process per node; wired
+	// by StartNode / cmd/massbft-node, not NewCluster.
+	TransportTCP TransportKind = "tcp"
+)
+
+// NodeAddr binds one cluster position to a dialable address.
+type NodeAddr struct {
+	Group int    `json:"group"`
+	Index int    `json:"index"`
+	Addr  string `json:"addr"`
+}
+
+// Topology is the static description of a multi-process cluster, shared by
+// every process (typically as a JSON file). Durations are milliseconds so
+// the JSON stays human-editable.
+type Topology struct {
+	// Groups lists the node count per group; Nodes must cover exactly
+	// these positions.
+	Groups []int      `json:"groups"`
+	Nodes  []NodeAddr `json:"nodes"`
+	// Seed derives all key material (deterministically, so every process
+	// agrees) and transport jitter.
+	Seed int64 `json:"seed"`
+
+	Protocol Protocol `json:"protocol,omitempty"`
+	Workload string   `json:"workload,omitempty"`
+
+	BatchTimeoutMS       int       `json:"batch_timeout_ms,omitempty"`
+	MaxBatch             int       `json:"max_batch,omitempty"`
+	PipelineDepth        int       `json:"pipeline_depth,omitempty"`
+	GroupRate            []float64 `json:"group_rate,omitempty"`
+	ViewChangeTimeoutMS  int       `json:"view_change_timeout_ms,omitempty"`
+	TakeoverTimeoutMS    int       `json:"takeover_timeout_ms,omitempty"`
+	SuspectTimeoutMS     int       `json:"suspect_timeout_ms,omitempty"`
+	RepairTimeoutMS      int       `json:"repair_timeout_ms,omitempty"`
+	CheckpointIntervalMS int       `json:"checkpoint_interval_ms,omitempty"`
+	RejoinTimeoutMS      int       `json:"rejoin_timeout_ms,omitempty"`
+	// RealCrypto verifies Ed25519 signatures for real (recommended off
+	// loopback; on a real WAN you want it).
+	RealCrypto bool `json:"real_crypto,omitempty"`
+}
+
+// LoadTopology reads and validates a topology JSON file.
+func LoadTopology(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("massbft: topology %s: %w", path, err)
+	}
+	if err := t.validate(); err != nil {
+		return nil, fmt.Errorf("massbft: topology %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+func (t *Topology) validate() error {
+	if len(t.Groups) == 0 {
+		return fmt.Errorf("no groups")
+	}
+	want := 0
+	for g, n := range t.Groups {
+		if n < 1 {
+			return fmt.Errorf("group %d has invalid size %d", g, n)
+		}
+		want += n
+	}
+	seen := make(map[keys.NodeID]bool, len(t.Nodes))
+	for _, na := range t.Nodes {
+		id := keys.NodeID{Group: na.Group, Index: na.Index}
+		if na.Group < 0 || na.Group >= len(t.Groups) || na.Index < 0 || na.Index >= t.Groups[na.Group] {
+			return fmt.Errorf("node %v outside the group layout", id)
+		}
+		if na.Addr == "" {
+			return fmt.Errorf("node %v has no address", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("node %v listed twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != want {
+		return fmt.Errorf("topology lists %d node addresses, layout needs %d", len(seen), want)
+	}
+	return nil
+}
+
+// addr returns the dial address of a node.
+func (t *Topology) addr(id keys.NodeID) (string, bool) {
+	for _, na := range t.Nodes {
+		if na.Group == id.Group && na.Index == id.Index {
+			return na.Addr, true
+		}
+	}
+	return "", false
+}
+
+// clusterConfig translates the topology into the internal protocol config,
+// with defaults applied.
+func (t *Topology) clusterConfig() (cluster.Config, error) {
+	opts, err := t.Protocol.options(0)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	return cluster.Config{
+		GroupSizes:         t.Groups,
+		Opts:               opts,
+		Workload:           t.Workload,
+		Seed:               t.Seed,
+		BatchTimeout:       ms(t.BatchTimeoutMS),
+		MaxBatch:           t.MaxBatch,
+		PipelineDepth:      t.PipelineDepth,
+		GroupRate:          t.GroupRate,
+		TrustAll:           !t.RealCrypto,
+		ViewChangeTimeout:  ms(t.ViewChangeTimeoutMS),
+		TakeoverTimeout:    ms(t.TakeoverTimeoutMS),
+		SuspectTimeout:     ms(t.SuspectTimeoutMS),
+		RepairTimeout:      ms(t.RepairTimeoutMS),
+		CheckpointInterval: ms(t.CheckpointIntervalMS),
+		RejoinTimeout:      ms(t.RejoinTimeoutMS),
+	}.WithDefaults(), nil
+}
+
+// NodeConfig configures one process-hosted node.
+type NodeConfig struct {
+	Topology *Topology
+	// Group/Index identify which topology position this process hosts.
+	Group, Index int
+	// Listen overrides the listen address (defaults to the topology's
+	// address for this node — override when binding 0.0.0.0 behind NAT).
+	Listen string
+	// Rejoin starts the node through the checkpointed-rejoin protocol
+	// instead of cold: use when restarting a crashed process so it fetches
+	// a checkpoint from a LAN peer and catches up.
+	Rejoin bool
+	// Faults, when non-nil, wraps the TCP fabric in the seeded
+	// transport.FaultInjector (chaos testing on real sockets).
+	Faults *transport.FaultConfig
+	// Logf receives transport lifecycle events (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ProcNode is one running process-hosted protocol node.
+type ProcNode struct {
+	id   keys.NodeID
+	tcpn *tcp.Network
+	fab  transport.Network // tcpn, possibly wrapped by a FaultInjector
+	ep   transport.Endpoint
+	node cluster.Node
+	cfg  *cluster.Config
+	col  *metrics.Collector
+}
+
+// TrailPoint is one (height, block-hash) sample of a node's recent chain.
+type TrailPoint struct {
+	Height uint64 `json:"h"`
+	Hash   string `json:"hash"`
+}
+
+// NodeStatus is a consistent snapshot of a running node, sampled on its
+// event loop.
+type NodeStatus struct {
+	Group  int   `json:"group"`
+	Index  int   `json:"index"`
+	NowMS  int64 `json:"now_ms"`
+	Height uint64 `json:"height"`
+	Head   string `json:"head"`
+	State  string `json:"state"`
+
+	Committed int64 `json:"committed"`
+	Aborted   int64 `json:"aborted"`
+	Entries   int64 `json:"entries"`
+
+	// Trail holds the hashes of the most recent blocks so two nodes at
+	// different heights can still be checked for prefix agreement.
+	Trail []TrailPoint `json:"trail"`
+
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	Transport tcp.Stats        `json:"transport"`
+}
+
+// StartNode builds and starts one protocol node over TCP. The returned node
+// runs until Stop.
+func StartNode(nc NodeConfig) (*ProcNode, error) {
+	topo := nc.Topology
+	if topo == nil {
+		return nil, fmt.Errorf("massbft: NodeConfig.Topology is required")
+	}
+	if err := topo.validate(); err != nil {
+		return nil, fmt.Errorf("massbft: %w", err)
+	}
+	id := keys.NodeID{Group: nc.Group, Index: nc.Index}
+	self, ok := topo.addr(id)
+	if !ok {
+		return nil, fmt.Errorf("massbft: node %v not in topology", id)
+	}
+	listen := nc.Listen
+	if listen == "" {
+		listen = self
+	}
+	cfg, err := topo.clusterConfig()
+	if err != nil {
+		return nil, err
+	}
+	pairs, reg, err := keys.GenerateCluster(topo.Groups, topo.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg.SetTrustAll(cfg.TrustAll)
+
+	peers := make(map[keys.NodeID]string, len(topo.Nodes))
+	for _, na := range topo.Nodes {
+		pid := keys.NodeID{Group: na.Group, Index: na.Index}
+		if pid != id {
+			peers[pid] = na.Addr
+		}
+	}
+	tcpn, err := tcp.New(tcp.Config{
+		Self:   id,
+		Listen: listen,
+		Peers:  peers,
+		Encode: cluster.EncodeEnvelope,
+		Decode: cluster.DecodeEnvelope,
+		Seed:   topo.Seed ^ int64(id.Group)<<24 ^ int64(id.Index),
+		Logf:   nc.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var fab transport.Network = tcpn
+	if nc.Faults != nil {
+		fc := *nc.Faults
+		if fc.Encode == nil {
+			fc.Encode, fc.Decode = cluster.EncodeEnvelope, cluster.DecodeEnvelope
+		}
+		fab = transport.NewFaultInjector(tcpn, fc)
+	}
+
+	gen, err := workload.New(cfg.Workload, topo.Seed+int64(id.Group)*1000)
+	if err != nil {
+		tcpn.Close()
+		return nil, err
+	}
+	db := statedb.New()
+	gen.Load(db)
+	col := metrics.NewCollector()
+	col.SetWindow(0, 1<<62) // real deployments measure everything
+
+	n := &ProcNode{id: id, tcpn: tcpn, fab: fab, cfg: &cfg, col: col}
+	ctx := &cluster.NodeCtx{
+		ID:      id,
+		KP:      pairs[id.Group][id.Index],
+		Cfg:     &cfg,
+		Reg:     reg,
+		Net:     fab.Endpoint(id),
+		Gen:     gen,
+		Engine:  aria.NewEngine(db, gen.Executor()),
+		Metrics: col,
+		// Every process observes itself: the collector is process-local.
+		IsObserver:   true,
+		EncodeCache:  make(map[string]*replication.Encoded),
+		RebuildCache: replication.NewRebuildCache(),
+		Faults:       &cluster.FaultPlan{ByzantineNodes: make(map[keys.NodeID]bool)},
+	}
+	n.ep = ctx.Net
+	n.node = core.NewNode(ctx)
+	fab.SetHandler(id, n.node)
+	// Start (and optionally rejoin) on the node's event loop so protocol
+	// state is never touched from this goroutine.
+	started := make(chan struct{})
+	n.ep.After(0, func() {
+		n.node.Start()
+		if nc.Rejoin {
+			if r, ok := n.node.(cluster.Rejoiner); ok {
+				r.Rejoin()
+			}
+		}
+		close(started)
+	})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		tcpn.Close()
+		return nil, fmt.Errorf("massbft: node %v failed to start", id)
+	}
+	return n, nil
+}
+
+// TransportStats snapshots the TCP backend's health counters.
+func (n *ProcNode) TransportStats() tcp.Stats { return n.tcpn.Stats() }
+
+// Status samples the node's protocol state on its event loop (so the
+// snapshot is internally consistent) plus the transport counters.
+func (n *ProcNode) Status() (NodeStatus, error) {
+	type chained interface {
+		DB() *statedb.Store
+		Ledger() *ledger.Ledger
+	}
+	ch := make(chan NodeStatus, 1)
+	ts := n.tcpn.Stats()
+	n.ep.After(0, func() {
+		// Fold the transport counters into the node's metrics collector
+		// (on its loop — the collector is not goroutine-safe) so they show
+		// up next to the protocol's recovery counters.
+		n.col.Set("transport-connects", int64(ts.Connects))
+		n.col.Set("transport-reconnects", int64(ts.Reconnects))
+		n.col.Set("transport-dial-failures", int64(ts.DialFailures))
+		n.col.Set("transport-send-timeouts", int64(ts.SendTimeouts))
+		n.col.Set("transport-queue-drop-bulk", int64(ts.QueueDropBulk))
+		n.col.Set("transport-queue-drop-prio", int64(ts.QueueDropPrio))
+		n.col.Set("transport-heartbeat-misses", int64(ts.HeartbeatMisses))
+		n.col.Set("transport-bytes-out", int64(ts.BytesOut))
+		n.col.Set("transport-bytes-in", int64(ts.BytesIn))
+		st := NodeStatus{
+			Group: n.id.Group, Index: n.id.Index,
+			NowMS:     int64(n.ep.Now() / time.Millisecond),
+			Committed: n.col.Committed(),
+			Aborted:   n.col.Aborted(),
+			Entries:   n.col.Entries(),
+			Counters:  n.col.Counters(),
+		}
+		if cn, ok := n.node.(chained); ok {
+			l := cn.Ledger()
+			st.Height = l.Height()
+			head := l.Head()
+			st.Head = fmt.Sprintf("%x", head[:])
+			state := cn.DB().Hash()
+			st.State = fmt.Sprintf("%x", state[:])
+			// Last 32 block hashes: enough overlap for prefix-agreement
+			// checks between nodes at slightly different heights.
+			from := uint64(1)
+			if st.Height > 32 {
+				from = st.Height - 31
+			}
+			for h := from; h <= st.Height; h++ {
+				b := l.Block(h)
+				if b == nil {
+					continue
+				}
+				bh := b.Hash()
+				st.Trail = append(st.Trail, TrailPoint{Height: h, Hash: fmt.Sprintf("%x", bh[:])})
+			}
+		}
+		ch <- st
+	})
+	select {
+	case st := <-ch:
+		st.Transport = ts
+		return st, nil
+	case <-time.After(5 * time.Second):
+		return NodeStatus{}, fmt.Errorf("massbft: node %v event loop unresponsive", n.id)
+	}
+}
+
+// Stop drains the node: client load stops (leaders switch to heartbeats),
+// the drain window lets in-flight work settle, then the transport flushes
+// its queues and shuts down.
+func (n *ProcNode) Stop(drain time.Duration) error {
+	done := make(chan struct{})
+	n.ep.After(0, func() {
+		n.cfg.Draining = true
+		close(done)
+	})
+	select {
+	case <-done:
+		if drain > 0 {
+			time.Sleep(drain)
+		}
+	case <-time.After(5 * time.Second):
+	}
+	return n.fab.Close()
+}

@@ -4,11 +4,15 @@
 # surface. Run from the repository root.
 #
 # Usage: scripts/check.sh [preset]
-#   (default)        full pipeline: vet, build, tests, race shard, trace smoke
+#   (default)        full pipeline: vet, build, tests, race shard, trace smoke,
+#                    node smoke
 #   partition-chaos  just the partition/failover chaos suite — the full WAN
 #                    partition schedules plus the reduced schedule under
 #                    -race -short — for iterating on failover changes without
 #                    the full-suite wait
+#   node-smoke       just the multi-process TCP smoke test — a 4-node loopback
+#                    cluster of massbft-node OS processes with a kill/rejoin
+#                    round trip — for iterating on transport changes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,9 +27,14 @@ partition-chaos)
   echo "OK"
   exit 0
   ;;
+node-smoke)
+  bash scripts/node_smoke.sh
+  echo "OK"
+  exit 0
+  ;;
 full) ;;
 *)
-  echo "unknown preset: $preset (want: full, partition-chaos)" >&2
+  echo "unknown preset: $preset (want: full, partition-chaos, node-smoke)" >&2
   exit 2
   ;;
 esac
@@ -56,5 +65,8 @@ tracefile="$(mktemp)"
 go run ./cmd/massbft-demo -groups 2 -nodes 3 -duration 3s -trace "$tracefile" >/dev/null
 go run ./scripts/validate-trace "$tracefile"
 rm -f "$tracefile"
+
+echo "== node smoke (4 massbft-node processes over loopback TCP, kill + rejoin)"
+bash scripts/node_smoke.sh
 
 echo "OK"
