@@ -224,3 +224,32 @@ func BenchmarkTableIIProtocolMatrix(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGatewayClientLoad measures the client gateway subsystem end to
+// end on the emulator: closed-loop clients sign requests, submit through
+// authenticated intake and adaptive batching, and collect f+1 signed reply
+// certificates. certs_per_s is the client-visible committed rate (requests
+// certified per virtual second, including warm-up — certificates are counted
+// run-wide); tps the usual windowed executed-transaction rate.
+func BenchmarkGatewayClientLoad(b *testing.B) {
+	for _, clients := range []int{64, 256} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var last Result
+			for i := 0; i < b.N; i++ {
+				c, err := NewCluster(Config{
+					Groups: []int{4, 4}, Protocol: ProtocolMassBFT, Workload: "ycsb-a",
+					Seed: 42, Warmup: time.Second, GatewayClients: clients,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = c.Run(4 * time.Second)
+				if last.ClientCommitted == 0 {
+					b.Fatal("no client request earned a reply certificate")
+				}
+			}
+			b.ReportMetric(float64(last.ClientCommitted)/4.0, "certs_per_s")
+			b.ReportMetric(last.Throughput, "tps")
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// massbft-client is the load front end for a multi-process cluster: it
+// drives N closed-loop logical clients against the nodes' client gateways,
+// multiplexed over one TCP connection per gateway node, and reports
+// end-to-end certified throughput and latency.
+//
+// Each logical client loops: sign request → submit to one node of a group →
+// wait for f+1 matching signed replies (the reply certificate) → next
+// request. Timeouts rotate the request to another group, so the generator
+// keeps converging through node crashes — which is exactly what the process
+// smoke test uses it for.
+//
+//	massbft-client -topology topo.json -clients 200 -run 10s
+//
+// The topology must register client identities ("clients": N) and expose
+// gateway addresses on (some) nodes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"massbft"
+	"massbft/internal/workload"
+)
+
+type summary struct {
+	Schema    string  `json:"schema"`
+	Clients   int     `json:"clients"`
+	Committed int64   `json:"committed"`
+	GaveUp    int64   `json:"gave_up"`
+	Resubmits int64   `json:"resubmits"`
+	Seconds   float64 `json:"seconds"`
+	TPS       float64 `json:"tps"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+}
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "path to the cluster topology JSON (required)")
+		clients  = flag.Int("clients", 100, "closed-loop logical clients to drive")
+		first    = flag.Uint64("first", 1, "first client ID of this generator's range")
+		run      = flag.Duration("run", 10*time.Second, "load duration")
+		timeout  = flag.Duration("timeout", 0, "per-attempt reply-certificate timeout (default 1s)")
+		out      = flag.String("out", "", "also write the summary as JSON to this file")
+	)
+	flag.Parse()
+	if *topoPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	topo, err := massbft.LoadTopology(*topoPath)
+	if err != nil {
+		log.Fatalf("massbft-client: %v", err)
+	}
+	if topo.Clients < *clients {
+		log.Fatalf("massbft-client: topology registers %d clients, need %d (raise \"clients\")",
+			topo.Clients, *clients)
+	}
+	pool, err := massbft.DialClients(massbft.ClientPoolConfig{
+		Topology: topo,
+		First:    *first,
+		Count:    uint64(*clients),
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatalf("massbft-client: %v", err)
+	}
+	defer pool.Close()
+
+	var (
+		committed, gaveUp, resubmits atomic.Int64
+		latMu                        sync.Mutex
+		lats                         []time.Duration
+	)
+	deadline := time.Now().Add(*run)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		id := *first + uint64(i)
+		cl, err := pool.Client(id)
+		if err != nil {
+			log.Fatalf("massbft-client: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-client payload stream: valid executor operations, seeded
+			// per identity so streams never collide.
+			gen, err := workload.New(topo.Workload, topo.Seed+int64(id)*7919)
+			if err != nil {
+				return
+			}
+			for time.Now().Before(deadline) {
+				payload := gen.Next(id).Payload
+				start := time.Now()
+				res, err := cl.Submit(payload)
+				switch err {
+				case nil:
+					committed.Add(1)
+					if res.Attempts > 1 {
+						resubmits.Add(int64(res.Attempts - 1))
+					}
+					latMu.Lock()
+					lats = append(lats, time.Since(start))
+					latMu.Unlock()
+				case massbft.ErrGaveUp:
+					gaveUp.Add(1)
+				default:
+					return // pool closed
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := summary{
+		Schema:    "massbft-client/v1",
+		Clients:   *clients,
+		Committed: committed.Load(),
+		GaveUp:    gaveUp.Load(),
+		Resubmits: resubmits.Load(),
+		Seconds:   run.Seconds(),
+	}
+	if s.Seconds > 0 {
+		s.TPS = float64(s.Committed) / s.Seconds
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	s.P50MS, s.P95MS, s.P99MS = pct(0.50), pct(0.95), pct(0.99)
+
+	fmt.Printf("clients=%d committed=%d gave-up=%d resubmits=%d tps=%.1f p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		s.Clients, s.Committed, s.GaveUp, s.Resubmits, s.TPS, s.P50MS, s.P95MS, s.P99MS)
+	if *out != "" {
+		raw, _ := json.MarshalIndent(s, "", "  ")
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("massbft-client: %v", err)
+		}
+	}
+	if s.Committed == 0 {
+		os.Exit(1) // a load run that certified nothing is a failure
+	}
+}

@@ -1,0 +1,244 @@
+package massbft
+
+// The client-facing side of a process-hosted node: a second listener,
+// separate from the node-to-node TCP fabric, that speaks the same frame +
+// envelope codec but to EXTERNAL clients (massbft.ClientPool,
+// cmd/massbft-client). Separation matters: client traffic is unauthenticated
+// until the gateway verifies request signatures, so it must never share the
+// peer fabric's handshake trust, and a client flood must not contend with
+// consensus frames for a supervisor queue.
+//
+// Protocol per connection (client dials):
+//
+//	client → server  control frame [gwHello, lo u64, hi u64): the client ID
+//	                 range this connection serves (one connection multiplexes
+//	                 many logical clients — a load generator does not pay one
+//	                 socket per simulated client)
+//	client → server  data frames: ClientRequest envelopes (kind 16)
+//	server → client  data frames: ClientReply envelopes (kind 17)
+//
+// Replies are routed by client ID through the registered ranges (newest
+// registration wins, so a reconnecting client supersedes its dead
+// connection). A reply to a client with no live connection here is dropped
+// and counted — other group members hold connections too, and f+1 of them
+// suffice for the client's certificate.
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/transport"
+)
+
+// gwHello is the control payload tag opening every gateway connection.
+const gwHello = 1
+
+// gwConn is one accepted client connection: its registered ID range and a
+// bounded outbound reply queue drained by a dedicated writer.
+type gwConn struct {
+	c      net.Conn
+	lo, hi uint64
+	out    chan []byte
+	quit   chan struct{}
+	once   sync.Once // guards quit: server close and read-loop exit can race
+}
+
+func (gc *gwConn) shutdown() {
+	gc.c.Close()
+	gc.once.Do(func() { close(gc.quit) })
+}
+
+// gwServer owns the gateway listener of one process-hosted node.
+type gwServer struct {
+	n    *ProcNode
+	ls   net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  []*gwConn
+	closed bool
+}
+
+// startGateway opens the client listener. Deliveries enter the node through
+// its event loop, exactly like fabric traffic.
+func startGateway(n *ProcNode, listen string) (*gwServer, error) {
+	ls, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	s := &gwServer{n: n, ls: ls, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *gwServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ls.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection: hello handshake, then a read loop
+// feeding ClientRequests to the node and a writer draining replies.
+func (s *gwServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	go func() { // tear down mid-read on shutdown
+		<-s.done
+		conn.Close()
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	flags, payload, err := transport.ReadFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || flags&transport.FlagControl == 0 || len(payload) != 17 || payload[0] != gwHello {
+		conn.Close()
+		return
+	}
+	gc := &gwConn{
+		c:    conn,
+		lo:   binary.BigEndian.Uint64(payload[1:9]),
+		hi:   binary.BigEndian.Uint64(payload[9:17]),
+		out:  make(chan []byte, 1024),
+		quit: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns = append(s.conns, gc)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.writeLoop(gc)
+	s.readLoop(gc)
+	s.drop(gc)
+}
+
+func (s *gwServer) readLoop(gc *gwConn) {
+	for {
+		flags, payload, err := transport.ReadFrame(gc.c)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.n.logfSafe("gateway: read: %v", err)
+			}
+			return
+		}
+		if flags&transport.FlagControl != 0 {
+			continue // no control traffic after hello
+		}
+		msg, err := cluster.DecodeEnvelope(payload)
+		if err != nil {
+			s.n.logfSafe("gateway: decode: %v", err)
+			continue
+		}
+		req, ok := msg.(*cluster.ClientRequest)
+		if !ok {
+			continue // clients send requests, nothing else
+		}
+		size := len(payload)
+		// Same single-threading contract as fabric traffic: the protocol
+		// node runs only on its event loop. Clients are not cluster nodes;
+		// group -1 marks their transport origin.
+		s.n.ep.After(0, func() {
+			s.n.node.HandleMessage(transport.Message{
+				From:    keys.NodeID{Group: -1, Index: int(req.Txn.Client)},
+				To:      s.n.id,
+				Payload: req,
+				Size:    size,
+			})
+		})
+	}
+}
+
+func (s *gwServer) writeLoop(gc *gwConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case f := <-gc.out:
+			gc.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if _, err := gc.c.Write(f); err != nil {
+				gc.c.Close() // unblocks the read loop, which unregisters
+				return
+			}
+		case <-gc.quit:
+			return
+		}
+	}
+}
+
+// reply routes one framed ClientReply to the client's live connection.
+// Called on the node event loop; never blocks — a saturated or absent
+// connection drops the reply (false), which the metrics layer counts.
+func (s *gwServer) reply(client uint64, frame []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.conns) - 1; i >= 0; i-- {
+		gc := s.conns[i]
+		if client >= gc.lo && client < gc.hi {
+			select {
+			case gc.out <- frame:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// drop unregisters a dead connection.
+func (s *gwServer) drop(gc *gwConn) {
+	s.mu.Lock()
+	for i, c := range s.conns {
+		if c == gc {
+			s.conns = append(s.conns[:i], s.conns[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	gc.shutdown()
+}
+
+// Addr returns the bound gateway listen address (useful with ":0").
+func (s *gwServer) Addr() string { return s.ls.Addr().String() }
+
+func (s *gwServer) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := append([]*gwConn(nil), s.conns...)
+	s.conns = nil
+	s.mu.Unlock()
+	close(s.done)
+	s.ls.Close()
+	for _, gc := range conns {
+		gc.shutdown()
+	}
+	s.wg.Wait()
+}

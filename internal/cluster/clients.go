@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"time"
+
+	"massbft/internal/gateway"
+	"massbft/internal/keys"
+	"massbft/internal/transport"
+	"massbft/internal/types"
+	"massbft/internal/workload"
+)
+
+// VirtualTime maps the emulator's virtual clock (a duration since run start)
+// onto a time.Time for components that take wall-clock-style timestamps (the
+// gateway batcher, the client requester).
+func VirtualTime(d time.Duration) time.Time { return time.Unix(0, int64(d)) }
+
+// attachGateway builds one node's client front end. Simulated clusters
+// verify inline (VerifyParallel = 0): the parallel worker pool is for the
+// real TCP deployment — pool goroutines would interleave OS scheduling into
+// the deterministic event loop.
+func (c *Cluster) attachGateway(ctx *NodeCtx, kp *keys.KeyPair) {
+	id := ctx.ID
+	gw := c.Cfg.Gateway
+	ctx.Gateway = gateway.New(gateway.Config{
+		Group:         id.Group,
+		MaxBatch:      c.Cfg.MaxBatch,
+		MaxWait:       gw.MaxWait,
+		QueueLimit:    gw.QueueLimit,
+		DedupWindow:   gw.DedupWindow,
+		RatePerClient: gw.RatePerClient,
+		RateBurst:     gw.RateBurst,
+		Clients:       c.ClientReg,
+		Metrics:       c.Metrics,
+		Reply: func(client, nonce uint64, cached bool, height uint64, result []byte) {
+			status := ReplyOK
+			if cached {
+				status = ReplyDup
+			}
+			rep := &ClientReply{
+				Client: client, Nonce: nonce, Status: status,
+				GID: id.Group, Height: height, Result: result,
+			}
+			rep.Sig = keys.Signature{Signer: id, Sig: kp.Sign(rep.SignedMessage())}
+			if ctx.ReplyOut != nil {
+				ctx.ReplyOut(rep)
+			}
+		},
+	})
+	ctx.ReplyOut = func(rep *ClientReply) {
+		if c.hub != nil {
+			c.hub.onReply(rep)
+		}
+	}
+}
+
+// ClientHub drives closed-loop simulated clients through the gateway: each
+// client signs a request, submits it to every member of its target group,
+// collects f+1 matching signed replies (gateway.Requester), and only then
+// issues its next request. Timeouts rotate the request to the next group.
+// Everything runs on the emulator event loop, so hub-driven runs are as
+// deterministic as direct-injection runs.
+type ClientHub struct {
+	c       *Cluster
+	gen     workload.Workload
+	clients []*simClient
+	byID    map[uint64]*simClient
+	stopped bool
+
+	// Committed counts certified requests; Resubmits cross-group retries;
+	// GaveUp requests abandoned after MaxAttempts. Mirrored into the metrics
+	// collector as client-* counters.
+	Committed int64
+	Resubmits int64
+	GaveUp    int64
+}
+
+type simClient struct {
+	key   *keys.ClientKey
+	req   *gateway.Requester
+	nonce uint64
+	txn   types.Transaction
+}
+
+// clientFrom marks hub-injected messages: clients are not cluster nodes, so
+// their transport origin uses group -1 (never matched by protocol logic).
+func clientFrom(id uint64) keys.NodeID { return keys.NodeID{Group: -1, Index: int(id)} }
+
+// StartClients wires n closed-loop clients (n is capped at the registered
+// client count) and schedules their first submissions, staggered across two
+// batch timeouts. RunUntil calls it automatically when
+// Cfg.Gateway.SimClients is set; tests may call it directly before Run.
+func (c *Cluster) StartClients(n int) *ClientHub {
+	if c.hub != nil {
+		return c.hub
+	}
+	if n > len(c.ClientKeys) {
+		n = len(c.ClientKeys)
+	}
+	gen := c.Cfg.Gateway.hubWorkload(&c.Cfg)
+	h := &ClientHub{c: c, gen: gen, byID: make(map[uint64]*simClient)}
+	ng := len(c.Cfg.GroupSizes)
+	for i := 0; i < n; i++ {
+		ck := c.ClientKeys[i]
+		// Deterministic per-client timeout jitter (up to +50%) plus
+		// exponential attempt backoff: with thousands of clients a shared
+		// fixed timeout re-synchronizes every rejected client into retry
+		// waves that all land on one leader in the same instant.
+		jitter := time.Duration(ck.ID%101) * c.Cfg.Gateway.ReplyTimeout / 200
+		sc := &simClient{
+			key: ck,
+			req: gateway.NewRequester(gateway.RequesterConfig{
+				Client:     ck.ID,
+				Groups:     ng,
+				Faulty:     c.Reg.Faulty,
+				Verify:     c.Reg.Verify,
+				Timeout:    c.Cfg.Gateway.ReplyTimeout + jitter,
+				ExpBackoff: true,
+			}),
+		}
+		h.clients = append(h.clients, sc)
+		h.byID[ck.ID] = sc
+		off := time.Duration(i) * 2 * c.Cfg.BatchTimeout / time.Duration(n)
+		c.Net.Schedule(c.Net.Now()+off, func() { h.submitNew(sc) })
+	}
+	interval := c.Cfg.Gateway.ReplyTimeout / 2
+	if interval <= 0 {
+		interval = c.Cfg.BatchTimeout
+	}
+	var tick func()
+	tick = func() {
+		if h.stopped {
+			return
+		}
+		h.tick()
+		c.Net.Schedule(c.Net.Now()+interval, tick)
+	}
+	c.Net.Schedule(c.Net.Now()+interval, tick)
+	c.hub = h
+	return h
+}
+
+// hubWorkload builds the payload source for simulated clients: the
+// configured workload under a seed distinct from every group generator, so
+// client-driven payloads never replay a group's synthetic stream.
+func (gw *GatewayConfig) hubWorkload(cfg *Config) workload.Workload {
+	if cfg.WorkloadFactory != nil {
+		return cfg.WorkloadFactory(len(cfg.GroupSizes), cfg.Seed+777777)
+	}
+	gen, err := workload.New(cfg.Workload, cfg.Seed+777777)
+	if err != nil {
+		panic(err) // cfg.Workload was already validated by Cluster.New
+	}
+	return gen
+}
+
+// Hub returns the running client hub, nil before StartClients.
+func (c *Cluster) Hub() *ClientHub { return c.hub }
+
+func (h *ClientHub) now() time.Time { return VirtualTime(h.c.Net.Now()) }
+
+// submitNew signs the client's next request and begins its certificate
+// collection.
+func (h *ClientHub) submitNew(sc *simClient) {
+	if h.c.Cfg.Draining || h.stopped {
+		return
+	}
+	sc.nonce++
+	base := h.gen.Next(sc.key.ID)
+	txn := types.Transaction{Client: sc.key.ID, Nonce: sc.nonce, Payload: base.Payload}
+	txn.Sig = sc.key.Sign(keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload))
+	sc.txn = txn
+	g := sc.req.Begin(sc.nonce, h.now())
+	h.deliver(sc, g, false)
+}
+
+// deliver submits the client's current request to group g. The first
+// attempt goes to a single member (rotated by client and nonce) which
+// forwards to its leader — the classic PBFT client optimization, keeping
+// steady-state traffic linear. Retransmissions broadcast to the whole group:
+// a retry needs f+1 members answering (fresh replies come from execution on
+// every member regardless of entry point, but cached dedup-window replies
+// come only from members that saw the request). Copies arrive after LAN
+// latency plus a deterministic per-client microsecond skew that keeps
+// thousands of simultaneous clients from landing on one node in a single
+// burst; copies to crashed nodes are dropped, like a refused connection.
+func (h *ClientHub) deliver(sc *simClient, g int, broadcast bool) {
+	if g < 0 || g >= len(h.c.Cfg.GroupSizes) {
+		return
+	}
+	txn := sc.txn
+	from := clientFrom(sc.key.ID)
+	size := h.c.Cfg.GroupSizes[g]
+	lo, hi := 0, size
+	if !broadcast {
+		lo = int((sc.key.ID + sc.nonce) % uint64(size))
+		hi = lo + 1
+	}
+	skew := time.Duration((sc.key.ID*131+sc.nonce*31)%1024) * time.Microsecond
+	for j := lo; j < hi; j++ {
+		to := keys.NodeID{Group: g, Index: j % size}
+		h.c.Net.Schedule(h.c.Net.Now()+h.c.Cfg.LANLatency+skew, func() {
+			if h.c.Net.Node(to).Crashed() {
+				return
+			}
+			req := &ClientRequest{Txn: txn}
+			h.c.Nodes[to].HandleMessage(transport.Message{
+				From: from, To: to, Payload: req, Size: req.WireSize(),
+			})
+		})
+	}
+}
+
+// onReply feeds one node's signed reply into the owning client's requester;
+// on an f+1 certificate the client immediately issues its next request.
+func (h *ClientHub) onReply(rep *ClientReply) {
+	sc := h.byID[rep.Client]
+	if sc == nil {
+		return
+	}
+	done, _ := sc.req.OnReply(gateway.Reply{
+		Client: rep.Client, Nonce: rep.Nonce, Status: rep.Status,
+		GID: rep.GID, Height: rep.Height, Result: rep.Result,
+		Signer: rep.Sig.Signer, Sig: rep.Sig.Sig,
+	}, h.now())
+	if done {
+		h.Committed++
+		h.c.Metrics.Inc("client-committed")
+		h.submitNew(sc)
+	}
+}
+
+// tick drives every active requester's timeout: expired attempts rotate to
+// the next group, exhausted ones are abandoned (the client moves on). A
+// draining cluster stops retrying — the gateways flush what they already
+// admitted, and no new load may interfere with quiescence.
+func (h *ClientHub) tick() {
+	if h.c.Cfg.Draining {
+		return
+	}
+	now := h.now()
+	for _, sc := range h.clients {
+		if !sc.req.Active() {
+			continue
+		}
+		resubmit, g, gaveUp := sc.req.OnTick(now)
+		if resubmit {
+			h.Resubmits++
+			h.c.Metrics.Inc("client-resubmitted")
+			h.deliver(sc, g, true)
+		}
+		if gaveUp {
+			h.GaveUp++
+			h.c.Metrics.Inc("client-gaveup")
+			h.submitNew(sc)
+		}
+	}
+}
+
+// Stop halts new submissions and the tick loop (Drain sets Draining, which
+// also stops new submissions; Stop additionally silences resubmissions).
+func (h *ClientHub) Stop() { h.stopped = true }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"massbft/internal/aria"
+	"massbft/internal/gateway"
 	"massbft/internal/keys"
 	"massbft/internal/metrics"
 	"massbft/internal/replication"
@@ -73,6 +74,14 @@ type NodeCtx struct {
 	// Trace is the cluster-wide span recorder; nil when tracing is off (all
 	// recorder methods are nil-safe no-ops, so nodes record unconditionally).
 	Trace *trace.Recorder
+	// Gateway is this node's client front end; nil unless Cfg.Gateway.Enabled.
+	// The proposer pulls batches from it and the execution path reports
+	// executed client transactions back into its dedup window.
+	Gateway *gateway.Gateway
+	// ReplyOut routes one signed ClientReply toward its client. The
+	// environment sets it (the sim ClientHub, or a TCP gateway server); nil
+	// drops replies (direct-injection workloads produce none).
+	ReplyOut func(*ClientReply)
 }
 
 // Cluster is a fully wired experiment.
@@ -90,7 +99,12 @@ type Cluster struct {
 	// Trace is the span recorder shared with every node; nil unless
 	// Cfg.TraceEnabled.
 	Trace *trace.Recorder
+	// ClientKeys / ClientReg hold the registered client identities when
+	// Cfg.Gateway.Enabled (GenerateClients(Cfg.Gateway.Clients, Cfg.Seed)).
+	ClientKeys []*keys.ClientKey
+	ClientReg  *keys.ClientRegistry
 
+	hub     *ClientHub
 	started bool
 }
 
@@ -147,6 +161,14 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 		c.Trace = trace.NewRecorder()
 		nw.SetSendProbe(c.sendProbe)
 	}
+	if cfg.Gateway.Enabled {
+		cks, creg, err := keys.GenerateClients(cfg.Gateway.Clients, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		creg.SetTrustAll(cfg.TrustAll)
+		c.ClientKeys, c.ClientReg = cks, creg
+	}
 
 	for g, n := range cfg.GroupSizes {
 		var gen workload.Workload
@@ -178,6 +200,9 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 				RebuildCache: rebuildCache,
 				Faults:       c.Faults,
 				Trace:        c.Trace,
+			}
+			if cfg.Gateway.Enabled {
+				c.attachGateway(ctx, pairs[g][j])
 			}
 			node := factory(ctx)
 			c.Nodes[id] = node
@@ -316,6 +341,9 @@ func (c *Cluster) RunUntil(t time.Duration) {
 			for j := 0; j < n; j++ {
 				c.Nodes[keys.NodeID{Group: g, Index: j}].Start()
 			}
+		}
+		if c.Cfg.Gateway.Enabled && c.Cfg.Gateway.SimClients > 0 {
+			c.StartClients(c.Cfg.Gateway.SimClients)
 		}
 	}
 	c.Net.Run(t)

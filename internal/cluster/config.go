@@ -126,6 +126,35 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// GatewayConfig parameterizes the client gateway front end (package
+// internal/gateway): authenticated request intake, adaptive batching, and
+// signed reply emission. When Enabled, leaders cut proposals from their
+// gateway queue instead of pulling from the synthetic workload generator.
+type GatewayConfig struct {
+	// Enabled switches the proposers onto the gateway intake path. Off by
+	// default so existing runs stay bit-identical.
+	Enabled bool
+	// Clients is the number of registered client identities (keyed by
+	// GenerateClients(Clients, Seed)); defaults to SimClients, else 16.
+	Clients int
+	// SimClients > 0 makes the simulated cluster drive that many closed-loop
+	// clients through the gateway (ClientHub).
+	SimClients int
+	// MaxWait is the batcher's latency bound; 0 means BatchTimeout.
+	MaxWait time.Duration
+	// QueueLimit / DedupWindow / RatePerClient / RateBurst / VerifyParallel
+	// map to gateway.Config; zeros take the gateway defaults. Simulated
+	// clusters force VerifyParallel to 0 (inline) for determinism.
+	QueueLimit     int
+	DedupWindow    int
+	RatePerClient  float64
+	RateBurst      int
+	VerifyParallel int
+	// ReplyTimeout is how long a client waits for its f+1 reply certificate
+	// before resubmitting to the next group; 0 means 25x BatchTimeout.
+	ReplyTimeout time.Duration
+}
+
 // Config describes one experiment run.
 type Config struct {
 	// GroupSizes[i] is the node count of group i (the paper's default is
@@ -232,6 +261,9 @@ type Config struct {
 	// application-defined generator+executor (built per group).
 	WorkloadFactory func(group int, seed int64) workload.Workload
 
+	// Gateway configures the client-serving front end; zero value disables.
+	Gateway GatewayConfig
+
 	// Draining, set by Cluster.Drain, stops client load: leaders propose
 	// only empty heartbeat entries, which keep the group clocks advancing so
 	// every already-proposed entry reaches execution on every node.
@@ -292,6 +324,21 @@ func (c Config) withDefaults() Config {
 	}
 	if !c.observerSet {
 		c.Observer = keys.NodeID{Group: len(c.GroupSizes) - 1, Index: 0}
+	}
+	if c.Gateway.Enabled {
+		if c.Gateway.MaxWait == 0 {
+			c.Gateway.MaxWait = c.BatchTimeout
+		}
+		if c.Gateway.ReplyTimeout == 0 {
+			c.Gateway.ReplyTimeout = 25 * c.BatchTimeout
+		}
+		if c.Gateway.Clients == 0 {
+			if c.Gateway.SimClients > 0 {
+				c.Gateway.Clients = c.Gateway.SimClients
+			} else {
+				c.Gateway.Clients = 16
+			}
+		}
 	}
 	return c
 }

@@ -357,3 +357,49 @@ func (m *RejoinResp) WireSize() int {
 	}
 	return 1 + m.C.WireSize()
 }
+
+// ClientRequest carries one signed client transaction into a gateway: from a
+// client connection to any group node, and from a non-leader's gateway to the
+// group's current local leader (whose batcher cuts it into a proposal). The
+// transaction's Sig covers keys.ClientRequestMessage(Client, Nonce, Payload).
+type ClientRequest struct {
+	Txn types.Transaction
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ClientRequest) WireSize() int { return 1 + m.Txn.WireSize() }
+
+// Client reply status codes. Stable wire contract: never renumber.
+const (
+	// ReplyOK: the request executed in the entry sealed at Height.
+	ReplyOK byte = 1
+	// ReplyDup: the request was a duplicate within the dedup window; the
+	// reply carries the cached result of the original execution.
+	ReplyDup byte = 2
+)
+
+// ClientReply is one node's signed execution receipt for a client request.
+// Every node of the entry's origin group emits one after executing; a client
+// accepts a result once it holds f+1 replies from distinct group nodes that
+// match on (Client, Nonce, Status, GID, Height, Result) — enough to include
+// at least one honest node. Sig covers keys.ClientReplyMessage over exactly
+// those fields.
+type ClientReply struct {
+	Client uint64
+	Nonce  uint64
+	Status byte
+	GID    int
+	Height uint64
+	Result []byte
+	Sig    keys.Signature
+}
+
+// SignedMessage returns the byte string Sig covers.
+func (m *ClientReply) SignedMessage() []byte {
+	return keys.ClientReplyMessage(m.Client, m.Nonce, m.Status, m.GID, m.Height, m.Result)
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ClientReply) WireSize() int {
+	return 1 + 8 + 8 + 1 + 4 + 8 + 4 + len(m.Result) + 8 + 4 + len(m.Sig.Sig)
+}

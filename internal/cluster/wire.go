@@ -60,7 +60,41 @@ const (
 	envProposalFwd    = 13
 	envRejoinReq      = 14
 	envRejoinResp     = 15
+	envClientRequest  = 16
+	envClientReply    = 17
 )
+
+// envelopeKindNames maps kind bytes to stable lower-case names, used for
+// per-kind transport metrics (transport-drop-<kind>).
+var envelopeKindNames = map[byte]string{
+	envLocalMsg:       "local-msg",
+	envMetaMsg:        "meta-msg",
+	envChunkMsg:       "chunk",
+	envChunkFwd:       "chunk-fwd",
+	envChunkBatch:     "chunk-batch",
+	envBatchFwd:       "batch-fwd",
+	envEntryWAN:       "entry-wan",
+	envEntryFwd:       "entry-fwd",
+	envMetaBatch:      "meta-batch",
+	envEntryFetch:     "entry-fetch",
+	envChunkRepairReq: "chunk-repair",
+	envStreamFetch:    "stream-fetch",
+	envProposalFwd:    "proposal-fwd",
+	envRejoinReq:      "rejoin-req",
+	envRejoinResp:     "rejoin-resp",
+	envClientRequest:  "client-request",
+	envClientReply:    "client-reply",
+}
+
+// EnvelopeKindName returns the stable metric-friendly name of an envelope
+// kind byte (the first byte of every encoded envelope), or "kind-N" for
+// bytes outside the wire contract.
+func EnvelopeKindName(k byte) string {
+	if name, ok := envelopeKindNames[k]; ok {
+		return name
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
 
 // pbft message sub-kinds inside envLocalMsg / envMetaMsg.
 const (
@@ -138,6 +172,21 @@ func EncodeEnvelope(payload any) ([]byte, error) {
 		if err := w.checkpointOpt(m.C); err != nil {
 			return nil, err
 		}
+	case *ClientRequest:
+		w.u8(envClientRequest)
+		w.u64(m.Txn.Client)
+		w.u64(m.Txn.Nonce)
+		w.bytes(m.Txn.Payload)
+		w.bytes(m.Txn.Sig)
+	case *ClientReply:
+		w.u8(envClientReply)
+		w.u64(m.Client)
+		w.u64(m.Nonce)
+		w.u8(m.Status)
+		w.u32(uint32(m.GID))
+		w.u64(m.Height)
+		w.bytes(m.Result)
+		w.sig(m.Sig)
 	default:
 		return nil, fmt.Errorf("cluster: cannot encode %T as envelope", payload)
 	}
@@ -183,6 +232,23 @@ func DecodeEnvelope(buf []byte) (any, error) {
 		out = &RejoinReq{Have: r.u64()}
 	case envRejoinResp:
 		out = &RejoinResp{C: r.checkpointOpt()}
+	case envClientRequest:
+		m := &ClientRequest{}
+		m.Txn.Client = r.u64()
+		m.Txn.Nonce = r.u64()
+		m.Txn.Payload = r.bytes()
+		m.Txn.Sig = r.bytes()
+		out = m
+	case envClientReply:
+		out = &ClientReply{
+			Client: r.u64(),
+			Nonce:  r.u64(),
+			Status: r.u8(),
+			GID:    int(r.u32()),
+			Height: r.u64(),
+			Result: r.bytes(),
+			Sig:    r.sig(),
+		}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrEnvelopeKind, buf[0])
 	}

@@ -156,6 +156,13 @@ func wireFixtures() map[string]any {
 		"ProposalFwd": &ProposalFwd{Payload: []byte("fwd")},
 		"RejoinReq":   &RejoinReq{Have: 5},
 		"RejoinResp":  &RejoinResp{C: ck},
+		"ClientRequest": &ClientRequest{Txn: types.Transaction{
+			Client: 9, Nonce: 4, Payload: []byte("put k v"), Sig: []byte("clisig"),
+		}},
+		"ClientReply": &ClientReply{
+			Client: 9, Nonce: 4, Status: ReplyOK, GID: 1, Height: 12,
+			Result: []byte("ok"), Sig: sig(1, 2, "rs"),
+		},
 	}
 }
 
@@ -257,6 +264,36 @@ var goldenEnvelopes = map[string]string{
 		"0000000000000900000000000000280000000000000002010000000201020300" +
 		"0000000000000000000000000000000000000000000000000000000000000002" +
 		"00000002000000000000000273300000000200000001000000027331",
+	"ClientRequest": "100000000000000009000000000000000400000007707574206b2076" +
+		"00000006636c69736967",
+	"ClientReply": "11000000000000000900000000000000040100000001000000000000000c" +
+		"000000026f6b0000000100000002000000027273",
+}
+
+// TestEnvelopeKindNames: every fixture's first encoded byte maps to a stable
+// named kind (no fixture falls through to the "kind-N" catch-all), and
+// unknown bytes get the catch-all.
+func TestEnvelopeKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for name, msg := range wireFixtures() {
+		enc, err := EncodeEnvelope(msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		kn := EnvelopeKindName(enc[0])
+		if len(kn) > 5 && kn[:5] == "kind-" {
+			t.Errorf("%s: kind byte %d has no name", name, enc[0])
+		}
+		seen[kn] = true
+	}
+	if want := EnvelopeKindName(0xfe); want != "kind-254" {
+		t.Errorf("unknown kind name = %q", want)
+	}
+	for _, want := range []string{"client-request", "client-reply", "meta-batch"} {
+		if !seen[want] {
+			t.Errorf("no fixture exercised kind %q", want)
+		}
+	}
 }
 
 func TestEnvelopeGolden(t *testing.T) {

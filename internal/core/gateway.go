@@ -1,0 +1,67 @@
+package core
+
+import (
+	"massbft/internal/cluster"
+	"massbft/internal/gateway"
+	"massbft/internal/keys"
+	"massbft/internal/types"
+)
+
+// onClientRequest is the node-side intake of one raw client request
+// (DESIGN.md §10). Any group member may receive the client's broadcast: an
+// executed duplicate is answered from the dedup window by whoever holds it,
+// a fresh request is admitted by the current local leader, and followers
+// forward the client's copy to the leader so clients never need to track
+// views. Only client-origin copies (from.Group < 0, or the TCP gateway
+// server's direct call) are forwarded — a forwarded copy that finds a stale
+// view is dropped rather than bounced between two nodes that each believe
+// the other leads.
+func (n *Node) onClientRequest(from keys.NodeID, m *cluster.ClientRequest) {
+	gw := n.ctx.Gateway
+	if gw == nil {
+		return
+	}
+	if gw.ServeCached(m.Txn.Client, m.Txn.Nonce) {
+		return
+	}
+	if n.local.IsLeader() {
+		// Admission errors are deliberate drops: the client's reply timeout
+		// drives the retry, and the gateway counters record the reason.
+		_ = gw.Submit(m.Txn, cluster.VirtualTime(n.now()))
+		return
+	}
+	if from.Group >= 0 {
+		return
+	}
+	if ld := n.local.Leader(n.local.View()); ld != n.id {
+		n.ctx.Net.SendPriority(ld, m, m.WireSize())
+	}
+}
+
+// noteExecuted reports an executed entry's client transactions to the
+// gateway. Every node records every entry's transactions in its dedup
+// window — the window is effectively global, so a client resubmission to ANY
+// group is absorbed with a cached reply instead of re-executing — while the
+// fresh signed ReplyOK receipts come only from the entry's origin group
+// (f+1 of them form the client's certificate). Height and Result derive
+// from the node's ledger, which every correct node reproduces bit-for-bit,
+// so honest replies always match.
+func (n *Node) noteExecuted(id types.EntryID, e *types.Entry) {
+	gw := n.ctx.Gateway
+	if gw == nil || len(e.Txns) == 0 {
+		return
+	}
+	height := n.ledger.Height()
+	head := n.ledger.Head()
+	origin := id.GID == n.g
+	for i := range e.Txns {
+		t := &e.Txns[i]
+		if t.Client == 0 {
+			continue // direct-injection transaction: no reply routing
+		}
+		gw.Executed(gateway.Exec{
+			Client: t.Client, Nonce: t.Nonce,
+			Height: height, Result: head[:8],
+		}, origin)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/keys"
+	"massbft/internal/transport"
+	"massbft/internal/types"
+	"massbft/internal/workload"
+)
+
+// gatewayCfg is smallCfg with the client gateway switched on and n simulated
+// closed-loop clients.
+func gatewayCfg(n int) cluster.Config {
+	cfg := smallCfg()
+	cfg.TrustAll = false
+	cfg.Gateway = cluster.GatewayConfig{
+		Enabled:    true,
+		SimClients: n,
+	}
+	return cfg
+}
+
+// TestGatewayEndToEnd drives closed-loop clients through the full path:
+// signed intake → adaptive batching → consensus → execution → f+1 signed
+// reply certificates, with real Ed25519 on both client and node signatures.
+func TestGatewayEndToEnd(t *testing.T) {
+	cfg := gatewayCfg(24)
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	c.Drain(2 * time.Second)
+
+	hub := c.Hub()
+	if hub == nil {
+		t.Fatal("client hub never started")
+	}
+	if hub.Committed == 0 {
+		t.Fatalf("no client request earned a reply certificate: %s", c.Metrics.Summary())
+	}
+	m := c.Metrics
+	if m.Counter("gateway-verified") == 0 {
+		t.Fatal("no request passed signature verification")
+	}
+	if m.Counter("gateway-proposed") == 0 {
+		t.Fatal("gateway batches never reached the proposer")
+	}
+	if m.Counter("gateway-executed") == 0 {
+		t.Fatal("no executed client transaction reported back to a gateway")
+	}
+	if m.Committed() == 0 {
+		t.Fatalf("no transactions in the metrics window: %s", m.Summary())
+	}
+	assertConsistency(t, c, nil)
+}
+
+// TestGatewayDedupExactlyOnceCluster is the acceptance regression for
+// idempotent retries at cluster level: the same signed request injected to
+// every node of its group, retransmitted while in flight, and resubmitted to
+// a DIFFERENT group after execution, executes exactly once. Every node's
+// dedup window fills at execution, so the total gateway-executed count
+// equals (unique requests) x (total nodes).
+func TestGatewayDedupExactlyOnceCluster(t *testing.T) {
+	cfg := gatewayCfg(0)
+	cfg.Gateway.SimClients = 0
+	cfg.Gateway.Clients = 4
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := c.ClientKeys[0]
+	wl, err := workload.New(cfg.Workload, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := types.Transaction{Client: ck.ID, Nonce: 1, Payload: wl.Next(ck.ID).Payload}
+	txn.Sig = ck.Sign(keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload))
+
+	inject := func(at time.Duration, g int) {
+		for j := 0; j < cfg.GroupSizes[g]; j++ {
+			to := keys.NodeID{Group: g, Index: j}
+			c.Net.Schedule(at, func() {
+				req := &cluster.ClientRequest{Txn: txn}
+				c.Nodes[to].HandleMessage(transport.Message{
+					From: keys.NodeID{Group: -1, Index: int(ck.ID)},
+					To:   to, Payload: req, Size: req.WireSize(),
+				})
+			})
+		}
+	}
+	inject(100*time.Millisecond, 0) // fresh: leader admits, followers forward
+	inject(150*time.Millisecond, 0) // in-flight retransmission: absorbed
+	inject(2*time.Second, 1)        // post-execution, other group: cached Dup replies
+	c.Run()
+	c.Drain(2 * time.Second)
+
+	totalNodes := 0
+	for _, n := range cfg.GroupSizes {
+		totalNodes += n
+	}
+	m := c.Metrics
+	if got := m.Counter("gateway-executed"); got != int64(totalNodes) {
+		t.Fatalf("unique request executed %d times per cluster (gateway-executed=%d, want %d): %s",
+			got/int64(totalNodes), got, totalNodes, m.Summary())
+	}
+	if m.Counter("gateway-dedup-cached") == 0 {
+		t.Fatal("post-execution resubmission never served a cached reply")
+	}
+	assertConsistency(t, c, nil)
+}
+
+// TestGatewayAdmissionLoad10k floods the cluster with 10,000 closed-loop
+// clients against a small intake queue: admission control must engage
+// (explicit overload rejections), clients must converge through timeout
+// resubmission, and the run must neither deadlock nor grow queues without
+// bound.
+func TestGatewayAdmissionLoad10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := gatewayCfg(10000)
+	cfg.TrustAll = true // modeled-cost crypto: the load is the point here
+	cfg.RunFor = 2 * time.Second
+	cfg.Warmup = 500 * time.Millisecond
+	cfg.Gateway.QueueLimit = 512
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	c.Drain(2 * time.Second)
+
+	hub := c.Hub()
+	m := c.Metrics
+	if hub.Committed < 1000 {
+		t.Fatalf("only %d of 10k clients' requests certified under load: %s", hub.Committed, m.Summary())
+	}
+	if m.Counter("gateway-rejected-overload") == 0 {
+		t.Fatalf("10k clients against a 512 queue never tripped admission control: %s", m.Summary())
+	}
+	if peak := m.Counter("gateway-queue-peak"); peak > int64(cfg.Gateway.QueueLimit) {
+		t.Fatalf("intake queue peaked at %d, beyond its %d bound", peak, cfg.Gateway.QueueLimit)
+	}
+	assertConsistency(t, c, nil)
+}
+
+// gatewayFingerprint condenses one gateway-driven run into the values two
+// identical runs must reproduce bit-for-bit.
+type gatewayFingerprint struct {
+	committed int64
+	entries   int64
+	clientOK  int64
+	executed  int64
+	height    uint64
+	head      [6]byte
+	state     [32]byte
+}
+
+func runGatewayFingerprint(t *testing.T) gatewayFingerprint {
+	t.Helper()
+	cfg := gatewayCfg(16)
+	cfg.RunFor = 2 * time.Second
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	c.Drain(2 * time.Second)
+	obs := c.Nodes[cfg.Observer].(*Node)
+	var fp gatewayFingerprint
+	fp.committed = c.Metrics.Committed()
+	fp.entries = c.Metrics.Entries()
+	fp.clientOK = c.Hub().Committed
+	fp.executed = c.Metrics.Counter("gateway-executed")
+	fp.height = obs.Ledger().Height()
+	head := obs.Ledger().Head()
+	copy(fp.head[:], head[:6])
+	fp.state = c.StateHash(cfg.Observer)
+	return fp
+}
+
+// TestGatewayDeterministic pins the determinism contract for gateway-driven
+// load: the whole client pipeline — signing, intake, inline verification,
+// adaptive batching, reply certificates, resubmission timers — runs on the
+// emulator event loop, so two fixed-seed runs commit a bit-identical ledger.
+func TestGatewayDeterministic(t *testing.T) {
+	a := runGatewayFingerprint(t)
+	b := runGatewayFingerprint(t)
+	if a != b {
+		t.Fatalf("gateway-driven runs diverged:\n  run1 %+v\n  run2 %+v", a, b)
+	}
+	if a.clientOK == 0 || a.height == 0 {
+		t.Fatalf("degenerate fingerprint: %+v", a)
+	}
+}
+
+// TestGatewayGroupCrashConvergence kills a whole group mid-run: clients
+// whose in-flight requests targeted it must converge anyway, by timing out
+// and resubmitting to the next group (at-least-once across groups), while
+// requests already executed keep their f+1 certificates valid.
+func TestGatewayGroupCrashConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := gatewayCfg(24)
+	cfg.RunFor = 6 * time.Second
+	cfg.TakeoverTimeout = 300 * time.Millisecond
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beforeCrash int64
+	c.Net.Schedule(2*time.Second, func() { beforeCrash = c.Hub().Committed })
+	c.ScheduleGroupCrash(2*time.Second, 0)
+	c.Run()
+	c.Drain(2 * time.Second)
+
+	hub := c.Hub()
+	if beforeCrash == 0 {
+		t.Fatalf("no client certificates before the crash: %s", c.Metrics.Summary())
+	}
+	if hub.Committed <= beforeCrash {
+		t.Fatalf("clients stopped converging after group 0 died (%d before, %d total): %s",
+			beforeCrash, hub.Committed, c.Metrics.Summary())
+	}
+	if hub.Resubmits == 0 {
+		t.Fatal("no client ever resubmitted to another group")
+	}
+	assertConsistency(t, c, map[int]bool{0: true})
+}

@@ -479,6 +479,14 @@ func (n *Node) HandleMessage(msg transport.Message) {
 		n.onStreamFetch(msg.From, m)
 	case *cluster.ProposalFwd:
 		n.onProposalFwd(msg.From, m)
+	case *cluster.ClientRequest:
+		n.onClientRequest(msg.From, m)
+	case *cluster.ClientReply:
+		// A reply relayed through this node (TCP gateway routing): hand it
+		// to the environment's client-facing exit if one is wired.
+		if n.ctx.ReplyOut != nil {
+			n.ctx.ReplyOut(m)
+		}
 	case *cluster.RejoinReq:
 		n.onRejoinReq(msg.From, m)
 	case *cluster.RejoinResp:

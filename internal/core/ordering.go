@@ -474,6 +474,7 @@ func (n *Node) execute(id types.EntryID) {
 	if len(st.entry.Txns) > 0 {
 		n.sealBlock(id, st, res)
 	}
+	n.noteExecuted(id, st.entry)
 	now := n.now()
 
 	if n.ctx.IsObserver {

@@ -32,12 +32,28 @@ func (n *Node) batchTick() {
 		return
 	}
 	size := n.cfg.MaxBatch
+	var gwTxns []types.Transaction
 	if n.cfg.Draining {
 		// Heartbeats only: no client transactions, clocks keep advancing.
 		if now-n.lastProposeAt < 5*n.cfg.BatchTimeout {
 			return
 		}
 		size = 0
+		if n.ctx.Gateway != nil {
+			// Flush requests still queued at drain time so every admitted
+			// client request reaches execution before the run settles.
+			gwTxns = n.ctx.Gateway.TakeBatch(cluster.VirtualTime(now), n.cfg.MaxBatch, true)
+		}
+	} else if n.ctx.Gateway != nil {
+		// Gateway mode: the proposal is whatever the adaptive batcher cuts
+		// under its latency/size dual bound. With nothing admitted, propose
+		// only idle heartbeats — the group clock must keep advancing so other
+		// groups' tails can be ordered.
+		gwTxns = n.ctx.Gateway.TakeBatch(cluster.VirtualTime(now), size, false)
+		if len(gwTxns) == 0 && now-n.lastProposeAt < 5*n.cfg.BatchTimeout {
+			return
+		}
+		size = len(gwTxns)
 	} else if rate := n.groupRate(); rate > 0 {
 		if int(n.backlog) < size {
 			size = int(n.backlog)
@@ -57,8 +73,12 @@ func (n *Node) batchTick() {
 		ID:   types.EntryID{GID: n.g, Seq: n.nextSeq},
 		Term: uint64(now), // propose time, for end-to-end latency measurement
 	}
-	for i := 0; i < size; i++ {
-		e.Txns = append(e.Txns, n.ctx.Gen.Next(uint64(n.id.Index)))
+	if gwTxns != nil {
+		e.Txns = gwTxns
+	} else {
+		for i := 0; i < size; i++ {
+			e.Txns = append(e.Txns, n.ctx.Gen.Next(uint64(n.id.Index)))
+		}
 	}
 	n.nextSeq++
 	n.inFlight++
@@ -73,6 +93,12 @@ func (n *Node) batchTick() {
 		delete(n.proposed, e.ID.Seq)
 		n.nextSeq--
 		n.inFlight--
+		if len(gwTxns) > 0 {
+			// Return the cut requests to the head of the gateway queue so
+			// the new leader's forwarded copies (or our next tick) retry
+			// them in order rather than losing them.
+			n.ctx.Gateway.PushFront(gwTxns, cluster.VirtualTime(now))
+		}
 		return
 	}
 	if n.ctx.Trace != nil {

@@ -1,0 +1,415 @@
+// Package gateway is the client-serving front end that runs on every node:
+// it turns raw signed client requests into certified, executed replies.
+//
+// The pipeline (DESIGN.md §10):
+//
+//	client ──ClientRequest──▶ intake ──verify──▶ dedup/admission ──▶ FIFO
+//	                                                                  │
+//	     proposer batchTick ◀── TakeBatch (flush on max-batch/max-wait)┘
+//	                                                                  │
+//	client ◀──f+1 signed ClientReply── execute ──MarkExecuted─────────┘
+//
+// Intake verifies Ed25519 client signatures — inline on the owning event
+// loop (deterministic, the simnet path) or through an order-preserving
+// parallel worker pool (the TCP path) — with a bounded content-keyed memo so
+// retransmitted requests never pay the signature check twice. Per-client
+// sequence numbers with a bounded dedup window make retries idempotent:
+// a duplicate of an executed request re-sends the cached reply without
+// re-executing; a duplicate of an in-flight request is absorbed. Admission
+// control is explicit: a bounded intake queue rejects with ErrOverloaded and
+// per-client token buckets reject with ErrRateLimited, so overload degrades
+// into fast rejections instead of unbounded queue growth.
+//
+// A Gateway is NOT safe for concurrent use: every method must run on the
+// owning node's event loop. The only concurrency inside is the verification
+// worker pool, which re-enters the loop through Config.Deliver.
+package gateway
+
+import (
+	"errors"
+	"time"
+
+	"massbft/internal/keys"
+	"massbft/internal/metrics"
+	"massbft/internal/types"
+)
+
+// Admission and verification errors returned by Submit.
+var (
+	// ErrOverloaded: the bounded intake queue (queued + in verification) is
+	// full. The client should back off and retry, possibly to another node.
+	ErrOverloaded = errors.New("gateway: overloaded, intake queue full")
+	// ErrRateLimited: the per-client token bucket is empty.
+	ErrRateLimited = errors.New("gateway: client rate limit exceeded")
+	// ErrBadSignature: the client signature failed verification (also covers
+	// unknown client IDs). Only returned on the inline verification path;
+	// the worker pool drops bad requests asynchronously (counted as
+	// gateway-verify-fail).
+	ErrBadSignature = errors.New("gateway: bad client signature")
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Group is the group this gateway's node belongs to.
+	Group int
+	// MaxBatch is the proposal size bound: TakeBatch flushes once this many
+	// requests are pending regardless of age.
+	MaxBatch int
+	// MaxWait is the latency bound: TakeBatch flushes a partial batch once
+	// the oldest pending request has waited this long.
+	MaxWait time.Duration
+	// QueueLimit bounds the verified FIFO plus requests in verification.
+	// 0 means 4096.
+	QueueLimit int
+	// DedupWindow is the per-client count of executed requests remembered
+	// for idempotent retries. 0 means 64.
+	DedupWindow int
+	// RatePerClient is the per-client token-bucket refill rate in requests
+	// per second; 0 disables rate limiting.
+	RatePerClient float64
+	// RateBurst is the bucket capacity; 0 means 16 (when rate limiting is on).
+	RateBurst int
+	// VerifyParallel is the verification worker count; 0 verifies inline on
+	// the caller (required for deterministic simnet runs).
+	VerifyParallel int
+	// VerifyBatch is the max signatures one worker grabs per round; 0 means 32.
+	VerifyBatch int
+	// Clients authenticates request signatures.
+	Clients *keys.ClientRegistry
+	// Reply emits a reply toward the client; the owner signs and routes it.
+	// cached=true marks a dedup-window hit (the original execution's result).
+	Reply func(client, nonce uint64, cached bool, height uint64, result []byte)
+	// Deliver posts fn onto the owning event loop. Required when
+	// VerifyParallel > 0; unused otherwise.
+	Deliver func(fn func())
+	// Metrics receives gateway-* counters; may be nil.
+	Metrics *metrics.Collector
+}
+
+// execResult is one remembered execution inside the dedup window.
+type execResult struct {
+	height uint64
+	result []byte
+}
+
+// clientState tracks one client's sequencing, dedup window, and token bucket.
+type clientState struct {
+	// pending holds nonces accepted into the pipeline (queued or already cut
+	// into a proposal) but not yet executed.
+	pending map[uint64]struct{}
+	// exec is the bounded executed window; order is its FIFO eviction ring.
+	exec  map[uint64]execResult
+	order []uint64
+	// token bucket
+	tokens float64
+	last   time.Time
+}
+
+// memoKey identifies a verified request by content, mirroring the
+// certificate memo: same client, nonce, and signature hash — a tampered
+// retransmission never hits a cached verdict.
+type memoKey struct {
+	client, nonce uint64
+	sigHash       keys.Digest
+}
+
+// queued is one verified request waiting for the batcher.
+type queued struct {
+	txn types.Transaction
+	at  time.Time
+}
+
+// Gateway is one node's client front end. See the package comment for the
+// threading contract.
+type Gateway struct {
+	cfg      Config
+	q        []queued
+	inVerify int
+	clients  map[uint64]*clientState
+	memo     map[memoKey]bool
+	ver      *verifier
+}
+
+const (
+	defaultQueueLimit  = 4096
+	defaultDedupWindow = 64
+	defaultRateBurst   = 16
+	defaultVerifyBatch = 32
+	memoLimit          = 4096
+)
+
+// New builds a Gateway. Call Close when done if VerifyParallel > 0.
+func New(cfg Config) *Gateway {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = defaultQueueLimit
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = defaultDedupWindow
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = defaultRateBurst
+	}
+	if cfg.VerifyBatch <= 0 {
+		cfg.VerifyBatch = defaultVerifyBatch
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		clients: make(map[uint64]*clientState),
+		memo:    make(map[memoKey]bool),
+	}
+	if cfg.VerifyParallel > 0 {
+		check := func(txn types.Transaction, msg []byte) bool {
+			// ClientRegistry is immutable after construction, so workers can
+			// verify without coordination.
+			return cfg.Clients.Verify(txn.Client, msg, txn.Sig)
+		}
+		g.ver = newVerifier(cfg.VerifyParallel, cfg.VerifyBatch, cfg.QueueLimit, check, g.onVerified)
+	}
+	return g
+}
+
+// Close stops the verification pool (no-op on the inline path).
+func (g *Gateway) Close() {
+	if g.ver != nil {
+		g.ver.close()
+	}
+}
+
+func (g *Gateway) inc(name string) {
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Inc(name)
+	}
+}
+
+func (g *Gateway) add(name string, v int64) {
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Add(name, v)
+	}
+}
+
+func (g *Gateway) client(id uint64) *clientState {
+	cs := g.clients[id]
+	if cs == nil {
+		cs = &clientState{
+			pending: make(map[uint64]struct{}),
+			exec:    make(map[uint64]execResult),
+			tokens:  float64(g.cfg.RateBurst),
+		}
+		g.clients[id] = cs
+	}
+	return cs
+}
+
+// Submit runs intake for one raw client request: dedup, admission control,
+// signature verification, enqueue. Must run on the owning event loop.
+//
+// Returns nil when the request was absorbed — freshly enqueued, handed to
+// the verification pool, a duplicate of an in-flight request, or a
+// dedup-window hit (which re-sends the cached reply via Config.Reply).
+func (g *Gateway) Submit(txn types.Transaction, now time.Time) error {
+	g.inc("gateway-submitted")
+	cs := g.client(txn.Client)
+
+	// Dedup before admission: retries of executed or in-flight requests must
+	// not consume queue space or tokens.
+	if g.ServeCached(txn.Client, txn.Nonce) {
+		return nil
+	}
+	if _, ok := cs.pending[txn.Nonce]; ok {
+		g.inc("gateway-dup-pending")
+		return nil
+	}
+
+	// Token bucket.
+	if g.cfg.RatePerClient > 0 {
+		if !cs.last.IsZero() {
+			cs.tokens += now.Sub(cs.last).Seconds() * g.cfg.RatePerClient
+			if max := float64(g.cfg.RateBurst); cs.tokens > max {
+				cs.tokens = max
+			}
+		}
+		cs.last = now
+		if cs.tokens < 1 {
+			g.inc("gateway-rejected-rate")
+			return ErrRateLimited
+		}
+		cs.tokens--
+	}
+
+	// Bounded intake: queued plus in-verification.
+	if len(g.q)+g.inVerify >= g.cfg.QueueLimit {
+		g.inc("gateway-rejected-overload")
+		return ErrOverloaded
+	}
+
+	// Signature memo: a retransmission of the exact same signed request
+	// skips the crypto entirely.
+	key := memoKey{client: txn.Client, nonce: txn.Nonce, sigHash: keys.Hash(txn.Sig)}
+	if ok, hit := g.memo[key]; hit {
+		g.inc("gateway-memo-hit")
+		if !ok {
+			return ErrBadSignature
+		}
+		g.enqueue(txn, now)
+		return nil
+	}
+
+	if g.ver != nil {
+		// Parallel path: reserve a slot, verify off-loop, re-enter through
+		// Deliver in submission order.
+		g.inVerify++
+		g.ver.submit(verifyJob{txn: txn, at: now, msg: keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload)})
+		return nil
+	}
+
+	// Inline path (deterministic).
+	ok := g.cfg.Clients.Verify(txn.Client, keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload), txn.Sig)
+	g.memoPut(key, ok)
+	if !ok {
+		g.inc("gateway-verify-fail")
+		return ErrBadSignature
+	}
+	g.inc("gateway-verified")
+	g.enqueue(txn, now)
+	return nil
+}
+
+// onVerified is the worker pool's completion callback. It runs on a pool
+// goroutine in submission order; hop onto the event loop before touching
+// gateway state.
+func (g *Gateway) onVerified(job verifyJob, ok bool) {
+	g.cfg.Deliver(func() {
+		g.inVerify--
+		g.memoPut(memoKey{client: job.txn.Client, nonce: job.txn.Nonce, sigHash: keys.Hash(job.txn.Sig)}, ok)
+		if !ok {
+			g.inc("gateway-verify-fail")
+			return
+		}
+		g.inc("gateway-verified")
+		g.enqueue(job.txn, job.at)
+	})
+}
+
+// memoPut records a verification verdict, bounded drop-and-restart like the
+// certificate memo.
+func (g *Gateway) memoPut(key memoKey, ok bool) {
+	if len(g.memo) >= memoLimit {
+		g.memo = make(map[memoKey]bool, memoLimit/4)
+	}
+	g.memo[key] = ok
+}
+
+func (g *Gateway) enqueue(txn types.Transaction, at time.Time) {
+	g.client(txn.Client).pending[txn.Nonce] = struct{}{}
+	g.q = append(g.q, queued{txn: txn, at: at})
+	g.inc("gateway-enqueued")
+	if g.cfg.Metrics != nil && int64(len(g.q)) > g.cfg.Metrics.Counter("gateway-queue-peak") {
+		g.cfg.Metrics.Set("gateway-queue-peak", int64(len(g.q)))
+	}
+}
+
+// Pending returns the number of verified requests awaiting a batch.
+func (g *Gateway) Pending() int { return len(g.q) }
+
+// TakeBatch cuts up to max requests for a proposal under the latency/size
+// dual bound: it returns a batch when max (or Config.MaxBatch, whichever is
+// smaller) requests are pending, when the oldest pending request has waited
+// MaxWait, or when force is set (draining); otherwise it holds the partial
+// batch back and returns nil.
+func (g *Gateway) TakeBatch(now time.Time, max int, force bool) []types.Transaction {
+	if len(g.q) == 0 {
+		return nil
+	}
+	if g.cfg.MaxBatch > 0 && max > g.cfg.MaxBatch {
+		max = g.cfg.MaxBatch
+	}
+	if max <= 0 {
+		max = len(g.q)
+	}
+	if !force && len(g.q) < max && now.Sub(g.q[0].at) < g.cfg.MaxWait {
+		return nil
+	}
+	n := len(g.q)
+	if n > max {
+		n = max
+	}
+	out := make([]types.Transaction, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.q[i].txn
+	}
+	g.q = append(g.q[:0], g.q[n:]...)
+	g.add("gateway-proposed", int64(n))
+	return out
+}
+
+// PushFront returns txns to the head of the queue after a failed proposal so
+// they are retried in order rather than lost.
+func (g *Gateway) PushFront(txns []types.Transaction, at time.Time) {
+	if len(txns) == 0 {
+		return
+	}
+	head := make([]queued, 0, len(txns)+len(g.q))
+	for _, t := range txns {
+		head = append(head, queued{txn: t, at: at})
+	}
+	g.q = append(head, g.q...)
+}
+
+// Exec is one executed client transaction reported by the state machine.
+type Exec struct {
+	Client, Nonce uint64
+	Height        uint64
+	Result        []byte
+}
+
+// ServeCached re-sends the cached reply when (client, nonce) sits inside the
+// executed dedup window, reporting whether it hit. Any group member can
+// serve it — every node's window fills at execution — which is how a
+// retransmitted request collects f+1 ReplyDup certificates without
+// re-executing.
+func (g *Gateway) ServeCached(client, nonce uint64) bool {
+	cs := g.clients[client]
+	if cs == nil {
+		return false
+	}
+	res, ok := cs.exec[nonce]
+	if !ok {
+		return false
+	}
+	g.inc("gateway-dedup-cached")
+	if g.cfg.Reply != nil {
+		g.cfg.Reply(client, nonce, true, res.height, res.result)
+	}
+	return true
+}
+
+// Executed records one executed client transaction; when this is its first
+// execution and origin is set (the entry belongs to this node's own group),
+// the fresh ReplyOK is emitted through Config.Reply.
+func (g *Gateway) Executed(e Exec, origin bool) (fresh bool) {
+	fresh = g.MarkExecuted(e)
+	if fresh && origin && g.cfg.Reply != nil {
+		g.cfg.Reply(e.Client, e.Nonce, false, e.Height, e.Result)
+	}
+	return fresh
+}
+
+// MarkExecuted records an execution in the dedup window and reports whether
+// this was the first time (fresh=true → the owner emits a ReplyOK). Called on
+// every origin-group node when an entry executes, so any of them can serve
+// the cached reply to a retry.
+func (g *Gateway) MarkExecuted(e Exec) (fresh bool) {
+	cs := g.client(e.Client)
+	delete(cs.pending, e.Nonce)
+	if _, ok := cs.exec[e.Nonce]; ok {
+		return false
+	}
+	cs.exec[e.Nonce] = execResult{height: e.Height, result: e.Result}
+	cs.order = append(cs.order, e.Nonce)
+	for len(cs.order) > g.cfg.DedupWindow {
+		delete(cs.exec, cs.order[0])
+		cs.order = cs.order[1:]
+	}
+	g.inc("gateway-executed")
+	return true
+}

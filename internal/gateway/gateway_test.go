@@ -1,0 +1,474 @@
+package gateway
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"massbft/internal/keys"
+	"massbft/internal/metrics"
+	"massbft/internal/types"
+)
+
+// testEnv bundles a gateway with a deterministic client registry and a
+// captured reply stream.
+type testEnv struct {
+	gw      *Gateway
+	cks     []*keys.ClientKey
+	replies []replyRec
+}
+
+type replyRec struct {
+	client, nonce uint64
+	cached        bool
+	height        uint64
+}
+
+func newEnv(t *testing.T, mut func(*Config)) *testEnv {
+	t.Helper()
+	cks, reg, err := keys.GenerateClients(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{cks: cks}
+	cfg := Config{
+		Group:    0,
+		MaxBatch: 4,
+		MaxWait:  20 * time.Millisecond,
+		Clients:  reg,
+		Metrics:  metrics.NewCollector(),
+		Reply: func(client, nonce uint64, cached bool, height uint64, result []byte) {
+			env.replies = append(env.replies, replyRec{client, nonce, cached, height})
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	env.gw = New(cfg)
+	t.Cleanup(env.gw.Close)
+	return env
+}
+
+// req builds a correctly signed request from client ck with the given nonce.
+func req(ck *keys.ClientKey, nonce uint64, payload string) types.Transaction {
+	msg := keys.ClientRequestMessage(ck.ID, nonce, []byte(payload))
+	return types.Transaction{Client: ck.ID, Nonce: nonce, Payload: []byte(payload), Sig: ck.Sign(msg)}
+}
+
+func at(ms int) time.Time { return time.Unix(0, int64(ms)*int64(time.Millisecond)) }
+
+func TestIntakeVerifyAndMemo(t *testing.T) {
+	env := newEnv(t, nil)
+	g := env.gw
+
+	good := req(env.cks[0], 1, "v1")
+	if err := g.Submit(good, at(0)); err != nil {
+		t.Fatalf("good request rejected: %v", err)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", g.Pending())
+	}
+
+	bad := req(env.cks[1], 1, "v1")
+	bad.Sig[0] ^= 0xff
+	if err := g.Submit(bad, at(0)); err != ErrBadSignature {
+		t.Fatalf("tampered request: err = %v, want ErrBadSignature", err)
+	}
+	// Retransmission of the same bad request hits the failure memo.
+	if err := g.Submit(bad, at(1)); err != ErrBadSignature {
+		t.Fatalf("memoized bad request: err = %v", err)
+	}
+	// Unknown client fails verification too.
+	unknown := types.Transaction{Client: 999, Nonce: 1, Payload: []byte("x"), Sig: make([]byte, 64)}
+	if err := g.Submit(unknown, at(1)); err != ErrBadSignature {
+		t.Fatalf("unknown client: err = %v", err)
+	}
+	if hits := g.cfg.Metrics.Counter("gateway-memo-hit"); hits != 1 {
+		t.Fatalf("memo hits = %d, want 1", hits)
+	}
+}
+
+// TestDedupExactlyOnce is the regression test for the acceptance criterion:
+// duplicate submissions within the dedup window execute exactly once — the
+// in-flight duplicate is absorbed, the post-execution duplicate re-sends the
+// cached reply, and only one copy ever reaches a batch.
+func TestDedupExactlyOnce(t *testing.T) {
+	env := newEnv(t, nil)
+	g := env.gw
+	r := req(env.cks[0], 7, "once")
+
+	if err := g.Submit(r, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate while in flight (queued): absorbed, not enqueued twice.
+	if err := g.Submit(r, at(1)); err != nil {
+		t.Fatalf("in-flight duplicate rejected: %v", err)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("pending = %d after duplicate, want 1", g.Pending())
+	}
+
+	batch := g.TakeBatch(at(2), 10, true)
+	if len(batch) != 1 {
+		t.Fatalf("batch size = %d, want 1", len(batch))
+	}
+	// Duplicate while proposed-but-unexecuted: still absorbed.
+	if err := g.Submit(r, at(3)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("duplicate of a proposed request re-entered the queue")
+	}
+
+	if fresh := g.MarkExecuted(Exec{Client: r.Client, Nonce: r.Nonce, Height: 5, Result: []byte("ok")}); !fresh {
+		t.Fatal("first execution not fresh")
+	}
+	if fresh := g.MarkExecuted(Exec{Client: r.Client, Nonce: r.Nonce, Height: 5}); fresh {
+		t.Fatal("second MarkExecuted reported fresh")
+	}
+
+	// Duplicate after execution: cached reply, no re-queue.
+	if err := g.Submit(r, at(4)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("executed duplicate re-entered the queue")
+	}
+	if len(env.replies) != 1 || !env.replies[0].cached || env.replies[0].height != 5 {
+		t.Fatalf("cached reply = %+v, want one cached reply at height 5", env.replies)
+	}
+	if n := g.cfg.Metrics.Counter("gateway-proposed"); n != 1 {
+		t.Fatalf("gateway-proposed = %d, want 1 (exactly once)", n)
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.DedupWindow = 2 })
+	g := env.gw
+	ck := env.cks[0]
+	for nonce := uint64(1); nonce <= 3; nonce++ {
+		r := req(ck, nonce, "w")
+		if err := g.Submit(r, at(int(nonce))); err != nil {
+			t.Fatal(err)
+		}
+		g.TakeBatch(at(int(nonce)), 10, true)
+		g.MarkExecuted(Exec{Client: ck.ID, Nonce: nonce, Height: nonce})
+	}
+	// Nonce 1 was evicted (window=2): a retry re-enters the pipeline
+	// (at-least-once beyond the window, by design).
+	if err := g.Submit(req(ck, 1, "w"), at(10)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 1 {
+		t.Fatal("evicted nonce not re-admitted")
+	}
+	// Nonce 3 is still in the window: cached reply.
+	if err := g.Submit(req(ck, 3, "w"), at(11)); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.replies) != 1 || env.replies[0].nonce != 3 {
+		t.Fatalf("replies = %+v", env.replies)
+	}
+}
+
+func TestAdmissionQueueBound(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.QueueLimit = 2 })
+	g := env.gw
+	if err := g.Submit(req(env.cks[0], 1, "a"), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(req(env.cks[1], 1, "b"), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(req(env.cks[2], 1, "c"), at(0)); err != ErrOverloaded {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	// Draining the queue re-opens admission.
+	g.TakeBatch(at(1), 10, true)
+	if err := g.Submit(req(env.cks[2], 1, "c"), at(2)); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	env := newEnv(t, func(c *Config) {
+		c.RatePerClient = 10 // 10 req/s
+		c.RateBurst = 2
+	})
+	g := env.gw
+	ck := env.cks[0]
+	if err := g.Submit(req(ck, 1, "x"), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(req(ck, 2, "x"), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Submit(req(ck, 3, "x"), at(0)); err != ErrRateLimited {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	// Another client is unaffected.
+	if err := g.Submit(req(env.cks[1], 1, "y"), at(0)); err != nil {
+		t.Fatalf("other client limited: %v", err)
+	}
+	// 100ms refills one token at 10 req/s.
+	if err := g.Submit(req(ck, 3, "x"), at(100)); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestBatcherDualBound(t *testing.T) {
+	env := newEnv(t, func(c *Config) {
+		c.MaxBatch = 3
+		c.MaxWait = 50 * time.Millisecond
+	})
+	g := env.gw
+	g.Submit(req(env.cks[0], 1, "a"), at(0))
+	g.Submit(req(env.cks[1], 1, "b"), at(0))
+
+	// Below max-batch and below max-wait: hold.
+	if b := g.TakeBatch(at(10), 3, false); b != nil {
+		t.Fatalf("flushed early: %d txns", len(b))
+	}
+	// Size bound: a third request fills the batch.
+	g.Submit(req(env.cks[2], 1, "c"), at(10))
+	if b := g.TakeBatch(at(11), 3, false); len(b) != 3 {
+		t.Fatalf("size-bound flush = %d txns, want 3", len(b))
+	}
+	// Latency bound: a lone request flushes once it ages past MaxWait.
+	g.Submit(req(env.cks[3], 1, "d"), at(20))
+	if b := g.TakeBatch(at(30), 3, false); b != nil {
+		t.Fatal("flushed before max-wait")
+	}
+	if b := g.TakeBatch(at(71), 3, false); len(b) != 1 {
+		t.Fatal("latency-bound flush missing")
+	}
+}
+
+func TestPushFrontPreservesOrder(t *testing.T) {
+	env := newEnv(t, nil)
+	g := env.gw
+	g.Submit(req(env.cks[0], 1, "a"), at(0))
+	g.Submit(req(env.cks[1], 1, "b"), at(0))
+	g.Submit(req(env.cks[2], 1, "c"), at(0))
+	b := g.TakeBatch(at(1), 2, true)
+	if len(b) != 2 {
+		t.Fatalf("batch = %d", len(b))
+	}
+	g.PushFront(b, at(1))
+	all := g.TakeBatch(at(2), 10, true)
+	if len(all) != 3 || all[0].Client != env.cks[0].ID || all[1].Client != env.cks[1].ID || all[2].Client != env.cks[2].ID {
+		t.Fatalf("order after PushFront: %v", clientsOf(all))
+	}
+}
+
+func clientsOf(txns []types.Transaction) []uint64 {
+	out := make([]uint64, len(txns))
+	for i, tx := range txns {
+		out[i] = tx.Client
+	}
+	return out
+}
+
+// TestParallelVerifyPreservesOrder: the worker pool must enqueue verified
+// requests in submission order, and accept/reject exactly the same requests
+// as the inline path.
+func TestParallelVerifyPreservesOrder(t *testing.T) {
+	cks, reg, err := keys.GenerateClients(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	txns := make([]types.Transaction, n)
+	for i := range txns {
+		ck := cks[i%len(cks)]
+		txns[i] = req(ck, uint64(i/len(cks)+1), "p")
+		if i%7 == 3 { // sprinkle tampered signatures
+			txns[i].Sig = append([]byte(nil), txns[i].Sig...)
+			txns[i].Sig[0] ^= 0xff
+		}
+	}
+
+	run := func(parallel int) []uint64 {
+		loop := make(chan func(), 4*n)
+		cfg := Config{
+			Group: 0, MaxBatch: n, MaxWait: time.Millisecond,
+			QueueLimit: 2 * n, VerifyParallel: parallel, VerifyBatch: 8,
+			Clients: reg,
+			Deliver: func(fn func()) { loop <- fn },
+		}
+		g := New(cfg)
+		defer g.Close()
+		for i, tx := range txns {
+			if err := g.Submit(tx, at(i)); err != nil && err != ErrBadSignature {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+		if parallel > 0 {
+			// Drain the pool: wait until every in-flight job has posted.
+			deadline := time.After(5 * time.Second)
+			for g.inVerify > 0 || len(loop) > 0 {
+				select {
+				case fn := <-loop:
+					fn()
+				case <-deadline:
+					t.Fatal("verification pool stalled")
+				default:
+				}
+			}
+		}
+		out := g.TakeBatch(at(n+1), n, true)
+		order := make([]uint64, len(out))
+		for i, tx := range out {
+			order[i] = tx.Client<<32 | tx.Nonce
+		}
+		return order
+	}
+
+	inline := run(0)
+	par := run(4)
+	if len(inline) != len(par) {
+		t.Fatalf("inline accepted %d, parallel %d", len(inline), len(par))
+	}
+	for i := range inline {
+		if inline[i] != par[i] {
+			t.Fatalf("order diverged at %d: inline %x parallel %x", i, inline[i], par[i])
+		}
+	}
+	if len(inline) == n {
+		t.Fatal("no tampered request was rejected — test is vacuous")
+	}
+}
+
+func TestRequesterCertificate(t *testing.T) {
+	pairs, reg, err := keys.GenerateCluster([]int{4, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRequester(RequesterConfig{
+		Client: 3, Groups: 2,
+		Faulty:  reg.Faulty,
+		Verify:  reg.Verify,
+		Timeout: 100 * time.Millisecond,
+	})
+	g := r.Begin(9, at(0))
+	if g != int((3+9)%2) {
+		t.Fatalf("initial group = %d", g)
+	}
+
+	mk := func(node *keys.KeyPair, status byte, height uint64, result string) Reply {
+		rep := Reply{
+			Client: 3, Nonce: 9, Status: status, GID: node.ID.Group,
+			Height: height, Result: []byte(result), Signer: node.ID,
+		}
+		rep.Sig = node.Sign(keys.ClientReplyMessage(rep.Client, rep.Nonce, rep.Status, rep.GID, rep.Height, rep.Result))
+		return rep
+	}
+	grp := pairs[g]
+
+	// f=1 for a 4-node group: one reply is not enough.
+	if done, _ := r.OnReply(mk(grp[0], StatusOK, 5, "ok"), at(1)); done {
+		t.Fatal("certified with 1 reply (f=1)")
+	}
+	// Bad signature ignored.
+	bad := mk(grp[1], StatusOK, 5, "ok")
+	bad.Sig[0] ^= 0xff
+	if done, _ := r.OnReply(bad, at(2)); done {
+		t.Fatal("certified via bad signature")
+	}
+	// Mismatching result doesn't stack with the first reply.
+	if done, _ := r.OnReply(mk(grp[1], StatusOK, 5, "forged"), at(3)); done {
+		t.Fatal("certified across mismatched results")
+	}
+	// Duplicate signer doesn't count twice.
+	if done, _ := r.OnReply(mk(grp[0], StatusOK, 5, "ok"), at(4)); done {
+		t.Fatal("same signer counted twice")
+	}
+	// A matching Dup-status reply from a second node completes f+1.
+	done, res := r.OnReply(mk(grp[2], StatusDup, 5, "ok"), at(5))
+	if !done {
+		t.Fatal("not certified with f+1 matching replies")
+	}
+	if res.Height != 5 || string(res.Result) != "ok" || res.Replies != 2 || res.Attempts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if r.Active() {
+		t.Fatal("requester still active after certificate")
+	}
+}
+
+func TestRequesterResubmission(t *testing.T) {
+	_, reg, err := keys.GenerateCluster([]int{4, 4, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRequester(RequesterConfig{
+		Client: 1, Groups: 3,
+		Faulty: reg.Faulty, Verify: reg.Verify,
+		Timeout: 100 * time.Millisecond, MaxAttempts: 3,
+	})
+	g0 := r.Begin(1, at(0))
+	if re, _, _ := r.OnTick(at(50)); re {
+		t.Fatal("resubmitted before the deadline")
+	}
+	re, g1, gave := r.OnTick(at(100))
+	if !re || gave {
+		t.Fatal("no resubmission at the deadline")
+	}
+	if g1 != (g0+1)%3 {
+		t.Fatalf("rotation: %d -> %d", g0, g1)
+	}
+	if re, _, _ := r.OnTick(at(150)); re {
+		t.Fatal("double resubmission within one timeout")
+	}
+	r.OnTick(at(200)) // attempt 3
+	_, _, gave = r.OnTick(at(300))
+	if !gave {
+		t.Fatal("no give-up after MaxAttempts")
+	}
+	if r.Active() {
+		t.Fatal("active after give-up")
+	}
+}
+
+// TestVerifierChurn exercises the pool under concurrent load with random
+// payload sizes to shake out reorder-buffer races (run with -race).
+func TestVerifierChurn(t *testing.T) {
+	cks, reg, err := keys.GenerateClients(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []uint64
+	done := make(chan struct{})
+	const n = 500
+	v := newVerifier(8, 4, n,
+		func(txn types.Transaction, msg []byte) bool {
+			return reg.Verify(txn.Client, msg, txn.Sig)
+		},
+		func(j verifyJob, ok bool) {
+			order = append(order, j.seq) // serialized by the reorder lock
+			if len(order) == n {
+				close(done)
+			}
+		})
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 1+i%97)
+		rand.Read(payload)
+		ck := cks[i%2]
+		msg := keys.ClientRequestMessage(ck.ID, uint64(i), payload)
+		v.submit(verifyJob{
+			txn: types.Transaction{Client: ck.ID, Nonce: uint64(i), Payload: payload, Sig: ck.Sign(msg)},
+			msg: msg,
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("verifier stalled")
+	}
+	v.close()
+	for i, s := range order {
+		if s != uint64(i) {
+			t.Fatalf("emission order broken at %d: seq %d", i, s)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"massbft/internal/keys"
+)
+
+// Reply is a transport-neutral view of one node's signed execution receipt
+// (the cluster layer's ClientReply). Sig covers
+// keys.ClientReplyMessage(Client, Nonce, Status, GID, Height, Result).
+type Reply struct {
+	Client, Nonce uint64
+	Status        byte
+	GID           int
+	Height        uint64
+	Result        []byte
+	Signer        keys.NodeID
+	Sig           []byte
+}
+
+// Reply status codes, mirroring the cluster wire constants (the gateway
+// package cannot import cluster).
+const (
+	StatusOK  byte = 1
+	StatusDup byte = 2
+)
+
+// RequesterConfig parameterizes the reply-certificate state machine.
+type RequesterConfig struct {
+	// Client is the client ID replies must be addressed to.
+	Client uint64
+	// Groups is the number of groups available for submission.
+	Groups int
+	// Faulty returns f for a group (keys.Registry.Faulty).
+	Faulty func(group int) int
+	// Verify checks a node's reply signature (keys.Registry.Verify).
+	Verify func(signer keys.NodeID, msg, sig []byte) bool
+	// Timeout is how long one attempt waits for f+1 matching replies before
+	// resubmitting to another group.
+	Timeout time.Duration
+	// ExpBackoff doubles the attempt timeout per resubmission (capped at
+	// 8x Timeout), so an overloaded cluster sees retry pressure decay
+	// instead of synchronized retry waves.
+	ExpBackoff bool
+	// MaxAttempts bounds submission attempts per request; 0 means 2×Groups.
+	MaxAttempts int
+}
+
+// Result is an accepted, f+1-certified execution outcome.
+type Result struct {
+	Status   byte
+	GID      int
+	Height   uint64
+	Result   []byte
+	Replies  int // matching replies collected (≥ f+1 of the certifying group)
+	Attempts int // submission attempts used (1 = no resubmission)
+}
+
+// Requester is the client library's reply-certificate state machine for ONE
+// in-flight request (closed-loop clients hold one). It is transport-neutral
+// and single-threaded: the sim hub drives it from the event loop, the TCP
+// client from its receive loop.
+//
+// Acceptance rule: f+1 replies from DISTINCT nodes of one group, each with a
+// valid signature, matching on (GID, Height, Result) — with status OK or Dup
+// (a cached-window reply attests the same execution). f+1 guarantees at
+// least one honest node vouches for the result. On Timeout without a
+// certificate the requester rotates to the next group (at-least-once across
+// groups: the new group's dedup window has never seen the nonce, so the
+// request may execute again — see DESIGN.md §10).
+type Requester struct {
+	cfg RequesterConfig
+
+	nonce    uint64
+	group    int // current attempt's target group
+	attempts int
+	deadline time.Time
+
+	// votes maps a match key (hash of GID/Height/Result) to the distinct
+	// signers attesting it.
+	votes map[[32]byte]map[keys.NodeID]bool
+	// repOf remembers one representative reply per match key.
+	repOf map[[32]byte]Reply
+}
+
+// NewRequester builds an idle requester.
+func NewRequester(cfg RequesterConfig) *Requester {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2 * cfg.Groups
+	}
+	return &Requester{cfg: cfg}
+}
+
+// Begin starts a new request attempt sequence for nonce and returns the
+// group to submit to (derived from client and nonce so load spreads, stable
+// across retries of the same nonce).
+func (r *Requester) Begin(nonce uint64, now time.Time) (group int) {
+	r.nonce = nonce
+	r.attempts = 1
+	r.group = int((r.cfg.Client + nonce) % uint64(r.cfg.Groups))
+	r.deadline = now.Add(r.cfg.Timeout)
+	r.votes = make(map[[32]byte]map[keys.NodeID]bool)
+	r.repOf = make(map[[32]byte]Reply)
+	return r.group
+}
+
+// matchKey collapses the fields a reply certificate must agree on. Status is
+// normalized (OK and Dup attest the same execution), so a mix of fresh and
+// cached replies still certifies.
+func matchKey(rep *Reply) [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(rep.GID))
+	h.Write(b[:4])
+	binary.BigEndian.PutUint64(b[:], rep.Height)
+	h.Write(b[:])
+	h.Write(rep.Result)
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+// OnReply feeds one received reply. Returns done=true with the certified
+// result once f+1 matching valid replies from distinct nodes of one group
+// have arrived. Replies for other nonces, with bad signatures, from signers
+// outside the claimed group, or with unknown statuses are ignored.
+func (r *Requester) OnReply(rep Reply, now time.Time) (done bool, res Result) {
+	if rep.Client != r.cfg.Client || rep.Nonce != r.nonce || r.votes == nil {
+		return false, Result{}
+	}
+	if rep.Status != StatusOK && rep.Status != StatusDup {
+		return false, Result{}
+	}
+	if rep.Signer.Group != rep.GID {
+		return false, Result{}
+	}
+	msg := keys.ClientReplyMessage(rep.Client, rep.Nonce, rep.Status, rep.GID, rep.Height, rep.Result)
+	if !r.cfg.Verify(rep.Signer, msg, rep.Sig) {
+		return false, Result{}
+	}
+	k := matchKey(&rep)
+	set := r.votes[k]
+	if set == nil {
+		set = make(map[keys.NodeID]bool)
+		r.votes[k] = set
+		r.repOf[k] = rep
+	}
+	set[rep.Signer] = true
+	if len(set) >= r.cfg.Faulty(rep.GID)+1 {
+		win := r.repOf[k]
+		res = Result{
+			Status: win.Status, GID: win.GID, Height: win.Height,
+			Result: win.Result, Replies: len(set), Attempts: r.attempts,
+		}
+		r.votes, r.repOf = nil, nil // idle until the next Begin
+		return true, res
+	}
+	return false, Result{}
+}
+
+// OnTick checks the attempt deadline. When it expires the requester rotates
+// to the next group and reports resubmit=true with the new target; when
+// MaxAttempts is exhausted it reports gaveUp=true and goes idle. Collected
+// votes survive rotation — late replies from a previous group still count.
+func (r *Requester) OnTick(now time.Time) (resubmit bool, group int, gaveUp bool) {
+	if r.votes == nil || now.Before(r.deadline) {
+		return false, 0, false
+	}
+	if r.attempts >= r.cfg.MaxAttempts {
+		r.votes, r.repOf = nil, nil
+		return false, 0, true
+	}
+	r.attempts++
+	r.group = (r.group + 1) % r.cfg.Groups
+	wait := r.cfg.Timeout
+	if r.cfg.ExpBackoff {
+		shift := r.attempts - 1
+		if shift > 3 {
+			shift = 3
+		}
+		wait <<= uint(shift)
+	}
+	r.deadline = now.Add(wait)
+	return true, r.group, false
+}
+
+// Active reports whether a request is awaiting its certificate.
+func (r *Requester) Active() bool { return r.votes != nil }
+
+// Group returns the current attempt's target group.
+func (r *Requester) Group() int { return r.group }

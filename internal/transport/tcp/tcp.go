@@ -118,6 +118,14 @@ type Stats struct {
 	EncodeErrors    uint64
 	DecodeErrors    uint64
 	RecvErrors      uint64 // inbound framing/handshake failures
+
+	// DropsByKind breaks queue drops down by envelope kind (the first byte
+	// of the encoded payload), so "the bulk lane sheds chunk batches under
+	// load" and "client replies are being lost" are distinguishable — the
+	// former is the designed backpressure policy, the latter a
+	// misconfiguration (replies belong on the priority lane). Only kinds
+	// with at least one drop appear.
+	DropsByKind map[byte]uint64 `json:"drops_by_kind,omitempty"`
 }
 
 type stats struct {
@@ -125,6 +133,7 @@ type stats struct {
 	queueDropBulk, queueDropPrio                      atomic.Uint64
 	heartbeatMisses, bytesOut, bytesIn                atomic.Uint64
 	encodeErrors, decodeErrors, recvErrors            atomic.Uint64
+	dropsByKind                                       [256]atomic.Uint64
 }
 
 // Network implements transport.Network for one process-hosted node.
@@ -174,7 +183,17 @@ func (n *Network) Addr() string { return n.ls.Addr().String() }
 
 // Stats snapshots the health counters.
 func (n *Network) Stats() Stats {
+	var byKind map[byte]uint64
+	for k := range n.st.dropsByKind {
+		if v := n.st.dropsByKind[k].Load(); v > 0 {
+			if byKind == nil {
+				byKind = make(map[byte]uint64)
+			}
+			byKind[byte(k)] = v
+		}
+	}
 	return Stats{
+		DropsByKind: byKind,
 		Connects:        n.st.connects.Load(),
 		Reconnects:      n.st.reconnects.Load(),
 		DialFailures:    n.st.dialFailures.Load(),
@@ -333,6 +352,7 @@ func (n *Network) send(to keys.NodeID, payload any, prio bool) {
 		// Bounded-queue backpressure policy: drop, count, let the
 		// protocol's loss-recovery paths repair. Never block the node.
 		dropped.Add(1)
+		n.st.dropsByKind[enc[0]].Add(1)
 	}
 }
 

@@ -224,3 +224,46 @@ func TestQueueDropAndTimers(t *testing.T) {
 		t.Fatal("Now must advance")
 	}
 }
+
+// TestPriorityLaneNeverDropsUnderBulkSaturation pins the gateway-reply
+// delivery guarantee: client replies travel the priority lane, so a bulk
+// lane saturated with replication traffic must shed ONLY bulk frames — and
+// the per-kind drop breakdown must attribute every drop to the bulk kind.
+func TestPriorityLaneNeverDropsUnderBulkSaturation(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	a, b := keys.NodeID{Group: 0, Index: 0}, keys.NodeID{Group: 0, Index: 1}
+
+	cfg := fastConfig(a, addrs[0], map[keys.NodeID]string{b: addrs[1]})
+	cfg.QueueBulk = 4 // tiny bulk lane: saturates after 4 frames
+	cfg.QueuePrio = 256
+	na, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	ep := na.Endpoint(a)
+
+	// Nobody listens on b's address, so neither lane drains: queue
+	// occupancy and drops are exact. Kind bytes mirror the wire contract:
+	// 5 = chunk-batch (replication bulk), 17 = client-reply.
+	const kindBulk, kindReply = 5, 17
+	for i := 0; i < 100; i++ {
+		ep.Send(b, []byte{kindBulk, byte(i)}, 2)
+	}
+	for i := 0; i < 50; i++ {
+		ep.SendPriority(b, []byte{kindReply, byte(i)}, 2)
+	}
+	st := na.Stats()
+	if st.QueueDropPrio != 0 {
+		t.Fatalf("client replies dropped on the priority lane: %+v", st)
+	}
+	if st.QueueDropBulk != 96 {
+		t.Fatalf("bulk lane should have shed exactly 96 of 100 frames, dropped %d", st.QueueDropBulk)
+	}
+	if got := st.DropsByKind[kindBulk]; got != 96 {
+		t.Fatalf("per-kind breakdown lost bulk drops: DropsByKind[%d]=%d want 96", kindBulk, got)
+	}
+	if got, ok := st.DropsByKind[kindReply]; ok {
+		t.Fatalf("per-kind breakdown charges %d drops to client replies; none happened", got)
+	}
+}

@@ -114,6 +114,14 @@ type Config struct {
 	// GroupRate throttles per-group offered load in transactions/second
 	// (zero = saturation).
 	GroupRate []float64
+	// GatewayClients, when > 0, switches the cluster to gateway-driven
+	// load: that many simulated closed-loop clients sign requests, submit
+	// them through each node's client gateway (authenticated intake,
+	// adaptive batching, admission control), and collect f+1 signed reply
+	// certificates. Leaders then propose only what clients submitted,
+	// instead of self-generating the synthetic workload. See Result's
+	// Client* fields for the client-side outcome.
+	GatewayClients int
 	// EpochLength applies to ProtocolISS only.
 	EpochLength time.Duration
 
@@ -217,6 +225,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		PipelineDepth:     cfg.PipelineDepth,
 		GroupRate:         cfg.GroupRate,
 		TrustAll:          !cfg.RealCrypto,
+		Gateway: cluster.GatewayConfig{
+			Enabled:    cfg.GatewayClients > 0,
+			SimClients: cfg.GatewayClients,
+		},
 		Warmup:            cfg.Warmup,
 		ViewChangeTimeout: cfg.ViewChangeTimeout,
 		TakeoverTimeout:   cfg.TakeoverTimeout,
@@ -401,6 +413,11 @@ func (c *Cluster) result() Result {
 		Stages:          m.StageBreakdown(),
 		Series:          series,
 	}
+	if hub := c.inner.Hub(); hub != nil {
+		res.ClientCommitted = hub.Committed
+		res.ClientResubmits = hub.Resubmits
+		res.ClientGaveUp = hub.GaveUp
+	}
 	if c.inner.Trace != nil {
 		rep := trace.Analyze(c.inner.Trace.Spans(), c.inner.Cfg.Observer)
 		tr := &TraceReport{
@@ -457,6 +474,11 @@ type Result struct {
 	// Trace is the critical-path summary of the traced run; nil when tracing
 	// is off (Config.TracePath empty).
 	Trace *TraceReport
+	// Client-side outcome of a gateway-driven run (Config.GatewayClients):
+	// requests that earned f+1 reply certificates, cross-group timeout
+	// resubmissions, and abandoned requests. All zero when the gateway is
+	// off.
+	ClientCommitted, ClientResubmits, ClientGaveUp int64
 }
 
 // TraceReport summarizes the per-entry critical-path analysis of a traced

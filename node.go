@@ -18,6 +18,7 @@ import (
 	"massbft/internal/aria"
 	"massbft/internal/cluster"
 	"massbft/internal/core"
+	"massbft/internal/gateway"
 	"massbft/internal/keys"
 	"massbft/internal/ledger"
 	"massbft/internal/metrics"
@@ -47,6 +48,10 @@ type NodeAddr struct {
 	Group int    `json:"group"`
 	Index int    `json:"index"`
 	Addr  string `json:"addr"`
+	// Gateway, when set, opens a client-facing gateway listener on this
+	// address (requires Topology.Clients > 0). Nodes without one still
+	// serve consensus — clients just cannot connect to them directly.
+	Gateway string `json:"gateway,omitempty"`
 }
 
 // Topology is the static description of a multi-process cluster, shared by
@@ -77,6 +82,21 @@ type Topology struct {
 	// RealCrypto verifies Ed25519 signatures for real (recommended off
 	// loopback; on a real WAN you want it).
 	RealCrypto bool `json:"real_crypto,omitempty"`
+
+	// Clients is the size of the client key registry (IDs 1..Clients),
+	// derived deterministically from Seed on every node and every client
+	// process. Zero disables the client gateway: leaders self-generate the
+	// synthetic workload instead, as before.
+	Clients int `json:"clients,omitempty"`
+	// GatewayQueue bounds each node's intake queue (0 = gateway default);
+	// GatewayRate/GatewayBurst set the per-client token bucket (0 = off).
+	GatewayQueue int     `json:"gateway_queue,omitempty"`
+	GatewayRate  float64 `json:"gateway_rate,omitempty"`
+	GatewayBurst int     `json:"gateway_burst,omitempty"`
+	// GatewayVerify is the signature-verification worker count per node
+	// (0 = 4). Real processes want the parallel pool; the deterministic
+	// emulator is the only place inline verification is mandatory.
+	GatewayVerify int `json:"gateway_verify,omitempty"`
 }
 
 // LoadTopology reads and validates a topology JSON file.
@@ -160,6 +180,14 @@ func (t *Topology) clusterConfig() (cluster.Config, error) {
 		RepairTimeout:      ms(t.RepairTimeoutMS),
 		CheckpointInterval: ms(t.CheckpointIntervalMS),
 		RejoinTimeout:      ms(t.RejoinTimeoutMS),
+		Gateway: cluster.GatewayConfig{
+			Enabled:       t.Clients > 0,
+			Clients:       t.Clients,
+			QueueLimit:    t.GatewayQueue,
+			RatePerClient: t.GatewayRate,
+			RateBurst:     t.GatewayBurst,
+			VerifyParallel: t.GatewayVerify,
+		},
 	}.WithDefaults(), nil
 }
 
@@ -175,6 +203,9 @@ type NodeConfig struct {
 	// instead of cold: use when restarting a crashed process so it fetches
 	// a checkpoint from a LAN peer and catches up.
 	Rejoin bool
+	// GatewayListen overrides the client gateway listen address (defaults
+	// to the topology's Gateway address for this node).
+	GatewayListen string
 	// Faults, when non-nil, wraps the TCP fabric in the seeded
 	// transport.FaultInjector (chaos testing on real sockets).
 	Faults *transport.FaultConfig
@@ -191,6 +222,24 @@ type ProcNode struct {
 	node cluster.Node
 	cfg  *cluster.Config
 	col  *metrics.Collector
+	gws  *gwServer // client-facing gateway listener, nil unless configured
+	logf func(format string, args ...any)
+}
+
+// logfSafe logs through the configured sink, tolerating the zero value.
+func (n *ProcNode) logfSafe(format string, args ...any) {
+	if n.logf != nil {
+		n.logf(format, args...)
+	}
+}
+
+// GatewayAddr returns the bound client gateway address, "" when the node
+// hosts no gateway listener.
+func (n *ProcNode) GatewayAddr() string {
+	if n.gws == nil {
+		return ""
+	}
+	return n.gws.Addr()
 }
 
 // TrailPoint is one (height, block-hash) sample of a node's recent chain.
@@ -288,10 +337,11 @@ func StartNode(nc NodeConfig) (*ProcNode, error) {
 	col := metrics.NewCollector()
 	col.SetWindow(0, 1<<62) // real deployments measure everything
 
-	n := &ProcNode{id: id, tcpn: tcpn, fab: fab, cfg: &cfg, col: col}
+	n := &ProcNode{id: id, tcpn: tcpn, fab: fab, cfg: &cfg, col: col, logf: nc.Logf}
+	kp := pairs[id.Group][id.Index]
 	ctx := &cluster.NodeCtx{
 		ID:      id,
-		KP:      pairs[id.Group][id.Index],
+		KP:      kp,
 		Cfg:     &cfg,
 		Reg:     reg,
 		Net:     fab.Endpoint(id),
@@ -304,9 +354,82 @@ func StartNode(nc NodeConfig) (*ProcNode, error) {
 		RebuildCache: replication.NewRebuildCache(),
 		Faults:       &cluster.FaultPlan{ByzantineNodes: make(map[keys.NodeID]bool)},
 	}
+	if cfg.Gateway.Enabled {
+		// Client front end: every process derives the identical client
+		// registry from the shared seed, mirroring node key generation.
+		_, creg, err := keys.GenerateClients(cfg.Gateway.Clients, topo.Seed)
+		if err != nil {
+			tcpn.Close()
+			return nil, err
+		}
+		creg.SetTrustAll(cfg.TrustAll)
+		vp := cfg.Gateway.VerifyParallel
+		if vp == 0 {
+			// Real processes default to the parallel verification pool; only
+			// the deterministic emulator must verify inline.
+			vp = 4
+		}
+		ctx.Gateway = gateway.New(gateway.Config{
+			Group:          id.Group,
+			MaxBatch:       cfg.MaxBatch,
+			MaxWait:        cfg.Gateway.MaxWait,
+			QueueLimit:     cfg.Gateway.QueueLimit,
+			DedupWindow:    cfg.Gateway.DedupWindow,
+			RatePerClient:  cfg.Gateway.RatePerClient,
+			RateBurst:      cfg.Gateway.RateBurst,
+			VerifyParallel: vp,
+			Clients:        creg,
+			Metrics:        col,
+			Deliver:        func(fn func()) { n.ep.After(0, fn) },
+			Reply: func(client, nonce uint64, cached bool, height uint64, result []byte) {
+				status := cluster.ReplyOK
+				if cached {
+					status = cluster.ReplyDup
+				}
+				rep := &cluster.ClientReply{
+					Client: client, Nonce: nonce, Status: status,
+					GID: id.Group, Height: height, Result: result,
+				}
+				rep.Sig = keys.Signature{Signer: id, Sig: kp.Sign(rep.SignedMessage())}
+				if n.gws == nil {
+					return
+				}
+				enc, err := cluster.EncodeEnvelope(rep)
+				if err != nil {
+					return
+				}
+				frame := transport.AppendFrame(make([]byte, 0, 12+len(enc)), 0, enc)
+				if n.gws.reply(client, frame) {
+					col.Inc("gateway-reply-sent")
+				} else {
+					// No live connection (or a saturated one) for this client
+					// here: drop — f+1 OTHER group members also reply.
+					col.Inc("gateway-reply-unrouted")
+				}
+			},
+		})
+	}
 	n.ep = ctx.Net
 	n.node = core.NewNode(ctx)
 	fab.SetHandler(id, n.node)
+	if ctx.Gateway != nil {
+		gwAddr := nc.GatewayListen
+		if gwAddr == "" {
+			for _, na := range topo.Nodes {
+				if na.Group == nc.Group && na.Index == nc.Index {
+					gwAddr = na.Gateway
+				}
+			}
+		}
+		if gwAddr != "" {
+			gws, err := startGateway(n, gwAddr)
+			if err != nil {
+				tcpn.Close()
+				return nil, fmt.Errorf("massbft: gateway listen %s: %w", gwAddr, err)
+			}
+			n.gws = gws
+		}
+	}
 	// Start (and optionally rejoin) on the node's event loop so protocol
 	// state is never touched from this goroutine.
 	started := make(chan struct{})
@@ -353,6 +476,9 @@ func (n *ProcNode) Status() (NodeStatus, error) {
 		n.col.Set("transport-heartbeat-misses", int64(ts.HeartbeatMisses))
 		n.col.Set("transport-bytes-out", int64(ts.BytesOut))
 		n.col.Set("transport-bytes-in", int64(ts.BytesIn))
+		for k, v := range ts.DropsByKind {
+			n.col.Set("transport-drop-"+cluster.EnvelopeKindName(k), int64(v))
+		}
 		st := NodeStatus{
 			Group: n.id.Group, Index: n.id.Index,
 			NowMS:     int64(n.ep.Now() / time.Millisecond),
@@ -409,6 +535,9 @@ func (n *ProcNode) Stop(drain time.Duration) error {
 			time.Sleep(drain)
 		}
 	case <-time.After(5 * time.Second):
+	}
+	if n.gws != nil {
+		n.gws.close()
 	}
 	return n.fab.Close()
 }

@@ -13,6 +13,10 @@
 #   node-smoke       just the multi-process TCP smoke test — a 4-node loopback
 #                    cluster of massbft-node OS processes with a kill/rejoin
 #                    round trip — for iterating on transport changes
+#   gateway-smoke    just the external-client path — the 4-node cluster driven
+#                    by massbft-client through the per-node gateways, with a
+#                    mid-run SIGKILL, plus the gateway baseline regeneration
+#                    and validation — for iterating on gateway changes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,9 +36,20 @@ node-smoke)
   echo "OK"
   exit 0
   ;;
+gateway-smoke)
+  echo "== gateway baseline (regenerate + validate)"
+  gwfile="$(mktemp)"
+  go run ./scripts/gateway-bench > "$gwfile"
+  go run ./scripts/validate-gateway "$gwfile"
+  rm -f "$gwfile"
+  go run ./scripts/validate-gateway BENCH_gateway.json
+  bash scripts/node_smoke.sh client
+  echo "OK"
+  exit 0
+  ;;
 full) ;;
 *)
-  echo "unknown preset: $preset (want: full, partition-chaos, node-smoke)" >&2
+  echo "unknown preset: $preset (want: full, partition-chaos, node-smoke, gateway-smoke)" >&2
   exit 2
   ;;
 esac
@@ -60,6 +75,15 @@ benchfile="$(mktemp)"
 bash scripts/bench.sh "$benchfile"
 rm -f "$benchfile"
 
+# The gateway baseline is a virtual-time simulation, so the regenerated file
+# must match the committed one bit-for-bit — any drift is a behavior change.
+echo "== gateway bench (baseline validation + deterministic regeneration)"
+go run ./scripts/validate-gateway BENCH_gateway.json
+gwfile="$(mktemp)"
+go run ./scripts/gateway-bench > "$gwfile"
+diff "$gwfile" BENCH_gateway.json
+rm -f "$gwfile"
+
 echo "== trace smoke (demo -trace + JSON validation)"
 tracefile="$(mktemp)"
 go run ./cmd/massbft-demo -groups 2 -nodes 3 -duration 3s -trace "$tracefile" >/dev/null
@@ -68,5 +92,8 @@ rm -f "$tracefile"
 
 echo "== node smoke (4 massbft-node processes over loopback TCP, kill + rejoin)"
 bash scripts/node_smoke.sh
+
+echo "== node smoke, client mode (massbft-client through the gateways, mid-run kill)"
+bash scripts/node_smoke.sh client
 
 echo "OK"

@@ -1,0 +1,152 @@
+// Command gateway-bench produces BENCH_gateway.json, the committed baseline
+// for the client gateway subsystem. It runs two deterministic simulated
+// clusters (same seed ⇒ same numbers on every machine):
+//
+//   - steady: real Ed25519 on client requests and node replies, a modest
+//     closed-loop client population, no admission pressure. Pins certified
+//     throughput through the full authenticated path.
+//   - overload: thousands of clients against a deliberately small intake
+//     queue. Pins that admission control engages (explicit rejections), the
+//     queue respects its bound, clients still converge through resubmission,
+//     and retransmitted-after-execution requests are answered from the dedup
+//     cache instead of executing twice.
+//   - scale sweep: certified throughput and entry latency at growing client
+//     populations (modeled-cost crypto) — the EXPERIMENTS.md tps-vs-clients
+//     data points.
+//
+// Rates are per virtual second — wall-clock noise on the machine running
+// this script does not move them.
+//
+//	go run ./scripts/gateway-bench > BENCH_gateway.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"massbft/internal/cluster"
+	"massbft/internal/core"
+)
+
+type result struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type report struct {
+	Schema  string   `json:"schema"`
+	Bench   string   `json:"bench"`
+	Config  config   `json:"config"`
+	Results []result `json:"results"`
+}
+
+type config struct {
+	Groups         []int   `json:"groups"`
+	SteadyClients  int     `json:"steady_clients"`
+	LoadClients    int     `json:"load_clients"`
+	LoadQueueLimit int     `json:"load_queue_limit"`
+	RunVirtualSec  float64 `json:"run_virtual_sec"`
+	Seed           int64   `json:"seed"`
+}
+
+func base() cluster.Config {
+	return cluster.Config{
+		GroupSizes:    []int{4, 4, 4},
+		Opts:          cluster.PresetMassBFT(),
+		Workload:      "ycsb-a",
+		Seed:          1,
+		MaxBatch:      20,
+		BatchTimeout:  10 * time.Millisecond,
+		PipelineDepth: 8,
+		RunFor:        3 * time.Second,
+		Warmup:        500 * time.Millisecond,
+	}
+}
+
+func run(cfg cluster.Config) *cluster.Cluster {
+	c, err := cluster.New(cfg, core.NewNode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gateway-bench: %v\n", err)
+		os.Exit(1)
+	}
+	c.Run()
+	c.Drain(2 * time.Second)
+	return c
+}
+
+func main() {
+	const (
+		steadyClients  = 64
+		loadClients    = 2000
+		loadQueueLimit = 512
+	)
+
+	steadyCfg := base()
+	steadyCfg.TrustAll = false // full Ed25519 intake + reply signatures
+	steadyCfg.Gateway = cluster.GatewayConfig{Enabled: true, SimClients: steadyClients}
+	steady := run(steadyCfg)
+
+	// Scale sweep: certified throughput vs client population, modeled-cost
+	// crypto so the populations stay comparable to the overload run.
+	var scale []result
+	for _, n := range []int{64, 256, 1024} {
+		cfg := base()
+		cfg.TrustAll = true
+		cfg.RunFor = 2 * time.Second
+		cfg.Gateway = cluster.GatewayConfig{Enabled: true, SimClients: n}
+		c := run(cfg)
+		scale = append(scale,
+			result{fmt.Sprintf("gateway_scale_%d_cert_per_sec", n),
+				float64(c.Hub().Committed) / cfg.RunFor.Seconds()},
+			result{fmt.Sprintf("gateway_scale_%d_p50_ms", n),
+				float64(c.Metrics.PercentileLatency(0.50)) / float64(time.Millisecond)},
+			result{fmt.Sprintf("gateway_scale_%d_p99_ms", n),
+				float64(c.Metrics.PercentileLatency(0.99)) / float64(time.Millisecond)})
+	}
+
+	loadCfg := base()
+	loadCfg.TrustAll = true // modeled-cost crypto: admission is the point here
+	loadCfg.RunFor = 2 * time.Second
+	loadCfg.Gateway = cluster.GatewayConfig{
+		Enabled:    true,
+		SimClients: loadClients,
+		QueueLimit: loadQueueLimit,
+	}
+	load := run(loadCfg)
+
+	virt := steadyCfg.RunFor.Seconds()
+	rep := report{
+		Schema: "massbft-bench/v1",
+		Bench:  "gateway",
+		Config: config{
+			Groups:         steadyCfg.GroupSizes,
+			SteadyClients:  steadyClients,
+			LoadClients:    loadClients,
+			LoadQueueLimit: loadQueueLimit,
+			RunVirtualSec:  virt,
+			Seed:           steadyCfg.Seed,
+		},
+		Results: []result{
+			{"gateway_steady_committed", float64(steady.Hub().Committed)},
+			{"gateway_steady_cert_per_sec", float64(steady.Hub().Committed) / virt},
+			{"gateway_steady_verified", float64(steady.Metrics.Counter("gateway-verified"))},
+			{"gateway_steady_executed", float64(steady.Metrics.Counter("gateway-executed"))},
+			{"gateway_load_committed", float64(load.Hub().Committed)},
+			{"gateway_load_resubmits", float64(load.Hub().Resubmits)},
+			{"gateway_load_gave_up", float64(load.Hub().GaveUp)},
+			{"gateway_load_overload_rejections", float64(load.Metrics.Counter("gateway-rejected-overload"))},
+			{"gateway_load_queue_peak", float64(load.Metrics.Counter("gateway-queue-peak"))},
+			{"gateway_load_queue_limit", loadQueueLimit},
+			{"gateway_load_dedup_cached", float64(load.Metrics.Counter("gateway-dedup-cached"))},
+		},
+	}
+	rep.Results = append(rep.Results, scale...)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gateway-bench: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(buf, '\n'))
+}

@@ -1,12 +1,31 @@
 #!/usr/bin/env bash
-# Multi-process smoke test: launch a 4-node loopback cluster of massbft-node
-# OS processes (2 groups x 2 nodes), assert that committed entries converge
-# across all of them, then SIGKILL one follower, assert the survivors notice
-# (dial failures / heartbeat misses in the transport metrics), restart it
-# with -rejoin, and assert it re-syncs via the checkpointed-rejoin path with
-# reconnects visible on the survivors. Run from the repository root.
+# Multi-process smoke test over loopback TCP. Two modes:
+#
+#   (default)  launch a 4-node cluster of massbft-node OS processes
+#              (2 groups x 2 nodes), assert that committed entries converge
+#              across all of them, then SIGKILL one follower, assert the
+#              survivors notice (dial failures / heartbeat misses in the
+#              transport metrics), restart it with -rejoin, and assert it
+#              re-syncs via the checkpointed-rejoin path with reconnects
+#              visible on the survivors.
+#
+#   client     the external-client path: the same 4-node cluster with client
+#              gateways enabled, driven by massbft-client (closed-loop signed
+#              requests, f+1 reply certificates) instead of leader-generated
+#              load. One follower is SIGKILLed mid-run; clients must keep
+#              converging through timeout resubmission, and the gateway-*
+#              counters must show up in the survivors' status files.
+#
+# Run from the repository root: scripts/node_smoke.sh [client]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode="${1:-kill-rejoin}"
+case "$mode" in kill-rejoin | client) ;; *)
+  echo "unknown mode: $mode (want: kill-rejoin, client)" >&2
+  exit 2
+  ;;
+esac
 
 workdir="$(mktemp -d)"
 pids=()
@@ -19,26 +38,7 @@ trap cleanup EXIT
 echo "== build massbft-node"
 go build -o "$workdir/massbft-node" ./cmd/massbft-node
 
-base=$(( (RANDOM % 2000) * 4 + 21000 ))
-cat > "$workdir/topo.json" <<EOF
-{
-  "groups": [2, 2],
-  "seed": 7,
-  "workload": "ycsb-a",
-  "batch_timeout_ms": 50,
-  "max_batch": 20,
-  "group_rate": [200, 200],
-  "repair_timeout_ms": 200,
-  "checkpoint_interval_ms": 300,
-  "rejoin_timeout_ms": 1000,
-  "nodes": [
-    {"group": 0, "index": 0, "addr": "127.0.0.1:$((base))"},
-    {"group": 0, "index": 1, "addr": "127.0.0.1:$((base+1))"},
-    {"group": 1, "index": 0, "addr": "127.0.0.1:$((base+2))"},
-    {"group": 1, "index": 1, "addr": "127.0.0.1:$((base+3))"}
-  ]
-}
-EOF
+base=$(( (RANDOM % 2000) * 8 + 21000 ))
 
 start_node() { # group index extra-args...
   local g=$1 i=$2; shift 2
@@ -98,6 +98,114 @@ assert shared > 0, "no shared trail heights"
 print(f"   agree: {sys.argv[1].split('-',1)[1]} vs {sys.argv[2].split('-',1)[1]} ({shared} shared heights)")
 PY
 }
+
+# ---------------------------------------------------------------------------
+# client mode: gateway-driven load from massbft-client, SIGKILL mid-run
+# ---------------------------------------------------------------------------
+if [[ "$mode" == client ]]; then
+  echo "== build massbft-client"
+  go build -o "$workdir/massbft-client" ./cmd/massbft-client
+
+  # Gateway mode: no group_rate — all load enters through the per-node client
+  # gateways ("gateway" addrs), from identities registered by "clients".
+  cat > "$workdir/topo.json" <<EOF
+{
+  "groups": [2, 2],
+  "seed": 7,
+  "workload": "ycsb-a",
+  "batch_timeout_ms": 50,
+  "max_batch": 20,
+  "clients": 64,
+  "repair_timeout_ms": 200,
+  "checkpoint_interval_ms": 300,
+  "rejoin_timeout_ms": 1000,
+  "nodes": [
+    {"group": 0, "index": 0, "addr": "127.0.0.1:$((base))", "gateway": "127.0.0.1:$((base+4))"},
+    {"group": 0, "index": 1, "addr": "127.0.0.1:$((base+1))", "gateway": "127.0.0.1:$((base+5))"},
+    {"group": 1, "index": 0, "addr": "127.0.0.1:$((base+2))", "gateway": "127.0.0.1:$((base+6))"},
+    {"group": 1, "index": 1, "addr": "127.0.0.1:$((base+3))", "gateway": "127.0.0.1:$((base+7))"}
+  ]
+}
+EOF
+
+  echo "== launch 4-node gateway cluster (2 groups x 2 nodes, ports $base-$((base+7)))"
+  start_node 0 0 >/dev/null
+  start_node 0 1 >/dev/null
+  start_node 1 0 >/dev/null
+  victim_pid=$(start_node 1 1)
+
+  # With no clients connected yet, leaders propose idle heartbeats: entries
+  # certify and execute but are never sealed, so height stays 0 until real
+  # client transactions arrive. Gate on certified entries for liveness.
+  wait_until 90 "every node heartbeating (certified entries)" \
+    "0-0:s['entries'] >= 3" "0-1:s['entries'] >= 3" \
+    "1-0:s['entries'] >= 3" "1-1:s['entries'] >= 3"
+
+  echo "== phase 1: 32 closed-loop clients against the gateways (12s)"
+  "$workdir/massbft-client" -topology "$workdir/topo.json" -clients 32 \
+    -run 12s -timeout 1s -out "$workdir/client.json" \
+    >"$workdir/log-client.txt" 2>&1 &
+  client_pid=$!  # not disowned: the script waits on its exit status below
+
+  echo "== phase 2: SIGKILL follower (1,1) mid-run"
+  sleep 4
+  kill -9 "$victim_pid"
+  rm -f "$workdir/status-1-1.json"
+
+  if ! wait "$client_pid"; then
+    echo "massbft-client failed:" >&2
+    cat "$workdir/log-client.txt" >&2
+    exit 1
+  fi
+  cat "$workdir/log-client.txt"
+
+  echo "== phase 3: clients converged through the kill"
+  python3 - "$workdir/client.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["committed"] > 0, "no request earned a reply certificate"
+assert s["gave_up"] == 0, f'{s["gave_up"]} requests abandoned'
+print(f"   ok: {s['committed']} certified, {s['resubmits']} resubmits, p95 {s['p95_ms']:.0f}ms")
+PY
+
+  echo "== phase 4: gateway pipeline visible in survivor status files"
+  wait_until 30 "gateway counters on the survivors" \
+    "0-0:(s.get('counters') or {}).get('gateway-verified', 0) > 0 and (s.get('counters') or {}).get('gateway-executed', 0) > 0" \
+    "0-1:(s.get('counters') or {}).get('gateway-executed', 0) > 0" \
+    "1-0:(s.get('counters') or {}).get('gateway-executed', 0) > 0"
+  wait_until 30 "a survivor routed signed replies to client connections" \
+    "0-0:(s.get('counters') or {}).get('gateway-reply-sent', 0) > 0"
+  wait_until 60 "every survivor committed client transactions" \
+    "0-0:s['committed'] > 0" "0-1:s['committed'] > 0" "1-0:s['committed'] > 0"
+  agree 0-0 0-1
+  agree 0-0 1-0
+
+  echo "== node smoke (client mode) OK"
+  exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# default mode: leader-generated load, kill + checkpointed rejoin
+# ---------------------------------------------------------------------------
+cat > "$workdir/topo.json" <<EOF
+{
+  "groups": [2, 2],
+  "seed": 7,
+  "workload": "ycsb-a",
+  "batch_timeout_ms": 50,
+  "max_batch": 20,
+  "group_rate": [200, 200],
+  "repair_timeout_ms": 200,
+  "checkpoint_interval_ms": 300,
+  "rejoin_timeout_ms": 1000,
+  "nodes": [
+    {"group": 0, "index": 0, "addr": "127.0.0.1:$((base))"},
+    {"group": 0, "index": 1, "addr": "127.0.0.1:$((base+1))"},
+    {"group": 1, "index": 0, "addr": "127.0.0.1:$((base+2))"},
+    {"group": 1, "index": 1, "addr": "127.0.0.1:$((base+3))"}
+  ]
+}
+EOF
 
 echo "== launch 4-node loopback cluster (2 groups x 2 nodes, ports $base-$((base+3)))"
 start_node 0 0 >/dev/null

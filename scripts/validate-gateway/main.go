@@ -1,0 +1,125 @@
+// Command validate-gateway checks a BENCH_gateway.json baseline (as written
+// by scripts/gateway-bench): the schema tag matches, every expected result is
+// present, and the gateway's load-shedding invariants hold — admission
+// control actually rejected requests in the overload run, the intake queue
+// never exceeded its configured bound, clients still converged (certified
+// commits under overload), and retransmitted-after-execution requests were
+// served from the dedup cache. The runs are virtual-time simulations, so the
+// committed baseline reproduces bit-for-bit; the floors here are safety nets
+// against a regression that silently disables admission control or dedup,
+// not noisy-machine allowances. Exits non-zero on any problem.
+//
+//	go run ./scripts/validate-gateway BENCH_gateway.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const wantSchema = "massbft-bench/v1"
+
+var wantResults = []string{
+	"gateway_steady_committed",
+	"gateway_steady_cert_per_sec",
+	"gateway_steady_verified",
+	"gateway_steady_executed",
+	"gateway_load_committed",
+	"gateway_load_resubmits",
+	"gateway_load_gave_up",
+	"gateway_load_overload_rejections",
+	"gateway_load_queue_peak",
+	"gateway_load_queue_limit",
+	"gateway_load_dedup_cached",
+	"gateway_scale_64_cert_per_sec",
+	"gateway_scale_64_p50_ms",
+	"gateway_scale_64_p99_ms",
+	"gateway_scale_256_cert_per_sec",
+	"gateway_scale_256_p50_ms",
+	"gateway_scale_256_p99_ms",
+	"gateway_scale_1024_cert_per_sec",
+	"gateway_scale_1024_p50_ms",
+	"gateway_scale_1024_p99_ms",
+}
+
+type report struct {
+	Schema string `json:"schema"`
+	Bench  string `json:"bench"`
+	Config struct {
+		LoadQueueLimit float64 `json:"load_queue_limit"`
+	} `json:"config"`
+	Results []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	} `json:"results"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validate-gateway: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-gateway <BENCH_gateway.json>")
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	if rep.Schema != wantSchema {
+		fail("%s: schema %q, want %q", os.Args[1], rep.Schema, wantSchema)
+	}
+	if rep.Bench != "gateway" {
+		fail("%s: bench %q, want %q", os.Args[1], rep.Bench, "gateway")
+	}
+	vals := map[string]float64{}
+	for _, r := range rep.Results {
+		vals[r.Name] = r.Value
+	}
+	for _, name := range wantResults {
+		if _, ok := vals[name]; !ok {
+			fail("%s: missing result %q", os.Args[1], name)
+		}
+	}
+	// The authenticated steady path must certify real throughput.
+	if vals["gateway_steady_committed"] <= 0 || vals["gateway_steady_cert_per_sec"] <= 0 {
+		fail("%s: steady run certified nothing", os.Args[1])
+	}
+	if vals["gateway_steady_verified"] < vals["gateway_steady_committed"] {
+		fail("%s: verified %.0f < committed %.0f — certificates without verified intake",
+			os.Args[1], vals["gateway_steady_verified"], vals["gateway_steady_committed"])
+	}
+	// Overload invariants: shedding engaged, bound respected, still live.
+	if vals["gateway_load_overload_rejections"] <= 0 {
+		fail("%s: overload run never tripped admission control", os.Args[1])
+	}
+	limit := vals["gateway_load_queue_limit"]
+	if limit <= 0 {
+		fail("%s: missing queue limit", os.Args[1])
+	}
+	if peak := vals["gateway_load_queue_peak"]; peak > limit {
+		fail("%s: queue peaked at %.0f beyond its %.0f bound", os.Args[1], peak, limit)
+	}
+	if vals["gateway_load_committed"] <= 0 {
+		fail("%s: no client converged under overload", os.Args[1])
+	}
+	if vals["gateway_load_dedup_cached"] <= 0 {
+		fail("%s: no retransmission was answered from the dedup cache", os.Args[1])
+	}
+	// Scale sweep: throughput must actually grow with the client population.
+	if vals["gateway_scale_1024_cert_per_sec"] <= vals["gateway_scale_64_cert_per_sec"] {
+		fail("%s: certified throughput does not scale with clients (64: %.0f, 1024: %.0f)",
+			os.Args[1], vals["gateway_scale_64_cert_per_sec"], vals["gateway_scale_1024_cert_per_sec"])
+	}
+	fmt.Printf("validate-gateway: %s OK (steady %.0f certs/s; overload: %.0f committed, %.0f rejected, queue %.0f/%.0f, %.0f dedup-cached)\n",
+		os.Args[1], vals["gateway_steady_cert_per_sec"], vals["gateway_load_committed"],
+		vals["gateway_load_overload_rejections"], vals["gateway_load_queue_peak"], limit,
+		vals["gateway_load_dedup_cached"])
+}
