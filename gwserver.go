@@ -17,11 +17,20 @@ package massbft
 //	client → server  data frames: ClientRequest envelopes (kind 16)
 //	server → client  data frames: ClientReply envelopes (kind 17)
 //
-// Replies are routed by client ID through the registered ranges (newest
-// registration wins, so a reconnecting client supersedes its dead
-// connection). A reply to a client with no live connection here is dropped
-// and counted — other group members hold connections too, and f+1 of them
-// suffice for the client's certificate.
+// Replies are routed by client ID through the registered ranges. The hello
+// range is an unauthenticated routing claim, so it is bounded (lo < hi,
+// width ≤ gwMaxHelloRange — a connection cannot register [0, 2^64) and
+// capture every client's reply routing here), and among covering
+// connections the newest that has actually carried a request from that
+// client wins, falling back to the newest registration (so a reconnecting
+// client supersedes its dead connection). A squatter registering a foreign
+// range it never uses therefore cannot shadow the real client's connection;
+// and because replies are only meaningful as part of an f+1 certificate
+// from distinct nodes, a connection that does capture or blackhole replies
+// at this node degrades it to one lost group member, which the client's
+// timeout-driven resubmission already covers. A reply to a client with no
+// live connection here is dropped and counted — other group members hold
+// connections too, and f+1 of them suffice for the client's certificate.
 
 import (
 	"encoding/binary"
@@ -39,6 +48,11 @@ import (
 // gwHello is the control payload tag opening every gateway connection.
 const gwHello = 1
 
+// gwMaxHelloRange bounds the client-ID span one connection may register:
+// generous for a load generator multiplexing tens of thousands of logical
+// clients, far short of claiming the whole ID space.
+const gwMaxHelloRange = 1 << 20
+
 // gwConn is one accepted client connection: its registered ID range and a
 // bounded outbound reply queue drained by a dedicated writer.
 type gwConn struct {
@@ -47,6 +61,31 @@ type gwConn struct {
 	out    chan []byte
 	quit   chan struct{}
 	once   sync.Once // guards quit: server close and read-loop exit can race
+
+	mu   sync.Mutex
+	seen map[uint64]struct{} // client IDs that have sent a request here
+}
+
+// noteClient records that the connection carried a request from client id;
+// reply routing prefers connections with traffic over bare registrations.
+// Bounded by the hello range: only in-range IDs are recorded.
+func (gc *gwConn) noteClient(id uint64) {
+	if id < gc.lo || id >= gc.hi {
+		return
+	}
+	gc.mu.Lock()
+	if gc.seen == nil {
+		gc.seen = make(map[uint64]struct{})
+	}
+	gc.seen[id] = struct{}{}
+	gc.mu.Unlock()
+}
+
+func (gc *gwConn) sawClient(id uint64) bool {
+	gc.mu.Lock()
+	_, ok := gc.seen[id]
+	gc.mu.Unlock()
+	return ok
 }
 
 func (gc *gwConn) shutdown() {
@@ -103,29 +142,37 @@ func (s *gwServer) acceptLoop() {
 // feeding ClientRequests to the node and a writer draining replies.
 func (s *gwServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	go func() { // tear down mid-read on shutdown
-		<-s.done
-		conn.Close()
+	gc := &gwConn{
+		c:    conn,
+		out:  make(chan []byte, 1024),
+		quit: make(chan struct{}),
+	}
+	defer gc.shutdown()
+	// Tear down mid-read on server shutdown; exits with the connection too,
+	// so past client connections do not each pin a watcher goroutine for the
+	// server's lifetime.
+	go func() {
+		select {
+		case <-s.done:
+			conn.Close()
+		case <-gc.quit:
+		}
 	}()
 
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	flags, payload, err := transport.ReadFrame(conn)
 	conn.SetReadDeadline(time.Time{})
 	if err != nil || flags&transport.FlagControl == 0 || len(payload) != 17 || payload[0] != gwHello {
-		conn.Close()
 		return
 	}
-	gc := &gwConn{
-		c:    conn,
-		lo:   binary.BigEndian.Uint64(payload[1:9]),
-		hi:   binary.BigEndian.Uint64(payload[9:17]),
-		out:  make(chan []byte, 1024),
-		quit: make(chan struct{}),
+	gc.lo = binary.BigEndian.Uint64(payload[1:9])
+	gc.hi = binary.BigEndian.Uint64(payload[9:17])
+	if gc.lo >= gc.hi || gc.hi-gc.lo > gwMaxHelloRange {
+		return // unauthenticated routing claim: refuse degenerate ranges
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		conn.Close()
 		return
 	}
 	s.conns = append(s.conns, gc)
@@ -158,6 +205,7 @@ func (s *gwServer) readLoop(gc *gwConn) {
 		if !ok {
 			continue // clients send requests, nothing else
 		}
+		gc.noteClient(req.Txn.Client)
 		size := len(payload)
 		// Same single-threading contract as fabric traffic: the protocol
 		// node runs only on its event loop. Clients are not cluster nodes;
@@ -189,24 +237,42 @@ func (s *gwServer) writeLoop(gc *gwConn) {
 	}
 }
 
-// reply routes one framed ClientReply to the client's live connection.
-// Called on the node event loop; never blocks — a saturated or absent
-// connection drops the reply (false), which the metrics layer counts.
+// reply routes one framed ClientReply to the client's live connection:
+// newest connection that has carried a request from this client, else the
+// newest whose hello range covers it — a registration alone must not shadow
+// the connection the client actually submits on. Called on the node event
+// loop; never blocks — a saturated or absent connection drops the reply
+// (false), which the metrics layer counts.
 func (s *gwServer) reply(client uint64, frame []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var fallback *gwConn
+	target := (*gwConn)(nil)
 	for i := len(s.conns) - 1; i >= 0; i-- {
 		gc := s.conns[i]
-		if client >= gc.lo && client < gc.hi {
-			select {
-			case gc.out <- frame:
-				return true
-			default:
-				return false
-			}
+		if client < gc.lo || client >= gc.hi {
+			continue
+		}
+		if gc.sawClient(client) {
+			target = gc
+			break
+		}
+		if fallback == nil {
+			fallback = gc
 		}
 	}
-	return false
+	if target == nil {
+		target = fallback
+	}
+	if target == nil {
+		return false
+	}
+	select {
+	case target.out <- frame:
+		return true
+	default:
+		return false
+	}
 }
 
 // drop unregisters a dead connection.

@@ -1,0 +1,156 @@
+package massbft
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"massbft/internal/transport"
+)
+
+// helloFrame builds a gateway hello registering [lo, hi).
+func helloFrame(lo, hi uint64) []byte {
+	p := make([]byte, 0, 17)
+	p = append(p, gwHello)
+	p = binary.BigEndian.AppendUint64(p, lo)
+	p = binary.BigEndian.AppendUint64(p, hi)
+	return transport.AppendFrame(nil, transport.FlagControl, p)
+}
+
+// TestGatewayHelloRangeValidation pins the bound on the unauthenticated
+// hello routing claim: degenerate (lo >= hi) and space-grabbing (width >
+// gwMaxHelloRange) ranges are refused by dropping the connection, while a
+// sane range registers.
+func TestGatewayHelloRangeValidation(t *testing.T) {
+	s, err := startGateway(&ProcNode{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+
+	rejected := func(frame []byte) bool {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Write(frame); err != nil {
+			return true
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		_, _, err = transport.ReadFrame(c) // EOF once the server drops us
+		return err != nil
+	}
+
+	if !rejected(helloFrame(10, 10)) {
+		t.Fatal("empty range accepted")
+	}
+	if !rejected(helloFrame(10, 5)) {
+		t.Fatal("inverted range accepted")
+	}
+	if !rejected(helloFrame(0, 1<<40)) {
+		t.Fatal("range spanning 2^40 client IDs accepted")
+	}
+
+	// A sane range registers: the connection stays open and is routable.
+	c, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write(helloFrame(1, 101)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.reply(50, transport.AppendFrame(nil, 0, []byte{1})) {
+		if time.Now().After(deadline) {
+			t.Fatal("valid hello never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayReplyRoutingPrefersActiveConnection pins the routing rule that
+// defangs reply capture: a newer connection that merely registered a range
+// covering the client does not shadow the older connection the client
+// actually submits requests on. Clients with traffic nowhere still fall back
+// to the newest covering registration.
+func TestGatewayReplyRoutingPrefersActiveConnection(t *testing.T) {
+	mk := func(lo, hi uint64) *gwConn {
+		return &gwConn{lo: lo, hi: hi, out: make(chan []byte, 4), quit: make(chan struct{})}
+	}
+	real := mk(1, 10)
+	real.noteClient(5)
+	squatter := mk(1, 1000) // newer registration, no traffic from client 5
+	s := &gwServer{conns: []*gwConn{real, squatter}}
+
+	if !s.reply(5, []byte("r")) {
+		t.Fatal("reply for active client unrouted")
+	}
+	select {
+	case <-real.out:
+	default:
+		t.Fatal("reply captured by the newer passive registration")
+	}
+	if len(squatter.out) != 0 {
+		t.Fatal("reply duplicated to the squatter")
+	}
+
+	// No traffic anywhere: newest covering registration wins (reconnects
+	// supersede dead connections before the first retransmission arrives).
+	if !s.reply(7, []byte("r2")) {
+		t.Fatal("fallback reply unrouted")
+	}
+	select {
+	case <-squatter.out:
+	default:
+		t.Fatal("fallback did not pick the newest registration")
+	}
+
+	// Out-of-range IDs are never noted, so a request forged outside the
+	// hello range cannot widen a connection's claim.
+	squatter.noteClient(5000)
+	if squatter.sawClient(5000) {
+		t.Fatal("out-of-range client recorded")
+	}
+}
+
+// TestGatewayConnWatcherExits is the regression test for the per-connection
+// shutdown watcher: it must exit when the connection closes naturally, not
+// linger on <-s.done for the server's lifetime (one leaked goroutine per
+// past client connection).
+func TestGatewayConnWatcherExits(t *testing.T) {
+	s, err := startGateway(&ProcNode{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+
+	before := runtime.NumGoroutine()
+	const conns = 30
+	for i := 0; i < conns; i++ {
+		c, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(helloFrame(1, 10)); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	// Every serveConn/watcher/writeLoop triple must unwind; allow a little
+	// scheduler slack but nothing close to one goroutine per connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g < before+conns/3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d — watchers leaked", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

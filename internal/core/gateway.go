@@ -38,6 +38,33 @@ func (n *Node) onClientRequest(from keys.NodeID, m *cluster.ClientRequest) {
 	}
 }
 
+// validateProposal vets a local pre-prepare before this replica votes on it
+// (pbft.Config.Validate): every embedded client transaction must carry a
+// valid client signature over its own content. Intake verification at the
+// leader's gateway only constrains the leader that admitted the request — a
+// Byzantine leader could otherwise fabricate transactions attributed to any
+// client and have them certified with honest votes, then answered with valid
+// f+1 reply certificates. Re-checking here means a forged batch can never
+// gather the 2f+1 local commit shares its certificate needs. The per-txn
+// cost is the signature verification the paper already models as the
+// dominant local-consensus cost (chargePrePrepare). Direct-injection runs
+// (no gateway) carry no client signatures and skip the check.
+func (n *Node) validateProposal(payload []byte) bool {
+	gw := n.ctx.Gateway
+	if gw == nil {
+		return true
+	}
+	e, err := types.DecodeEntry(payload)
+	if err != nil || e.ID.GID != n.g {
+		return false
+	}
+	if gw.VerifyTxns(e.Txns) {
+		return true
+	}
+	n.ctx.Metrics.Inc("gateway-proposal-reject")
+	return false
+}
+
 // noteExecuted reports an executed entry's client transactions to the
 // gateway. Every node records every entry's transactions in its dedup
 // window — the window is effectively global, so a client resubmission to ANY

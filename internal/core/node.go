@@ -281,6 +281,7 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 			ctx.Net.Send(to, env, env.WireSize())
 		},
 		Deliver:           n.onLocalCommit,
+		Validate:          n.validateProposal,
 		After:             ctx.Net.After,
 		ViewChangeTimeout: ctx.Cfg.ViewChangeTimeout,
 		OnViewChange:      n.onLocalViewChange,

@@ -106,11 +106,15 @@ type clientState struct {
 }
 
 // memoKey identifies a verified request by content, mirroring the
-// certificate memo: same client, nonce, and signature hash — a tampered
-// retransmission never hits a cached verdict.
+// certificate memo: same client, nonce, signed message (which covers the
+// payload), and signature — a tampered retransmission never hits a cached
+// verdict. Binding the message hash matters: keying on the signature alone
+// would let a captured signature replay with a different payload once its
+// nonce ages out of the dedup window, turning a cached ok verdict into an
+// unverified forgery.
 type memoKey struct {
-	client, nonce uint64
-	sigHash       keys.Digest
+	client, nonce    uint64
+	msgHash, sigHash keys.Digest
 }
 
 // queued is one verified request waiting for the batcher.
@@ -244,7 +248,8 @@ func (g *Gateway) Submit(txn types.Transaction, now time.Time) error {
 
 	// Signature memo: a retransmission of the exact same signed request
 	// skips the crypto entirely.
-	key := memoKey{client: txn.Client, nonce: txn.Nonce, sigHash: keys.Hash(txn.Sig)}
+	msg := keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload)
+	key := memoKeyFor(txn, msg)
 	if ok, hit := g.memo[key]; hit {
 		g.inc("gateway-memo-hit")
 		if !ok {
@@ -258,12 +263,12 @@ func (g *Gateway) Submit(txn types.Transaction, now time.Time) error {
 		// Parallel path: reserve a slot, verify off-loop, re-enter through
 		// Deliver in submission order.
 		g.inVerify++
-		g.ver.submit(verifyJob{txn: txn, at: now, msg: keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload)})
+		g.ver.submit(verifyJob{txn: txn, at: now, msg: msg})
 		return nil
 	}
 
 	// Inline path (deterministic).
-	ok := g.cfg.Clients.Verify(txn.Client, keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload), txn.Sig)
+	ok := g.cfg.Clients.Verify(txn.Client, msg, txn.Sig)
 	g.memoPut(key, ok)
 	if !ok {
 		g.inc("gateway-verify-fail")
@@ -280,7 +285,7 @@ func (g *Gateway) Submit(txn types.Transaction, now time.Time) error {
 func (g *Gateway) onVerified(job verifyJob, ok bool) {
 	g.cfg.Deliver(func() {
 		g.inVerify--
-		g.memoPut(memoKey{client: job.txn.Client, nonce: job.txn.Nonce, sigHash: keys.Hash(job.txn.Sig)}, ok)
+		g.memoPut(memoKeyFor(job.txn, job.msg), ok)
 		if !ok {
 			g.inc("gateway-verify-fail")
 			return
@@ -288,6 +293,47 @@ func (g *Gateway) onVerified(job verifyJob, ok bool) {
 		g.inc("gateway-verified")
 		g.enqueue(job.txn, job.at)
 	})
+}
+
+// memoKeyFor builds the memo key binding a request's full signed content:
+// msg must be keys.ClientRequestMessage(txn.Client, txn.Nonce, txn.Payload).
+func memoKeyFor(txn types.Transaction, msg []byte) memoKey {
+	return memoKey{
+		client: txn.Client, nonce: txn.Nonce,
+		msgHash: keys.Hash(msg), sigHash: keys.Hash(txn.Sig),
+	}
+}
+
+// VerifyTxns authenticates the client signatures embedded in a proposed
+// batch. Replicas call it on local pre-prepare receipt (DESIGN.md §10):
+// without this re-check, a Byzantine local leader could fabricate
+// transactions attributed to any client and have the group certify them —
+// intake verification only binds the leader that admitted the request.
+// Direct-injection transactions (Client == 0) carry no client signature and
+// are skipped. The verification memo is consulted read-only — the proposing
+// leader verified these at intake, so it hits; followers pay the crypto —
+// but never populated, so proposal validation cannot perturb the intake
+// memo's occupancy or eviction timing.
+func (g *Gateway) VerifyTxns(txns []types.Transaction) bool {
+	for i := range txns {
+		t := &txns[i]
+		if t.Client == 0 {
+			continue
+		}
+		msg := keys.ClientRequestMessage(t.Client, t.Nonce, t.Payload)
+		if len(g.memo) > 0 {
+			if ok, hit := g.memo[memoKeyFor(*t, msg)]; hit {
+				if !ok {
+					return false
+				}
+				continue
+			}
+		}
+		if !g.cfg.Clients.Verify(t.Client, msg, t.Sig) {
+			return false
+		}
+	}
+	return true
 }
 
 // memoPut records a verification verdict, bounded drop-and-restart like the

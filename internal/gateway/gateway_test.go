@@ -171,6 +171,87 @@ func TestDedupWindowEviction(t *testing.T) {
 	}
 }
 
+// TestMemoForgedPayloadReplayRejected pins the memo key binding the full
+// signed message: a captured signature replayed with a DIFFERENT payload —
+// after the original nonce aged out of the dedup window, so dedup no longer
+// absorbs it — must fail verification instead of riding the cached ok
+// verdict of the genuine request into the queue.
+func TestMemoForgedPayloadReplayRejected(t *testing.T) {
+	env := newEnv(t, func(c *Config) { c.DedupWindow = 1 })
+	g := env.gw
+	ck := env.cks[0]
+
+	genuine := req(ck, 1, "pay alice 1")
+	if err := g.Submit(genuine, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	g.TakeBatch(at(0), 10, true)
+	g.MarkExecuted(Exec{Client: ck.ID, Nonce: 1, Height: 1})
+	// Evict nonce 1 from the window (window=1).
+	if err := g.Submit(req(ck, 2, "w"), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	g.TakeBatch(at(1), 10, true)
+	g.MarkExecuted(Exec{Client: ck.ID, Nonce: 2, Height: 2})
+
+	// Replay the genuine signature over a forged payload.
+	forged := genuine
+	forged.Payload = []byte("pay mallory 1000000")
+	if err := g.Submit(forged, at(2)); err != ErrBadSignature {
+		t.Fatalf("forged replay: err = %v, want ErrBadSignature", err)
+	}
+	if g.Pending() != 0 {
+		t.Fatal("forged transaction entered the queue")
+	}
+	// The genuine bytes still hit the memo and re-enter (at-least-once
+	// beyond the window, by design).
+	if err := g.Submit(genuine, at(3)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pending() != 1 {
+		t.Fatal("genuine retransmission not re-admitted")
+	}
+}
+
+// TestVerifyTxnsAuthenticatesBatch pins the replica-side proposal check: a
+// batch with a fabricated client transaction must fail, a properly signed
+// batch (with direct-injection Client==0 entries interleaved) must pass.
+func TestVerifyTxnsAuthenticatesBatch(t *testing.T) {
+	env := newEnv(t, nil)
+	g := env.gw
+
+	good := []types.Transaction{
+		req(env.cks[0], 1, "a"),
+		{Client: 0, Nonce: 7, Payload: []byte("direct")}, // no client sig
+		req(env.cks[1], 1, "b"),
+	}
+	if !g.VerifyTxns(good) {
+		t.Fatal("signed batch rejected")
+	}
+
+	// A Byzantine leader fabricates a transaction attributed to client 3.
+	forged := req(env.cks[2], 1, "theirs")
+	forged.Client = env.cks[3].ID
+	if g.VerifyTxns([]types.Transaction{forged}) {
+		t.Fatal("fabricated transaction accepted")
+	}
+
+	// Same content, tampered payload, genuine signature: rejected even when
+	// the genuine request sits in the memo.
+	genuine := req(env.cks[4], 5, "v1")
+	if err := g.Submit(genuine, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	tampered := genuine
+	tampered.Payload = []byte("v2")
+	if g.VerifyTxns([]types.Transaction{tampered}) {
+		t.Fatal("tampered payload accepted")
+	}
+	if !g.VerifyTxns([]types.Transaction{genuine}) {
+		t.Fatal("genuine memoized transaction rejected")
+	}
+}
+
 func TestAdmissionQueueBound(t *testing.T) {
 	env := newEnv(t, func(c *Config) { c.QueueLimit = 2 })
 	g := env.gw

@@ -191,6 +191,13 @@ type Config struct {
 	// SkipPrepare selects the two-phase variant used for the global accept
 	// phase (§II-A): pre-prepare then commit.
 	SkipPrepare bool
+	// Validate, when non-nil, vets a non-empty proposal payload before this
+	// replica accepts the pre-prepare and votes on it. Returning false drops
+	// the proposal — the slot stalls and the view-change timeout removes the
+	// leader — so a Byzantine leader cannot get application-invalid content
+	// certified past 2f+1 honest validators. Nil payloads (view-change no-op
+	// filler) bypass it. Runs on the Handle thread.
+	Validate func(payload []byte) bool
 	// OnViewChange, when non-nil, is notified after a new view installs.
 	OnViewChange func(view uint64)
 	// Trace, when non-nil, observes slot phase transitions on this replica:
@@ -379,6 +386,9 @@ func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
 	}
 	if keys.Hash(pp.Payload) != pp.Digest {
 		return // payload does not match digest
+	}
+	if len(pp.Payload) > 0 && in.cfg.Validate != nil && !in.cfg.Validate(pp.Payload) {
+		return // application-invalid proposal: refuse to vote
 	}
 	st := in.slot(pp.Slot)
 	if st.prePrepare {

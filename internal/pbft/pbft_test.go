@@ -142,6 +142,52 @@ func TestCommitHappyPath(t *testing.T) {
 	}
 }
 
+// TestValidateHookBlocksInvalidProposal: replicas refuse to vote on a
+// proposal their Validate hook rejects, so it never reaches quorum — the
+// application-level defense against a Byzantine leader proposing fabricated
+// content (core wires client-signature verification here). Valid proposals
+// and nil no-op payloads flow normally.
+func TestValidateHookBlocksInvalidProposal(t *testing.T) {
+	r, ins, logs, _ := buildGroup(t, 4, func(id keys.NodeID, cfg *Config) {
+		cfg.ViewChangeTimeout = 100 * time.Millisecond
+		cfg.Validate = func(payload []byte) bool { return !bytes.HasPrefix(payload, []byte("evil")) }
+	})
+	if err := ins[0].Propose([]byte("evil-entry")); err != nil {
+		t.Fatal(err)
+	}
+	r.pump()
+	for j, log := range logs {
+		if len(*log) != 0 {
+			t.Fatalf("node %d delivered a rejected proposal", j)
+		}
+	}
+	// The slot is poisoned for this view (each replica refused its first
+	// pre-prepare). A fresh valid proposal on the next slot still gathers a
+	// quorum, but in-order delivery holds it behind the wedged slot.
+	if err := ins[0].Propose([]byte("good-entry")); err != nil {
+		t.Fatal(err)
+	}
+	r.pump()
+	// The protocol layer's liveness watchdog (core watches lastLocalProgress)
+	// suspects the leader; the resulting view change fills the rejected slot
+	// with a no-op and releases the pipeline.
+	for j := 1; j < 4; j++ {
+		ins[j].SuspectLeader()
+	}
+	r.advance(time.Second)
+	for j, log := range logs {
+		var got []byte
+		for _, d := range *log {
+			if d.payload != nil {
+				got = d.payload
+			}
+		}
+		if !bytes.Equal(got, []byte("good-entry")) {
+			t.Fatalf("node %d: valid proposal did not commit after view change (log %d entries)", j, len(*log))
+		}
+	}
+}
+
 func TestNonLeaderCannotPropose(t *testing.T) {
 	_, ins, _, _ := buildGroup(t, 4, nil)
 	if err := ins[1].Propose([]byte("x")); err == nil {

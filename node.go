@@ -222,7 +222,8 @@ type ProcNode struct {
 	node cluster.Node
 	cfg  *cluster.Config
 	col  *metrics.Collector
-	gws  *gwServer // client-facing gateway listener, nil unless configured
+	gw   *gateway.Gateway // client front end, nil unless configured
+	gws  *gwServer        // client-facing gateway listener, nil unless configured
 	logf func(format string, args ...any)
 }
 
@@ -409,6 +410,7 @@ func StartNode(nc NodeConfig) (*ProcNode, error) {
 			},
 		})
 	}
+	n.gw = ctx.Gateway
 	n.ep = ctx.Net
 	n.node = core.NewNode(ctx)
 	fab.SetHandler(id, n.node)
@@ -539,5 +541,14 @@ func (n *ProcNode) Stop(drain time.Duration) error {
 	if n.gws != nil {
 		n.gws.close()
 	}
-	return n.fab.Close()
+	err := n.fab.Close()
+	// Stop the gateway's verification workers only after the fabric is down:
+	// until then the event loop can still feed forwarded client requests into
+	// the pool, and closing first would panic the submit. Post-close worker
+	// completions re-enter through Endpoint.After, which drops them once the
+	// fabric is closed.
+	if n.gw != nil {
+		n.gw.Close()
+	}
+	return err
 }
