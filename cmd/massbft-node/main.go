@@ -24,6 +24,8 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,12 +43,17 @@ func main() {
 		drain     = flag.Duration("drain", 2*time.Second, "graceful drain window on shutdown")
 		statusOut = flag.String("status", "", "write a status JSON snapshot to this file periodically")
 		statusInt = flag.Duration("status-interval", 500*time.Millisecond, "status file refresh interval")
+		reconf    = flag.String("reconfigure", "", "admin membership trigger, \"join:G@DELAY\" or \"leave:G@DELAY\" (e.g. join:2@5s): after DELAY, broadcast the trigger for group G from this node")
 		verbose   = flag.Bool("v", false, "log transport lifecycle events")
 	)
 	flag.Parse()
 	if *topoPath == "" || *group < 0 || *index < 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	reconfOp, reconfGroup, reconfDelay, err := parseReconfigure(*reconf)
+	if err != nil {
+		log.Fatalf("massbft-node: -reconfigure: %v", err)
 	}
 
 	topo, err := massbft.LoadTopology(*topoPath)
@@ -70,6 +77,14 @@ func main() {
 	}
 	log.Printf("massbft-node: node (%d,%d) up, %d peers, rejoin=%v",
 		*group, *index, len(topo.Nodes)-1, *rejoin)
+
+	if reconfOp != 0 {
+		op, g := reconfOp, reconfGroup
+		time.AfterFunc(reconfDelay, func() {
+			log.Printf("massbft-node: broadcasting reconfigure trigger (op=%d group=%d)", op, g)
+			node.Reconfigure(op, g)
+		})
+	}
 
 	stopStatus := make(chan struct{})
 	if *statusOut != "" {
@@ -97,6 +112,37 @@ func main() {
 		writeStatus(node, *statusOut) // final snapshot reflects the drain
 	}
 	printSummary(node)
+}
+
+// parseReconfigure parses the -reconfigure flag ("join:G@DELAY" /
+// "leave:G@DELAY"); an empty flag returns op 0.
+func parseReconfigure(s string) (op byte, group int, delay time.Duration, err error) {
+	if s == "" {
+		return 0, 0, 0, nil
+	}
+	verb, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want OP:GROUP@DELAY, got %q", s)
+	}
+	switch verb {
+	case "join":
+		op = massbft.ReconfigJoin
+	case "leave":
+		op = massbft.ReconfigLeave
+	default:
+		return 0, 0, 0, fmt.Errorf("unknown op %q (want join or leave)", verb)
+	}
+	gs, ds, ok := strings.Cut(rest, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want OP:GROUP@DELAY, got %q", s)
+	}
+	if group, err = strconv.Atoi(gs); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad group %q: %v", gs, err)
+	}
+	if delay, err = time.ParseDuration(ds); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad delay %q: %v", ds, err)
+	}
+	return op, group, delay, nil
 }
 
 // statusWriter refreshes the status file until stopped.
@@ -139,8 +185,8 @@ func printSummary(node *massbft.ProcNode) {
 		fmt.Printf("transport: %+v\n", ts)
 		return
 	}
-	fmt.Printf("final: height=%d head=%.12s state=%.12s committed=%d aborted=%d entries=%d\n",
-		st.Height, st.Head, st.State, st.Committed, st.Aborted, st.Entries)
+	fmt.Printf("final: height=%d head=%.12s state=%.12s committed=%d aborted=%d entries=%d epoch=%d active=%v\n",
+		st.Height, st.Head, st.State, st.Committed, st.Aborted, st.Entries, st.Epoch, st.Active)
 	ts := st.Transport
 	fmt.Printf("transport: connects=%d reconnects=%d dial-failures=%d send-timeouts=%d "+
 		"queue-drop-bulk=%d queue-drop-prio=%d heartbeat-misses=%d bytes-out=%d bytes-in=%d\n",

@@ -100,6 +100,14 @@ func (c *Cluster) StartClients(n int) *ClientHub {
 	gen := c.Cfg.Gateway.hubWorkload(&c.Cfg)
 	h := &ClientHub{c: c, gen: gen, byID: make(map[uint64]*simClient)}
 	ng := len(c.Cfg.GroupSizes)
+	// Certified-down oracle for submission rotation: the observer node's
+	// membership view stands in for the gossip a real client library would
+	// keep. When no group is dead, departed, or standby the oracle never
+	// fires and rotation is byte-identical to the oracle-free behavior.
+	var down func(int) bool
+	if gd, ok := c.Nodes[c.Cfg.Observer].(interface{ GroupDown(int) bool }); ok {
+		down = gd.GroupDown
+	}
 	for i := 0; i < n; i++ {
 		ck := c.ClientKeys[i]
 		// Deterministic per-client timeout jitter (up to +50%) plus
@@ -116,6 +124,8 @@ func (c *Cluster) StartClients(n int) *ClientHub {
 				Verify:     c.Reg.Verify,
 				Timeout:    c.Cfg.Gateway.ReplyTimeout + jitter,
 				ExpBackoff: true,
+				Down:       down,
+				Jitter:     c.Cfg.Gateway.ResubmitJitter,
 			}),
 		}
 		h.clients = append(h.clients, sc)

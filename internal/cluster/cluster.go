@@ -270,6 +270,30 @@ func (c *Cluster) ScheduleNodeRecover(at time.Duration, id keys.NodeID) {
 	})
 }
 
+// ScheduleReconfigure delivers an administrative membership trigger
+// (ReconfigJoin / ReconfigLeave for group g) to every live node at virtual
+// time `at`. The trigger is unauthenticated intent — each correct group
+// turns it into a certified vote, and only the certified quorum changes the
+// member set — so delivering it out-of-band is faithful to how an operator
+// console would broadcast it.
+func (c *Cluster) ScheduleReconfigure(at time.Duration, op byte, g int) {
+	c.Net.Schedule(at, func() {
+		admin := keys.NodeID{Group: -1, Index: -1}
+		for gi, n := range c.Cfg.GroupSizes {
+			for j := 0; j < n; j++ {
+				id := keys.NodeID{Group: gi, Index: j}
+				if sn := c.Net.Node(id); sn == nil || sn.Crashed() {
+					continue
+				}
+				c.Nodes[id].HandleMessage(transport.Message{
+					From:    admin,
+					Payload: &ReconfigureMsg{Op: op, Group: g},
+				})
+			}
+		}
+	})
+}
+
 // SchedulePartition severs the WAN link between groups a and b at virtual
 // time `at` and heals it at `healAt` (no heal when healAt <= at).
 func (c *Cluster) SchedulePartition(at, healAt time.Duration, a, b int) {

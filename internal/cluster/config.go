@@ -153,6 +153,11 @@ type GatewayConfig struct {
 	// ReplyTimeout is how long a client waits for its f+1 reply certificate
 	// before resubmitting to the next group; 0 means 25x BatchTimeout.
 	ReplyTimeout time.Duration
+	// ResubmitJitter spreads resubmission deadlines by a deterministic
+	// per-(client, nonce, attempt) fraction of the timeout (up to +25%), so
+	// the mass retry wave after a group loss does not retransmit in
+	// lockstep. Off by default: committed bench baselines predate it.
+	ResubmitJitter bool
 }
 
 // Config describes one experiment run.
@@ -264,10 +269,23 @@ type Config struct {
 	// Gateway configures the client-serving front end; zero value disables.
 	Gateway GatewayConfig
 
+	// StandbyGroups marks the highest-numbered groups of GroupSizes as
+	// provisioned-but-inactive: their keys, transport endpoints, and stream
+	// slots exist from genesis, but they hold no state, propose nothing, and
+	// count in no quorum until a certified RecEpoch join admits them
+	// (DESIGN.md §11). Zero keeps every group active from the start.
+	StandbyGroups int
+
 	// Draining, set by Cluster.Drain, stops client load: leaders propose
 	// only empty heartbeat entries, which keep the group clocks advancing so
 	// every already-proposed entry reaches execution on every node.
 	Draining bool
+}
+
+// StandbyAtGenesis reports whether group g starts as a provisioned standby
+// group (the StandbyGroups highest-numbered groups of GroupSizes).
+func (c *Config) StandbyAtGenesis(g int) bool {
+	return c.StandbyGroups > 0 && g >= len(c.GroupSizes)-c.StandbyGroups
 }
 
 // SetObserver overrides the metrics observer node.

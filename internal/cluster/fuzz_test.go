@@ -10,6 +10,11 @@ import (
 func FuzzDecodeRecords(f *testing.F) {
 	f.Add(EncodeRecords([]Record{{Kind: RecTS, Stream: 1, Entry: EntryIDFor(0, 3), TS: 2}}))
 	f.Add(EncodeRecords(nil))
+	f.Add(EncodeRecords([]Record{
+		{Kind: RecGroupJoin, Stream: 3},
+		{Kind: RecGroupLeave, Stream: 2, TS: 9},
+		{Kind: RecEpoch, Stream: 3, Entry: EntryIDFor(int(ReconfigJoin), 1), TS: 12},
+	}))
 	f.Add([]byte{0, 0, 0, 200})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, ok := DecodeRecords(data)

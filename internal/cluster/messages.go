@@ -90,6 +90,33 @@ const (
 	// (Baseline family) derived from it are identical cluster-wide. Entry is
 	// unused (zero).
 	RecDead
+	// RecGroupJoin is a membership approval for admitting standby group
+	// Stream. Emitted by an active group it is one vote of the join quorum;
+	// emitted by the standby group itself (origin == Stream, its first and
+	// only pre-join record) it is the readiness attestation proving the
+	// group bootstrapped through checkpointed rejoin. Entry and TS unused.
+	RecGroupJoin
+	// RecGroupLeave is a membership approval for removing active group
+	// Stream. TS carries the emitter's next-expected MetaBatch seq for the
+	// leaving stream (its cursor), which bounds the eventual epoch cut the
+	// same way RecSuspect cursors bound a death cut. Entry unused.
+	RecGroupLeave
+	// RecEpoch is the certified epoch switch, emitted by the coordinator
+	// (lowest active group != target) once the Byzantine quorum of standing
+	// approvals — plus, for a join, the target's readiness attestation —
+	// exists. Stream is the target group; Entry.GID carries the op
+	// (ReconfigJoin/ReconfigLeave); Entry.Seq the new epoch number
+	// (processed only when it equals epoch+1, so duplicates are inert); TS
+	// is the join boundary S (the joined group proposes from seq S+1) or
+	// the leave cut (the departing stream's batches >= TS are fenced).
+	RecEpoch
+)
+
+// Reconfigure op codes (Entry.GID of a RecEpoch, and ReconfigureMsg.Op).
+// Stable wire contract: never renumber.
+const (
+	ReconfigJoin  byte = 1
+	ReconfigLeave byte = 2
 )
 
 // Record is one certified statement by a group.
@@ -296,6 +323,28 @@ type Checkpoint struct {
 	DeadCuts    []uint64
 	Suspects    []SuspectEdge
 	OwnSuspects []int
+
+	// Membership state (certified epoch reconfiguration, DESIGN.md §11):
+	// Epoch counts certified RecEpoch switches; Standby lists groups
+	// provisioned but not yet joined; Departed groups removed by a leave cut
+	// (their fence position rides in DeadGroups/DeadCuts); JoinStart* map a
+	// joined group to its first proposable seq (parallel slices — rounds
+	// below it are skipped cluster-wide). JoinVotes/LeaveVotes are the
+	// standing certified approvals of an in-flight membership op, reusing
+	// the SuspectEdge shape: Suspected = target, Origin = approving group,
+	// Cursor = the approver's target-stream cursor (leave votes only).
+	Epoch           uint64
+	Standby         []int
+	Departed        []int
+	JoinStartGroups []int
+	JoinStartSeqs   []uint64
+	JoinVotes       []SuspectEdge
+	LeaveVotes      []SuspectEdge
+	// CommitHi[g] is the highest own-entry commit seq certified in group g's
+	// stream as processed by the folding node — the watermark bounding both
+	// pre-join round skips and the join boundary a coordinator may certify,
+	// so it must survive a rejoin.
+	CommitHi []uint64
 }
 
 // WireSize returns the serialized size in bytes (transfer cost model).
@@ -320,6 +369,8 @@ func (c *Checkpoint) WireSize() int {
 		n += c.Pending[i].WireSize()
 	}
 	n += 12*len(c.DeadGroups) + 16*len(c.Suspects) + 4*len(c.OwnSuspects)
+	n += 8 + 4*len(c.Standby) + 4*len(c.Departed) + 12*len(c.JoinStartGroups)
+	n += 16*len(c.JoinVotes) + 16*len(c.LeaveVotes) + 8*len(c.CommitHi)
 	return n
 }
 
@@ -357,6 +408,21 @@ func (m *RejoinResp) WireSize() int {
 	}
 	return 1 + m.C.WireSize()
 }
+
+// ReconfigureMsg is the admin trigger for a membership change: join a
+// provisioned standby group or remove an active one. It is unauthenticated
+// intent, not a decision — every correct meta leader that processes it emits
+// its group's certified RecGroupJoin/RecGroupLeave approval, and only a
+// Byzantine quorum of those certified approvals (plus, for a join, the
+// target's readiness attestation) lets the coordinator certify the RecEpoch
+// switch. A lost or duplicated trigger is therefore harmless.
+type ReconfigureMsg struct {
+	Op    byte // ReconfigJoin or ReconfigLeave
+	Group int
+}
+
+// WireSize returns the serialized size in bytes.
+func (m *ReconfigureMsg) WireSize() int { return 1 + 1 + 4 }
 
 // ClientRequest carries one signed client transaction into a gateway: from a
 // client connection to any group node, and from a non-leader's gateway to the

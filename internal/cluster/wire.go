@@ -62,6 +62,7 @@ const (
 	envRejoinResp     = 15
 	envClientRequest  = 16
 	envClientReply    = 17
+	envReconfigure    = 18
 )
 
 // envelopeKindNames maps kind bytes to stable lower-case names, used for
@@ -84,6 +85,7 @@ var envelopeKindNames = map[byte]string{
 	envRejoinResp:     "rejoin-resp",
 	envClientRequest:  "client-request",
 	envClientReply:    "client-reply",
+	envReconfigure:    "reconfigure",
 }
 
 // EnvelopeKindName returns the stable metric-friendly name of an envelope
@@ -187,6 +189,10 @@ func EncodeEnvelope(payload any) ([]byte, error) {
 		w.u64(m.Height)
 		w.bytes(m.Result)
 		w.sig(m.Sig)
+	case *ReconfigureMsg:
+		w.u8(envReconfigure)
+		w.u8(m.Op)
+		w.u32(uint32(m.Group))
 	default:
 		return nil, fmt.Errorf("cluster: cannot encode %T as envelope", payload)
 	}
@@ -249,6 +255,8 @@ func DecodeEnvelope(buf []byte) (any, error) {
 			Result: r.bytes(),
 			Sig:    r.sig(),
 		}
+	case envReconfigure:
+		out = &ReconfigureMsg{Op: r.u8(), Group: int(r.u32())}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrEnvelopeKind, buf[0])
 	}
@@ -537,7 +545,24 @@ func (w *wireWriter) checkpointOpt(c *Checkpoint) error {
 		w.u64(s.Cursor)
 	}
 	w.intSlice(c.OwnSuspects)
+	w.u64(c.Epoch)
+	w.intSlice(c.Standby)
+	w.intSlice(c.Departed)
+	w.intSlice(c.JoinStartGroups)
+	w.u64Slice(c.JoinStartSeqs)
+	w.suspectEdges(c.JoinVotes)
+	w.suspectEdges(c.LeaveVotes)
+	w.u64Slice(c.CommitHi)
 	return nil
+}
+
+func (w *wireWriter) suspectEdges(edges []SuspectEdge) {
+	w.u32(uint32(len(edges)))
+	for _, s := range edges {
+		w.u32(uint32(s.Suspected))
+		w.u32(uint32(s.Origin))
+		w.u64(s.Cursor)
+	}
 }
 
 func (w *wireWriter) exportedSlots(slots []pbft.ExportedSlot) {
@@ -1010,7 +1035,26 @@ func (r *wireReader) checkpointOpt() *Checkpoint {
 		})
 	}
 	c.OwnSuspects = r.intSlice()
+	c.Epoch = r.u64()
+	c.Standby = r.intSlice()
+	c.Departed = r.intSlice()
+	c.JoinStartGroups = r.intSlice()
+	c.JoinStartSeqs = r.u64Slice()
+	c.JoinVotes = r.suspectEdges()
+	c.LeaveVotes = r.suspectEdges()
+	c.CommitHi = r.u64Slice()
 	return c
+}
+
+func (r *wireReader) suspectEdges() []SuspectEdge {
+	n := r.count(16)
+	var out []SuspectEdge
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, SuspectEdge{
+			Suspected: int(r.u32()), Origin: int(r.u32()), Cursor: r.u64(),
+		})
+	}
+	return out
 }
 
 func (r *wireReader) exportedSlots() []pbft.ExportedSlot {

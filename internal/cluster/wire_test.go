@@ -109,10 +109,18 @@ func wireFixtures() map[string]any {
 			ID: entry.ID, Entry: entry, Cert: cert, StampedBy: 1,
 			Streams: []int{0, 1}, Stamps: []int{1}, Committed: true, CommitSeen: false,
 		}},
-		DeadGroups:  []int{3},
-		DeadCuts:    []uint64{17},
-		Suspects:    []SuspectEdge{{Suspected: 3, Origin: 0, Cursor: 6}},
-		OwnSuspects: []int{3},
+		DeadGroups:      []int{3},
+		DeadCuts:        []uint64{17},
+		Suspects:        []SuspectEdge{{Suspected: 3, Origin: 0, Cursor: 6}},
+		OwnSuspects:     []int{3},
+		Epoch:           2,
+		Standby:         []int{3},
+		Departed:        []int{2},
+		JoinStartGroups: []int{1},
+		JoinStartSeqs:   []uint64{21},
+		JoinVotes:       []SuspectEdge{{Suspected: 3, Origin: 0}},
+		LeaveVotes:      []SuspectEdge{{Suspected: 2, Origin: 1}, {Suspected: 2, Origin: 2}},
+		CommitHi:        []uint64{20, 19},
 	}
 
 	return map[string]any{
@@ -163,6 +171,15 @@ func wireFixtures() map[string]any {
 			Client: 9, Nonce: 4, Status: ReplyOK, GID: 1, Height: 12,
 			Result: []byte("ok"), Sig: sig(1, 2, "rs"),
 		},
+		"Reconfigure": &ReconfigureMsg{Op: ReconfigJoin, Group: 3},
+		// The membership record kinds travel inside ordinary MetaBatches;
+		// pin one batch carrying all three so their canonical record
+		// encoding is covered by round-trip, truncation, and golden tests.
+		"MetaBatch.Membership": &MetaBatch{FromGroup: 0, Seq: 8, Records: []Record{
+			{Kind: RecGroupJoin, Stream: 3},
+			{Kind: RecGroupLeave, Stream: 2, TS: 17},
+			{Kind: RecEpoch, Stream: 3, Entry: types.EntryID{GID: int(ReconfigJoin), Seq: 3}, TS: 21},
+		}, Cert: cert},
 	}
 }
 
@@ -268,6 +285,13 @@ var goldenEnvelopes = map[string]string{
 		"00000006636c69736967",
 	"ClientReply": "11000000000000000900000000000000040100000001000000000000000c" +
 		"000000026f6b0000000100000002000000027273",
+	"Reconfigure": "120100000003",
+	"MetaBatch.Membership": "0900000000000000000000000800000067000000030600000003000000000000" +
+		"0000000000000000000000000000000000000000000007000000020000000000" +
+		"0000000000000000000000000000110000000000000000080000000300000001" +
+		"0000000000000003000000000000001500000000000000000100000002010203" +
+		"0000000000000000000000000000000000000000000000000000000000000000" +
+		"0200000002000000000000000273300000000200000001000000027331",
 }
 
 // TestEnvelopeKindNames: every fixture's first encoded byte maps to a stable

@@ -504,6 +504,85 @@ func TestSimultaneousGroupDeathsCertifyTogether(t *testing.T) {
 	assertLiveSafety(t, c, skip)
 }
 
+// TestMembershipCrashOverlapEpochSwitch is the crash-overlap acceptance
+// schedule for certified dynamic membership: standby group 3's join is
+// triggered at 1s, and while the epoch switch is in flight two followers of
+// group 1 crash with overlapping downtime — briefly leaving group 1 below
+// its local quorum, so it stalls mid-switch and must catch up through the
+// checkpointed rejoin path afterwards. The epoch switch must certify without
+// group 1's vote (the quorum is 2 of 3 member groups), every node must land
+// on the same post-join membership, and no fork or conflicting stamp may
+// certify anywhere.
+func TestMembershipCrashOverlapEpochSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy integration test")
+	}
+	cfg := cluster.Config{
+		GroupSizes:        []int{4, 4, 4, 4},
+		Opts:              cluster.PresetMassBFT(),
+		Workload:          "ycsb-a",
+		Seed:              64,
+		MaxBatch:          10,
+		BatchTimeout:      10 * time.Millisecond,
+		PipelineDepth:     4,
+		RunFor:            6 * time.Second,
+		Warmup:            300 * time.Millisecond,
+		TakeoverTimeout:   300 * time.Millisecond,
+		ViewChangeTimeout: 400 * time.Millisecond,
+		// Longer than group 1's stall: this schedule is about crash overlap
+		// during an epoch switch, not about certifying a group death.
+		SuspectTimeout:     4 * time.Second,
+		RepairTimeout:      150 * time.Millisecond,
+		CheckpointInterval: 300 * time.Millisecond,
+		RejoinTimeout:      300 * time.Millisecond,
+		TrustAll:           true,
+		StandbyGroups:      1,
+	}
+	cfg.SetObserver(keys.NodeID{Group: 0, Index: 0})
+	c, err := cluster.New(cfg, NewNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleReconfigure(1*time.Second, cluster.ReconfigJoin, 3)
+	// Overlapping follower crashes in group 1: (1,1) down 1.1s-2.3s,
+	// (1,2) down 1.5s-2.7s. During the overlap only 2 of 4 members are up —
+	// below the 2f+1=3 local quorum — so group 1 can neither vote nor
+	// certify records until the first recovery.
+	c.ScheduleNodeCrash(1100*time.Millisecond, keys.NodeID{Group: 1, Index: 1})
+	c.ScheduleNodeRecover(2300*time.Millisecond, keys.NodeID{Group: 1, Index: 1})
+	c.ScheduleNodeCrash(1500*time.Millisecond, keys.NodeID{Group: 1, Index: 2})
+	c.ScheduleNodeRecover(2700*time.Millisecond, keys.NodeID{Group: 1, Index: 2})
+	c.RunUntil(3500 * time.Millisecond)
+	obs := c.Nodes[c.Cfg.Observer].(*Node)
+	mid := obs.ExecutedSeqs()
+	c.RunUntil(cfg.RunFor)
+	drainLive(c, nil)
+
+	m := c.Metrics
+	if m.Counter("groups-joined") == 0 {
+		t.Fatalf("epoch switch never applied on the joining group: %s", m.Summary())
+	}
+	if m.Counter("state-transfers") == 0 {
+		t.Fatalf("no crashed node recovered via state transfer: %s", m.Summary())
+	}
+	if d := m.Counter("deaths-emitted"); d != 0 {
+		t.Fatalf("crash overlap certified %d group deaths (schedule should stay below the suspect window): %s",
+			d, m.Summary())
+	}
+	assertEpochEverywhere(t, c, 1, []int{0, 1, 2, 3}, nil)
+	end := obs.ExecutedSeqs()
+	for g := range end {
+		if end[g] <= mid[g] {
+			t.Fatalf("group %d made no progress after the crashes healed (mid=%v end=%v): %s",
+				g, mid, end, m.Summary())
+		}
+	}
+	if seqs := end; seqs[3] == 0 {
+		t.Fatalf("joined group never executed an entry of its own (%v): %s", seqs, m.Summary())
+	}
+	assertLiveSafety(t, c, nil)
+}
+
 // TestPartitionFailoverReduced is a reduced-schedule partition failover run
 // kept fast enough for the -race -short CI shard (it deliberately does NOT
 // skip under -short): a three-group Baseline cluster — covering the

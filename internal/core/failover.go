@@ -51,9 +51,18 @@ func (n *Node) streamCursor(g int) uint64 {
 	return 0
 }
 
-// groupQuorum is the Byzantine quorum over groups — the same majority the
-// accept/commit phases use.
-func (n *Node) groupQuorum() int { return (n.ng-1)/2 + 1 }
+// memberCount is the number of groups that are members of the current epoch:
+// everything except standby groups (never admitted) and departed groups
+// (removed by a certified leave cut). Certified-dead groups that were neither
+// still count — a crash does not shrink the quorum denominator, exactly as
+// before dynamic membership existed.
+func (n *Node) memberCount() int {
+	return n.ng - len(n.standbyGroups) - len(n.departed)
+}
+
+// groupQuorum is the Byzantine quorum over the current epoch's member groups —
+// the same majority the accept/commit phases use.
+func (n *Node) groupQuorum() int { return (n.memberCount()-1)/2 + 1 }
 
 // successor returns the designated successor for group g: the lowest-numbered
 // group other than g that is not itself certified dead. While the live
@@ -236,17 +245,26 @@ func (n *Node) onDeadRecord(origin int, rec cluster.Record) {
 		n.ctx.Metrics.Inc("dead-dupes")
 		return
 	}
+	n.applyGroupCut(g, rec.TS)
+	n.ctx.Metrics.Inc("group-deaths")
+}
+
+// applyGroupCut removes group g from the live set with its stream cut at
+// `cut` — the shared mechanics of a certified death (onDeadRecord) and a
+// certified leave (onEpochRecord): record the cut, drop the suspicion
+// bookkeeping, halt our own group if it is the one removed, and fence the
+// unprocessable tail of its batch stream.
+func (n *Node) applyGroupCut(g int, cut uint64) {
 	n.deadGroups[g] = true
-	n.deadCut[g] = rec.TS
+	n.deadCut[g] = cut
 	delete(n.suspecters, g)
 	delete(n.ownSuspects, g)
 	delete(n.takeoverSent, g)
-	n.ctx.Metrics.Inc("group-deaths")
 	if g == n.g {
-		// Our own group was declared dead — we were on the losing side of a
-		// partition. Halt proposing and record emission so this group cannot
-		// extend a fork past the certified cut; recovery requires
-		// re-provisioning, which the model does not attempt.
+		// Our own group was removed — declared dead on the losing side of a
+		// partition, or departed by a certified leave. Halt proposing and
+		// record emission so this group cannot extend a fork past the
+		// certified cut; members keep serving fetches for the agreed prefix.
 		n.selfDead = true
 		return
 	}
@@ -257,7 +275,7 @@ func (n *Node) onDeadRecord(origin int, rec cluster.Record) {
 	// Fence buffered batches at or past the cut — they will never process.
 	seqs := make([]uint64, 0, len(in.buffered))
 	for s := range in.buffered {
-		if s >= rec.TS {
+		if s >= cut {
 			seqs = append(seqs, s)
 		}
 	}
@@ -265,7 +283,7 @@ func (n *Node) onDeadRecord(origin int, rec cluster.Record) {
 		delete(in.buffered, s)
 		n.ctx.Metrics.Inc("fenced-batches")
 	}
-	if len(in.buffered) == 0 && in.next >= rec.TS {
+	if len(in.buffered) == 0 && in.next >= cut {
 		in.gapSince, in.repairAttempts, in.nextRepairAt = 0, 0, 0
 	}
 }
@@ -312,21 +330,92 @@ func (n *Node) foldFailover(ck *cluster.Checkpoint) {
 		}
 	}
 	ck.OwnSuspects = sortedIntKeys(n.ownSuspects)
+
+	// Membership state (DESIGN.md §11): like deaths and cuts, it was decided
+	// by certified records the restoring node already consumed.
+	ck.Epoch = n.epoch
+	ck.Standby = sortedIntKeys(n.standbyGroups)
+	ck.Departed = sortedIntKeys(n.departed)
+	for _, g := range sortedMapKeys(n.joinStart) {
+		ck.JoinStartGroups = append(ck.JoinStartGroups, g)
+		ck.JoinStartSeqs = append(ck.JoinStartSeqs, n.joinStart[g])
+	}
+	ck.JoinVotes = foldVotes(n.joinVotes)
+	ck.LeaveVotes = foldVotes(n.leaveVotes)
+	ck.CommitHi = append([]uint64(nil), n.commitHi...)
 }
 
-// restoreFailover installs a checkpoint's failover state wholesale.
+// foldVotes flattens a standing membership-approval table into deterministic
+// SuspectEdge records (Suspected = target, Origin = approver).
+func foldVotes(votes map[int]map[int]bool) []cluster.SuspectEdge {
+	var out []cluster.SuspectEdge
+	tg := make([]int, 0, len(votes))
+	for t := range votes {
+		tg = append(tg, t)
+	}
+	sort.Ints(tg)
+	for _, t := range tg {
+		for _, o := range sortedIntKeys(votes[t]) {
+			out = append(out, cluster.SuspectEdge{Suspected: t, Origin: o})
+		}
+	}
+	return out
+}
+
+// restoreVotes rebuilds a membership-approval table from its folded edges.
+func restoreVotes(edges []cluster.SuspectEdge) map[int]map[int]bool {
+	votes := make(map[int]map[int]bool)
+	for _, e := range edges {
+		v := votes[e.Suspected]
+		if v == nil {
+			v = make(map[int]bool)
+			votes[e.Suspected] = v
+		}
+		v[e.Origin] = true
+	}
+	return votes
+}
+
+// restoreFailover installs a checkpoint's failover and membership state
+// wholesale.
 func (n *Node) restoreFailover(ck *cluster.Checkpoint) {
 	n.deadGroups = make(map[int]bool)
 	n.deadCut = make(map[int]uint64)
 	n.suspecters = make(map[int]map[int]uint64)
 	n.ownSuspects = make(map[int]bool)
 	n.selfDead = false
+	n.epoch = ck.Epoch
+	n.standbyGroups = make(map[int]bool)
+	for _, g := range ck.Standby {
+		n.standbyGroups[g] = true
+	}
+	n.departed = make(map[int]bool)
+	for _, g := range ck.Departed {
+		n.departed[g] = true
+	}
+	n.joinStart = make(map[int]uint64)
+	for i, g := range ck.JoinStartGroups {
+		if i < len(ck.JoinStartSeqs) {
+			n.joinStart[g] = ck.JoinStartSeqs[i]
+		}
+	}
+	n.joinVotes = restoreVotes(ck.JoinVotes)
+	n.leaveVotes = restoreVotes(ck.LeaveVotes)
+	n.commitHi = make([]uint64, n.ng)
+	copy(n.commitHi, ck.CommitHi)
+	n.ownCommitHi = 0
+	n.epochEmitted = 0
+	n.wantJoin = make(map[int]bool)
+	n.wantLeave = make(map[int]bool)
+	n.leaving = false
 	for i, g := range ck.DeadGroups {
 		n.deadGroups[g] = true
 		if i < len(ck.DeadCuts) {
 			n.deadCut[g] = ck.DeadCuts[i]
 		}
-		if g == n.g {
+		// A standby own group is seeded in deadGroups but is not halted —
+		// it is waiting to join, not declared dead.
+		if g == n.g && !n.standbyGroups[g] {
 			n.selfDead = true
 		}
 	}

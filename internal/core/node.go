@@ -198,6 +198,38 @@ type Node struct {
 	deadCut     map[int]uint64
 	selfDead    bool
 
+	// Certified epoch reconfiguration state (membership.go, DESIGN.md §11).
+	// standbyGroups marks provisioned-but-unjoined groups — they are also in
+	// deadGroups, so the whole failover machinery (frozen takeover stamps,
+	// skips, successor choice) treats them as absent until a certified join.
+	// departed groups were removed by a certified leave cut (their fence
+	// rides in deadGroups/deadCut). joinStart[g] is the first seq a joined
+	// group proposes; epoch counts certified RecEpoch switches. joinVotes and
+	// leaveVotes hold the standing certified approvals per target group
+	// (target -> approving origins; origin == target is the readiness
+	// attestation / farewell). commitHi[g] is the highest own-entry commit
+	// seq processed from g's stream — the watermark that bounds pre-join
+	// round skips; ownCommitHi additionally counts commits queued but not
+	// yet certified (the coordinator's join-boundary source). wantJoin /
+	// wantLeave are node-local admin intents awaiting this group's certified
+	// vote. selfStandby keeps a cold standby node deaf; leaving halts this
+	// group's stream right after its farewell record; epochEmitted dedups
+	// the coordinator leader's RecEpoch emission per epoch number.
+	epoch         uint64
+	standbyGroups map[int]bool
+	departed      map[int]bool
+	joinStart     map[int]uint64
+	joinVotes     map[int]map[int]bool
+	leaveVotes    map[int]map[int]bool
+	commitHi      []uint64
+	ownCommitHi   uint64
+	wantJoin      map[int]bool
+	wantLeave     map[int]bool
+	selfStandby   bool
+	joinTriggered bool
+	leaving       bool
+	epochEmitted  uint64
+
 	// Byzantine defence: identified tampering senders (§VI-E).
 	blacklist map[keys.NodeID]bool
 	// chunkFrom remembers which transport peer supplied each chunk.
@@ -268,6 +300,30 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		archive:      make(map[types.EntryID]*archived),
 		nextSeq:      1,
 		ledger:       ledger.New(),
+
+		standbyGroups: make(map[int]bool),
+		departed:      make(map[int]bool),
+		joinStart:     make(map[int]uint64),
+		joinVotes:     make(map[int]map[int]bool),
+		leaveVotes:    make(map[int]map[int]bool),
+		wantJoin:      make(map[int]bool),
+		wantLeave:     make(map[int]bool),
+	}
+	n.commitHi = make([]uint64, n.ng)
+	for g := 0; g < n.ng; g++ {
+		if !n.cfg.StandbyAtGenesis(g) {
+			continue
+		}
+		// A standby group is provisioned (keys, endpoints, stream slot) but
+		// absent: seeding it as dead with cut 0 makes the existing failover
+		// machinery fence its stream, freeze its clock at 0, and skip its
+		// rounds until a certified RecEpoch join revives it.
+		n.standbyGroups[g] = true
+		n.deadGroups[g] = true
+		n.deadCut[g] = 0
+		if g == n.g {
+			n.selfStandby = true
+		}
 	}
 	for j := 0; j < ctx.Cfg.GroupSizes[n.g]; j++ {
 		n.members = append(n.members, keys.NodeID{Group: n.g, Index: j})
@@ -442,11 +498,21 @@ func (n *Node) HandleMessage(msg transport.Message) {
 		// whatever mattered).
 		switch m := msg.Payload.(type) {
 		case *cluster.RejoinResp:
-			n.onRejoinResp(m)
-		case *cluster.MetaBatch, *cluster.LocalMsg, *cluster.MetaMsg:
+			n.onRejoinResp(msg.From, m)
+		case *cluster.MetaBatch, *cluster.LocalMsg, *cluster.MetaMsg, *cluster.ReconfigureMsg:
 			if len(n.rejoinBuf) < rejoinBufMax {
 				n.rejoinBuf = append(n.rejoinBuf, msg)
 			}
+		}
+		return
+	}
+	if n.selfStandby {
+		// A cold standby node holds no state and must not influence
+		// consensus: it stays deaf until the admin join trigger starts its
+		// checkpointed bootstrap (the transfer itself runs under the
+		// rejoining branch above).
+		if m, ok := msg.Payload.(*cluster.ReconfigureMsg); ok {
+			n.onReconfigure(m)
 		}
 		return
 	}
@@ -488,6 +554,8 @@ func (n *Node) HandleMessage(msg transport.Message) {
 		if n.ctx.ReplyOut != nil {
 			n.ctx.ReplyOut(m)
 		}
+	case *cluster.ReconfigureMsg:
+		n.onReconfigure(m)
 	case *cluster.RejoinReq:
 		n.onRejoinReq(msg.From, m)
 	case *cluster.RejoinResp:

@@ -83,8 +83,13 @@ func (n *Node) onMetaBatch(from keys.NodeID, b *cluster.MetaBatch) {
 	// Fence: a certified-dead group's stream is cut at deadCut. Batches at or
 	// past the cut never process (and are not liveness evidence) — a
 	// partition-side revival racing the death decision cannot extend the
-	// stream the takeover stamps already froze.
-	if n.deadGroups[b.FromGroup] && b.Seq >= n.deadCut[b.FromGroup] {
+	// stream the takeover stamps already froze. Standby groups are seeded
+	// dead with cut 0 but their stream must still flow: the only record a
+	// standby origin can land is its join readiness attestation
+	// (processRecords drops everything else), and fencing it would deadlock
+	// the join.
+	if n.deadGroups[b.FromGroup] && !n.standbyGroups[b.FromGroup] &&
+		b.Seq >= n.deadCut[b.FromGroup] {
 		n.ctx.Metrics.Inc("fenced-batches")
 		return
 	}
@@ -170,6 +175,14 @@ func (n *Node) processRecords(origin int, recs []cluster.Record) {
 		if rec.View > n.streamView[origin] {
 			n.streamView[origin] = rec.View
 		}
+		// A standby group has no say in consensus until its certified join:
+		// the only record admitted from a standby origin is its own readiness
+		// attestation.
+		if n.standbyGroups[origin] &&
+			!(rec.Kind == cluster.RecGroupJoin && rec.Stream == origin) {
+			n.ctx.Metrics.Inc("standby-fenced-records")
+			continue
+		}
 		switch rec.Kind {
 		case cluster.RecTS:
 			n.onTSRecord(origin, rec)
@@ -183,6 +196,12 @@ func (n *Node) processRecords(origin int, recs []cluster.Record) {
 			n.onRevokeRecord(origin, rec)
 		case cluster.RecDead:
 			n.onDeadRecord(origin, rec)
+		case cluster.RecGroupJoin:
+			n.onJoinRecord(origin, rec)
+		case cluster.RecGroupLeave:
+			n.onLeaveRecord(origin, rec)
+		case cluster.RecEpoch:
+			n.onEpochRecord(origin, rec)
 		}
 	}
 }
@@ -248,7 +267,7 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 	// congested downlink cannot stall the ordering of other groups.
 	if n.opts.Ordering == cluster.OrderAsync && n.opts.OverlapVTS &&
 		rec.Entry.GID != n.g && !st.content {
-		quorum := (n.ng-1)/2 + 1
+		quorum := n.groupQuorum()
 		if len(st.stamps) >= quorum {
 			n.emitStamp(rec.Entry)
 		}
@@ -287,7 +306,7 @@ func (n *Node) noteAccept(group int, id types.EntryID) {
 	}
 	st := n.st(id)
 	st.stamps[group] = true
-	quorum := (n.ng-1)/2 + 1
+	quorum := n.groupQuorum()
 	if len(st.stamps) < quorum || st.commitSeen {
 		return
 	}
@@ -304,6 +323,7 @@ func (n *Node) noteAccept(group int, id types.EntryID) {
 	if n.opts.Ordering == cluster.OrderAsync {
 		n.advanceClock()
 		if !n.opts.OverlapVTS {
+			n.noteOwnCommit(id.Seq)
 			n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
 		}
 	} else if n.opts.GlobalConsensus {
@@ -314,7 +334,19 @@ func (n *Node) noteAccept(group int, id types.EntryID) {
 		// change could then destroy the only copy with nobody left to
 		// re-emit it (restampScan only scans live entries), wedging every
 		// other group's round cursor forever.
+		n.noteOwnCommit(id.Seq)
 		n.emitRecord(cluster.Record{Kind: cluster.RecCommit, Stream: n.g, Entry: id})
+	}
+}
+
+// noteOwnCommit raises the highest own-entry commit seq this group has queued
+// for its stream. Together with commitHi (the certified watermark, tracked in
+// onCommitRecord) it bounds the join boundary a coordinator certifies into a
+// RecEpoch: no commit with a seq at or past the boundary can precede the
+// RecEpoch in the coordinator's FIFO stream (membership.go).
+func (n *Node) noteOwnCommit(seq uint64) {
+	if seq > n.ownCommitHi {
+		n.ownCommitHi = seq
 	}
 }
 
@@ -342,6 +374,13 @@ func (n *Node) advanceClock() {
 // onCommitRecord finalizes an entry that achieved global consensus.
 func (n *Node) onCommitRecord(origin int, rec cluster.Record) {
 	n.noteHolder(origin, rec.Entry)
+	if rec.Entry.GID == origin && rec.Entry.Seq > n.commitHi[origin] {
+		// Highest own-entry commit certified in origin's own stream: the
+		// FIFO watermark that bounds how far a standby group's rounds may be
+		// pre-skipped before its certified join (membership.go).
+		n.commitHi[origin] = rec.Entry.Seq
+		n.maybeSkipStandbyRounds()
+	}
 	if rec.Entry.Seq <= n.executedSeqOf(rec.Entry.GID) {
 		return
 	}
@@ -399,6 +438,13 @@ func (n *Node) takeoverTick() {
 		// suspicion. Members keep serving fetches for the agreed prefix.
 		return
 	}
+	n.membershipScan(now)
+	if n.standbyGroups[n.g] {
+		// A standby group's only duty pre-join is the readiness attestation
+		// the membership scan just handled; it runs none of the recovery or
+		// failover scans until the certified join activates it.
+		return
+	}
 	n.restampScan(now)
 	n.proposalRepairScan(now)
 	n.rebroadcastScan(now)
@@ -415,8 +461,14 @@ func (n *Node) takeoverTick() {
 		// Round mode: skip a certified-dead group's uncommitted round slots —
 		// but only once this node holds the group's full agreed prefix
 		// [0, cut), so the committed set (and therefore the skip set) is
-		// identical on every node.
+		// identical on every node. A standby group's rounds are instead
+		// skipped up to the certified-commit watermark, which the eventual
+		// join boundary can never undercut (skipStandbyRounds).
 		for _, s := range dead {
+			if n.standbyGroups[s] {
+				n.skipStandbyRounds(s)
+				continue
+			}
 			if n.streamCursor(s) >= n.deadCut[s] {
 				n.skipDeadRounds(s)
 			}

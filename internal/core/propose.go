@@ -17,8 +17,11 @@ func (n *Node) batchTick() {
 	now := n.now()
 	dt := now - n.lastTick
 	n.lastTick = now
-	if n.selfDead {
-		return // a certified-dead group stops proposing (see onDeadRecord)
+	if n.selfDead || n.standbyGroups[n.g] || n.leaving {
+		// A certified-dead group stops proposing (see onDeadRecord); so does
+		// a standby group awaiting its certified join, and a leaving group
+		// past its farewell record (membership.go).
+		return
 	}
 	// Rate-limited groups accumulate client transactions continuously
 	// (Fig 2 / Fig 12); saturated groups always have a full batch.

@@ -318,8 +318,22 @@ func (n *Node) emitStamp(id types.EntryID) {
 	if !n.meta.IsLeader() {
 		return
 	}
+	if n.standbyGroups[n.g] {
+		// A standby group must not stamp — and must not mark tsSent either,
+		// or the post-join activation sweep (activateJoined) could never
+		// re-emit the stamp this drop swallowed.
+		return
+	}
 	st := n.st(id)
 	if st.tsSent {
+		return
+	}
+	if st.stampedStreams != nil && st.stampedStreams[n.g] {
+		// Our group's clock already stamped this entry — either before this
+		// node bootstrapped into the group, or via a frozen takeover stamp
+		// emitted on our behalf while the group was standby. Emitting a
+		// fresh (different) value now would conflict on our own stream.
+		st.tsSent = true
 		return
 	}
 	st.tsSent = true
@@ -351,6 +365,18 @@ func (n *Node) stampTS() uint64 {
 // the same protocol events and queues the same records).
 func (n *Node) emitRecord(rec cluster.Record) {
 	if !n.meta.IsLeader() || n.selfDead {
+		return
+	}
+	if n.standbyGroups[n.g] && rec.Kind != cluster.RecGroupJoin {
+		// A standby group's only permissible record is its join readiness
+		// attestation; everything else would be fenced remotely anyway and
+		// must not burn stream positions.
+		return
+	}
+	if n.leaving && !(rec.Kind == cluster.RecGroupLeave && rec.Stream == n.g) {
+		// Past the farewell, the stream must end exactly where the leave cut
+		// will land: only a farewell re-emission (after a meta view change
+		// destroyed the first) may still be queued.
 		return
 	}
 	// Fence the record to the emitting leader's meta view: receivers drop

@@ -110,6 +110,18 @@ func (n *Node) Rejoin() {
 	n.lastMetaProgress = now
 	n.inFlight = 0
 	n.pendingRecs = nil
+	if n.selfStandby {
+		// A cold standby node has no state worth recovering. If the join
+		// trigger already reached us, restart the interrupted cross-group
+		// bootstrap; otherwise stay deaf until it arrives (membership.go).
+		n.rejoining = false
+		if n.joinTriggered {
+			n.startStandbyBootstrap()
+			return
+		}
+		n.armTicks()
+		return
+	}
 	if n.cfg.GroupSizes[n.g] < 2 {
 		// No peer to transfer from; resume with what we have.
 		n.armTicks()
@@ -149,10 +161,24 @@ func (n *Node) sendRejoinReq() {
 // verifies the suffix against its own certified chain before installing
 // (see verifySuffix) — serving honestly is not load-bearing for safety.
 func (n *Node) onRejoinReq(from keys.NodeID, m *cluster.RejoinReq) {
-	if from.Group != n.g || from == n.id {
+	if from == n.id || n.standbyGroups[n.g] {
+		return
+	}
+	// Cross-group requests are served only for a standby group's bootstrap;
+	// an active group's members always recover from their own LAN peers.
+	if from.Group != n.g &&
+		(from.Group < 0 || from.Group >= n.ng || !n.standbyGroups[from.Group]) {
 		return
 	}
 	resp := &cluster.RejoinResp{C: n.foldCheckpoint(m.Have)}
+	if from.Group != n.g {
+		// Our own stream has no streamIn, so the fold leaves StreamNext for
+		// this group at zero — but a bootstrapping node has never processed
+		// any of our batches and must resume our stream exactly where the
+		// folded state left it: the meta delivery cursor (MetaBatch.Seq is
+		// the meta slot). Same-group requesters ignore this slot.
+		resp.C.StreamNext[n.g] = resp.C.MetaSlot
+	}
 	n.ctx.Net.Send(from, resp, resp.WireSize())
 	n.ctx.Metrics.Inc("rejoin-served")
 }
@@ -160,9 +186,18 @@ func (n *Node) onRejoinReq(from keys.NodeID, m *cluster.RejoinReq) {
 // onRejoinResp installs a received checkpoint wholesale and resumes normal
 // operation. A checkpoint behind our own sealed height is rejected (a lagging
 // peer answered); the retry timer rotates to another peer.
-func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
+//
+// When the installing node is a cold standby member (bootstrap), the
+// checkpoint comes from an ACTIVE group: the global state installs the same
+// way, but nothing group-scoped crosses the boundary — the server's PBFT
+// instances, group clock, and proposer cursor belong to its group, not ours.
+func (n *Node) onRejoinResp(from keys.NodeID, resp *cluster.RejoinResp) {
 	if !n.rejoining || resp.C == nil {
 		return
+	}
+	bootstrap := n.selfStandby
+	if bootstrap == (from.Group == n.g) {
+		return // bootstrap answers come from other groups, rejoins from ours
 	}
 	ck := resp.C
 	if ck.Height < n.ledger.Height() {
@@ -194,10 +229,14 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 	n.executedSeq = make([]uint64, n.ng)
 	copy(n.executedSeq, ck.ExecutedSeq)
 
-	// Proposer state.
-	n.clk = ck.Clk
-	if ck.NextSeq > n.nextSeq {
-		n.nextSeq = ck.NextSeq
+	// Proposer state. A bootstrapping standby keeps its own zeroed group
+	// clock and proposal cursor: the checkpoint's are the serving group's,
+	// and ours are assigned by the certified join boundary (activateJoined).
+	if !bootstrap {
+		n.clk = ck.Clk
+		if ck.NextSeq > n.nextSeq {
+			n.nextSeq = ck.NextSeq
+		}
 	}
 	n.inFlight = 0
 	n.backlog = 0
@@ -291,8 +330,15 @@ func (n *Node) onRejoinResp(resp *cluster.RejoinResp) {
 
 	// PBFT instances last: Install may synchronously deliver committed
 	// in-flight slots, which must apply against the restored state above.
-	n.local.Install(ck.LocalView, ck.LocalSlot, ck.LocalSlots)
-	n.meta.Install(ck.MetaView, ck.MetaSlot, ck.MetaSlots)
+	// A bootstrapping standby keeps its fresh genesis instances — the
+	// exported slots are the serving group's consensus, not ours.
+	if !bootstrap {
+		n.local.Install(ck.LocalView, ck.LocalSlot, ck.LocalSlots)
+		n.meta.Install(ck.MetaView, ck.MetaSlot, ck.MetaSlots)
+	} else {
+		n.selfStandby = false
+		n.ctx.Metrics.Inc("standby-bootstrapped")
+	}
 
 	n.rejoining = false
 	n.ctx.Metrics.Inc("state-transfers")

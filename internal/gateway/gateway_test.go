@@ -511,6 +511,94 @@ func TestRequesterResubmission(t *testing.T) {
 	}
 }
 
+// TestRequesterDownOracle checks that submission and resubmission rotation
+// skip groups the Down oracle reports unable to answer, and fall back to
+// plain rotation when everything reads down.
+func TestRequesterDownOracle(t *testing.T) {
+	_, reg, err := keys.GenerateCluster([]int{4, 4, 4, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := map[int]bool{2: true}
+	r := NewRequester(RequesterConfig{
+		Client: 1, Groups: 4,
+		Faulty: reg.Faulty, Verify: reg.Verify,
+		Timeout: 100 * time.Millisecond, MaxAttempts: 8,
+		Down: func(g int) bool { return down[g] },
+	})
+	// (Client+nonce)%Groups = 2 is down; Begin skips to 3.
+	if g := r.Begin(1, at(0)); g != 3 {
+		t.Fatalf("Begin targeted %d, want the first up group 3", g)
+	}
+	// Rotation wraps 3 -> 0 -> 1, then skips the dead 2 straight to 3.
+	for i, want := range []int{0, 1, 3} {
+		re, g, gave := r.OnTick(at((i + 1) * 100))
+		if !re || gave {
+			t.Fatalf("rotation %d did not resubmit", i)
+		}
+		if g != want {
+			t.Fatalf("rotation %d targeted %d, want %d", i, g, want)
+		}
+	}
+	// With every group down the oracle is clearly wrong; rotation degrades
+	// to plain round-robin rather than spinning or stalling.
+	for g := 0; g < 4; g++ {
+		down[g] = true
+	}
+	if g := r.Begin(2, at(1000)); g != 3 {
+		t.Fatalf("all-down Begin targeted %d, want the hash group 3", g)
+	}
+	if re, g, _ := r.OnTick(at(1100)); !re || g != 0 {
+		t.Fatalf("all-down rotation targeted %d, want plain successor 0", g)
+	}
+}
+
+// TestRequesterJitter pins the resubmission jitter: the stretched wait stays
+// within [Timeout, 1.25*Timeout), is nonzero for this (client, nonce), and is
+// a pure function of (client, nonce, attempt) — two identical requesters
+// remain in lockstep, which the simulation determinism tests depend on.
+func TestRequesterJitter(t *testing.T) {
+	_, reg, err := keys.GenerateCluster([]int{4, 4, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Requester {
+		return NewRequester(RequesterConfig{
+			Client: 1, Groups: 3,
+			Faulty: reg.Faulty, Verify: reg.Verify,
+			Timeout: 100 * time.Millisecond, MaxAttempts: 8,
+			Jitter: true,
+		})
+	}
+	a, b := mk(), mk()
+	if a.Begin(1, at(0)) != b.Begin(1, at(0)) {
+		t.Fatal("identical requesters diverged at Begin")
+	}
+	// The first attempt's deadline is unjittered.
+	if re, _, _ := a.OnTick(at(99)); re {
+		t.Fatal("resubmitted before the base deadline")
+	}
+	re, _, _ := a.OnTick(at(100))
+	if !re {
+		t.Fatal("no resubmission at the base deadline")
+	}
+	b.OnTick(at(100))
+	// The second attempt's wait is jittered: for (client 1, nonce 1,
+	// attempt 2) the hash lands at +152/1024, so the deadline falls in
+	// (214ms, 215ms] — after the base 200ms, before the +25% cap 225ms.
+	if re, _, _ := a.OnTick(at(214)); re {
+		t.Fatal("jitter did not stretch the wait")
+	}
+	re, ga, _ := a.OnTick(at(215))
+	if !re {
+		t.Fatal("jittered deadline overshot the +25% bound")
+	}
+	reB, gb, _ := b.OnTick(at(215))
+	if !reB || ga != gb {
+		t.Fatalf("identical requesters diverged under jitter: %d vs %d", ga, gb)
+	}
+}
+
 // TestVerifierChurn exercises the pool under concurrent load with random
 // payload sizes to shake out reorder-buffer races (run with -race).
 func TestVerifierChurn(t *testing.T) {

@@ -47,6 +47,18 @@ type RequesterConfig struct {
 	ExpBackoff bool
 	// MaxAttempts bounds submission attempts per request; 0 means 2×Groups.
 	MaxAttempts int
+	// Down, when set, reports groups certified unable to answer (dead,
+	// departed, or not yet joined). Submission and resubmission rotation
+	// skip them instead of burning a full attempt timeout on a group that
+	// can never certify a reply. Liveness is preserved even if Down is
+	// wrong about a group: skipping only reorders the rotation, and when
+	// every group reads down the rotation falls back to plain round-robin.
+	Down func(group int) bool
+	// Jitter desynchronizes resubmission deadlines: each attempt's wait is
+	// stretched by up to +25%, derived deterministically from (client,
+	// nonce, attempt) so simulation runs stay reproducible while clients
+	// that timed out together do not retry in lockstep.
+	Jitter bool
 }
 
 // Result is an accepted, f+1-certified execution outcome.
@@ -100,11 +112,26 @@ func NewRequester(cfg RequesterConfig) *Requester {
 func (r *Requester) Begin(nonce uint64, now time.Time) (group int) {
 	r.nonce = nonce
 	r.attempts = 1
-	r.group = int((r.cfg.Client + nonce) % uint64(r.cfg.Groups))
+	r.group = r.nextUp(int((r.cfg.Client + nonce) % uint64(r.cfg.Groups)))
 	r.deadline = now.Add(r.cfg.Timeout)
 	r.votes = make(map[[32]byte]map[keys.NodeID]bool)
 	r.repOf = make(map[[32]byte]Reply)
 	return r.group
+}
+
+// nextUp returns the first group at or after g (cyclically) not reported
+// down; g itself when no Down oracle is set or everything reads down.
+func (r *Requester) nextUp(g int) int {
+	if r.cfg.Down == nil {
+		return g
+	}
+	for i := 0; i < r.cfg.Groups; i++ {
+		c := (g + i) % r.cfg.Groups
+		if !r.cfg.Down(c) {
+			return c
+		}
+	}
+	return g
 }
 
 // matchKey collapses the fields a reply certificate must agree on. Status is
@@ -174,7 +201,7 @@ func (r *Requester) OnTick(now time.Time) (resubmit bool, group int, gaveUp bool
 		return false, 0, true
 	}
 	r.attempts++
-	r.group = (r.group + 1) % r.cfg.Groups
+	r.group = r.nextUp((r.group + 1) % r.cfg.Groups)
 	wait := r.cfg.Timeout
 	if r.cfg.ExpBackoff {
 		shift := r.attempts - 1
@@ -182,6 +209,10 @@ func (r *Requester) OnTick(now time.Time) (resubmit bool, group int, gaveUp bool
 			shift = 3
 		}
 		wait <<= uint(shift)
+	}
+	if r.cfg.Jitter {
+		h := r.cfg.Client*2654435761 + r.nonce*40503 + uint64(r.attempts)*9176
+		wait += wait * time.Duration(h%256) / 1024
 	}
 	r.deadline = now.Add(wait)
 	return true, r.group, false

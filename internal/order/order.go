@@ -257,6 +257,36 @@ func (o *Orderer) Restore(s *State) {
 	}
 }
 
+// SkipTo advances group g's cursor past a void sequence prefix [1, seq]
+// without executing anything: a group admitted by certified epoch
+// reconfiguration proposes its first entry at seq+1, so the seqs below it
+// will never exist and the head parked on one of them could otherwise
+// never be proven minimal (its lower indices stay inferred forever),
+// wedging the drain. The old head's inferred lower bounds transfer to the
+// re-seated head — group clocks are non-decreasing, so every bound learned
+// for the phantom entry also holds for its successor.
+func (o *Orderer) SkipTo(g int, seq uint64) {
+	if g < 0 || g >= o.ng || seq <= o.executedSeq[g] {
+		return
+	}
+	old := o.heads[g]
+	for id := range o.entries {
+		if id.GID == g && id.Seq <= seq {
+			delete(o.entries, id)
+			delete(o.ready, id)
+		}
+	}
+	o.executedSeq[g] = seq
+	nxt := o.entry(types.EntryID{GID: g, Seq: seq + 1})
+	for j := 0; j < o.ng; j++ {
+		if !nxt.set[j] && nxt.vts[j] < old.vts[j] {
+			nxt.vts[j] = old.vts[j]
+		}
+	}
+	o.heads[g] = nxt
+	o.drain()
+}
+
 func sortEntryIDs(ids []types.EntryID) {
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && lessID(ids[j], ids[j-1]); j-- {

@@ -475,3 +475,66 @@ func BenchmarkRoundOrderer(b *testing.B) {
 		r.MarkReady(eid(i%3, seq))
 	}
 }
+
+// TestOrdererSkipToUnwedgesJoinedGroup replays the ordering-side hazard of a
+// certified group join: while group 2 is a provisioned standby its stream is
+// frozen (takeover stamps at 0), and after the join its first real entry is
+// (2, boundary+1) — so the head parked at (2,1) guards sequences that will
+// never exist and, without SkipTo, wedges the drain forever.
+func TestOrdererSkipToUnwedgesJoinedGroup(t *testing.T) {
+	var got []types.EntryID
+	o := NewOrderer(3, func(id types.EntryID) { got = append(got, id) })
+	stamp := func(from int, ts uint64, id types.EntryID) {
+		t.Helper()
+		if err := o.OnTimestamp(from, ts, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Steady pre-join traffic from groups 0 and 1; the standby stream is
+	// frozen at 0 by the dead-group takeover machinery. The second wave of
+	// stamps raises the clock bounds that let the first wave execute.
+	for seq, ts := range map[uint64]uint64{1: 1, 2: 2} {
+		for _, g := range []int{0, 1} {
+			id := eid(g, seq)
+			stamp(0, ts, id)
+			stamp(1, ts, id)
+			stamp(2, 0, id)
+			o.MarkReady(id)
+		}
+	}
+	// The join certifies with boundary 4: group 2's first entry is (2,5),
+	// stamped with the groups' advanced clocks. Processing these stamps lets
+	// the (0,2)/(1,2) wave execute — but (2,5) itself cannot: the head
+	// parked at (2,1) can never be proven non-minimal nor become ready.
+	stamp(0, 3, eid(2, 5))
+	stamp(1, 3, eid(2, 5))
+	stamp(2, 5, eid(2, 5))
+	o.MarkReady(eid(2, 5))
+	if len(got) != 4 {
+		t.Fatalf("pre-join entries did not all execute: %v", got)
+	}
+	for _, id := range got {
+		if id.GID == 2 {
+			t.Fatalf("executed a joined-group entry through a wedged standby head: %v", got)
+		}
+	}
+	o.SkipTo(2, 4)
+	if h := o.PendingHead(2); h != eid(2, 5) {
+		t.Fatalf("head after SkipTo = %v, want (2,5)", h)
+	}
+	// The next live-group entries carry the post-join clocks; with the head
+	// re-seated, (2,5) is provably minimal and executes.
+	stamp(1, 4, eid(0, 3))
+	stamp(2, 6, eid(0, 3))
+	stamp(0, 4, eid(1, 3))
+	stamp(2, 6, eid(1, 3))
+	want := []types.EntryID{eid(0, 1), eid(1, 1), eid(0, 2), eid(1, 2), eid(2, 5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-join order = %v, want %v", got, want)
+	}
+	// Skipping at or below the executed watermark is a no-op.
+	o.SkipTo(2, 3)
+	if h := o.PendingHead(2); h != eid(2, 6) {
+		t.Fatalf("head after no-op SkipTo = %v, want (2,6)", h)
+	}
+}

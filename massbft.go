@@ -167,6 +167,22 @@ type Config struct {
 	LANDupRate  float64
 	FaultJitter float64
 
+	// StandbyGroups marks the highest-numbered groups of Groups as
+	// provisioned but inactive at genesis: they hold keys and addresses but
+	// no state, propose nothing, and do not count toward record quorums.
+	// A standby group enters the cluster only through a certified epoch
+	// reconfiguration (Reconfigure with ReconfigJoin): it bootstraps state
+	// from the active groups, a Byzantine quorum of active groups certifies
+	// the join, and every node switches epochs at the identical certified
+	// boundary. Requires TakeoverTimeout > 0 and a protocol with global
+	// consensus and per-seq commit records (MassBFT, Baseline, BR, EBR).
+	StandbyGroups int
+	// ResubmitJitter stretches gateway clients' resubmission backoff by a
+	// deterministic per-(client, nonce, attempt) factor of up to +25%, so
+	// clients that timed out together do not retry in lockstep. Off by
+	// default to keep existing benchmark runs bit-identical.
+	ResubmitJitter bool
+
 	// TracePath, when non-empty, enables per-entry lifecycle tracing and
 	// writes a Chrome trace-event JSON file (loadable in Perfetto or
 	// chrome://tracing) there after every Run. Tracing is purely passive:
@@ -207,6 +223,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.SerialVTS {
 		opts.OverlapVTS = false
 	}
+	if cfg.StandbyGroups > 0 {
+		// Dynamic membership rides on the failover machinery (standby groups
+		// are fenced exactly like certified-dead ones until their join) and
+		// on per-seq commit records (the certified join boundary is derived
+		// from the commit watermark). GeoBFT has no global records at all,
+		// and Steward/ISS proposal gates cannot tolerate skipped rounds.
+		if cfg.StandbyGroups > len(cfg.Groups)-2 {
+			return nil, fmt.Errorf("massbft: StandbyGroups=%d leaves fewer than two active groups", cfg.StandbyGroups)
+		}
+		if cfg.TakeoverTimeout <= 0 {
+			return nil, fmt.Errorf("massbft: StandbyGroups requires TakeoverTimeout > 0")
+		}
+		if !opts.GlobalConsensus || opts.Serial || opts.EpochLength > 0 {
+			return nil, fmt.Errorf("massbft: StandbyGroups is not supported by protocol %q", cfg.Protocol)
+		}
+	}
 	var lat func(i, j int) time.Duration
 	if cfg.Latency != nil {
 		lat = func(i, j int) time.Duration { return cfg.Latency(i, j) }
@@ -226,9 +258,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		GroupRate:         cfg.GroupRate,
 		TrustAll:          !cfg.RealCrypto,
 		Gateway: cluster.GatewayConfig{
-			Enabled:    cfg.GatewayClients > 0,
-			SimClients: cfg.GatewayClients,
+			Enabled:        cfg.GatewayClients > 0,
+			SimClients:     cfg.GatewayClients,
+			ResubmitJitter: cfg.ResubmitJitter,
 		},
+		StandbyGroups: cfg.StandbyGroups,
 		Warmup:            cfg.Warmup,
 		ViewChangeTimeout: cfg.ViewChangeTimeout,
 		TakeoverTimeout:   cfg.TakeoverTimeout,
@@ -316,6 +350,37 @@ func (c *Cluster) MakeByzantine(at time.Duration, perGroup int) {
 // regardless of which side the successor lands on.
 func (c *Cluster) PartitionWAN(at, healAt time.Duration, a, b int) {
 	c.inner.SchedulePartition(at, healAt, a, b)
+}
+
+// Reconfiguration operations for Cluster.Reconfigure / ProcNode.Reconfigure.
+const (
+	// ReconfigJoin admits a standby group (see Config.StandbyGroups).
+	ReconfigJoin = cluster.ReconfigJoin
+	// ReconfigLeave removes an active group behind a certified cut.
+	ReconfigLeave = cluster.ReconfigLeave
+)
+
+// Reconfigure delivers an administrative membership trigger to every live
+// node at virtual time `at`: op ReconfigJoin admits standby group `group`
+// (it bootstraps state from the active groups first), op ReconfigLeave
+// drains and removes active group `group`. The trigger is only intent —
+// membership changes exactly when a Byzantine quorum of member groups has
+// certified approval records and the target group's successor certifies the
+// epoch switch, so lost or duplicated triggers are harmless.
+func (c *Cluster) Reconfigure(at time.Duration, op byte, group int) {
+	c.inner.ScheduleReconfigure(at, op, group)
+}
+
+// Epoch reports the observer node's certified membership view: the epoch
+// counter (number of certified reconfigurations applied) and the sorted
+// member groups of the current epoch.
+func (c *Cluster) Epoch() (uint64, []int) {
+	if n, ok := c.inner.Nodes[c.inner.Cfg.Observer].(interface {
+		EpochInfo() (uint64, []int)
+	}); ok {
+		return n.EpochInfo()
+	}
+	return 0, nil
 }
 
 // CrashNode kills a single node at virtual time `at`.

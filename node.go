@@ -97,6 +97,14 @@ type Topology struct {
 	// (0 = 4). Real processes want the parallel pool; the deterministic
 	// emulator is the only place inline verification is mandatory.
 	GatewayVerify int `json:"gateway_verify,omitempty"`
+
+	// StandbyGroups marks the highest-numbered groups as provisioned
+	// standbys: their processes run and answer bootstrap traffic but hold no
+	// votes and propose nothing until a certified epoch switch admits them
+	// (ProcNode.Reconfigure / the -reconfigure flag of cmd/massbft-node).
+	// Requires takeover_timeout_ms > 0 and the default MassBFT protocol
+	// options, mirroring the simulator's Config.StandbyGroups.
+	StandbyGroups int `json:"standby_groups,omitempty"`
 }
 
 // LoadTopology reads and validates a topology JSON file.
@@ -163,6 +171,20 @@ func (t *Topology) clusterConfig() (cluster.Config, error) {
 	if err != nil {
 		return cluster.Config{}, err
 	}
+	if t.StandbyGroups > 0 {
+		// Mirrors NewCluster's simulator-side validation: membership
+		// certification needs the failover machinery and the full MassBFT
+		// pipeline (global consensus, concurrent streams, no ISS epochs).
+		if t.StandbyGroups > len(t.Groups)-2 {
+			return cluster.Config{}, fmt.Errorf("standby_groups %d leaves fewer than two active groups", t.StandbyGroups)
+		}
+		if t.TakeoverTimeoutMS <= 0 {
+			return cluster.Config{}, fmt.Errorf("standby_groups requires takeover_timeout_ms > 0")
+		}
+		if !opts.GlobalConsensus || opts.Serial || opts.EpochLength > 0 {
+			return cluster.Config{}, fmt.Errorf("standby_groups is not supported by protocol %q", t.Protocol)
+		}
+	}
 	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
 	return cluster.Config{
 		GroupSizes:         t.Groups,
@@ -180,6 +202,7 @@ func (t *Topology) clusterConfig() (cluster.Config, error) {
 		RepairTimeout:      ms(t.RepairTimeoutMS),
 		CheckpointInterval: ms(t.CheckpointIntervalMS),
 		RejoinTimeout:      ms(t.RejoinTimeoutMS),
+		StandbyGroups:      t.StandbyGroups,
 		Gateway: cluster.GatewayConfig{
 			Enabled:       t.Clients > 0,
 			Clients:       t.Clients,
@@ -262,6 +285,13 @@ type NodeStatus struct {
 	Committed int64 `json:"committed"`
 	Aborted   int64 `json:"aborted"`
 	Entries   int64 `json:"entries"`
+
+	// Epoch is the node's certified membership epoch (0 = genesis member
+	// set); Active lists the groups it as of that epoch considers members.
+	// Cross-process agreement on these is how an operator verifies a
+	// reconfiguration landed everywhere.
+	Epoch  uint64 `json:"epoch"`
+	Active []int  `json:"active,omitempty"`
 
 	// Trail holds the hashes of the most recent blocks so two nodes at
 	// different heights can still be checked for prefix agreement.
@@ -456,6 +486,32 @@ func StartNode(nc NodeConfig) (*ProcNode, error) {
 // TransportStats snapshots the TCP backend's health counters.
 func (n *ProcNode) TransportStats() tcp.Stats { return n.tcpn.Stats() }
 
+// Reconfigure injects an administrative membership trigger (ReconfigJoin /
+// ReconfigLeave for the given group) into this node and broadcasts it to
+// every peer over the fabric. The trigger is unauthenticated intent: each
+// correct group independently turns it into a certified vote, and only a
+// Byzantine quorum of those certified approvals switches the epoch — so the
+// operator needs to reach only one live process, and a duplicated or lost
+// trigger is harmless. Requires Topology.StandbyGroups for a join target.
+func (n *ProcNode) Reconfigure(op byte, group int) {
+	n.ep.After(0, func() {
+		msg := &cluster.ReconfigureMsg{Op: op, Group: group}
+		for g, size := range n.cfg.GroupSizes {
+			for j := 0; j < size; j++ {
+				to := keys.NodeID{Group: g, Index: j}
+				if to == n.id {
+					continue
+				}
+				n.ep.Send(to, msg, msg.WireSize())
+			}
+		}
+		n.node.HandleMessage(transport.Message{
+			From: keys.NodeID{Group: -1, Index: -1}, To: n.id,
+			Payload: msg, Size: msg.WireSize(),
+		})
+	})
+}
+
 // Status samples the node's protocol state on its event loop (so the
 // snapshot is internally consistent) plus the transport counters.
 func (n *ProcNode) Status() (NodeStatus, error) {
@@ -488,6 +544,9 @@ func (n *ProcNode) Status() (NodeStatus, error) {
 			Aborted:   n.col.Aborted(),
 			Entries:   n.col.Entries(),
 			Counters:  n.col.Counters(),
+		}
+		if ei, ok := n.node.(interface{ EpochInfo() (uint64, []int) }); ok {
+			st.Epoch, st.Active = ei.EpochInfo()
 		}
 		if cn, ok := n.node.(chained); ok {
 			l := cn.Ledger()

@@ -10,6 +10,10 @@
 #                    partition schedules plus the reduced schedule under
 #                    -race -short — for iterating on failover changes without
 #                    the full-suite wait
+#   membership-chaos just the certified dynamic-membership suite — the full
+#                    join/leave/crash-overlap schedules plus the reduced
+#                    join and leave schedules under -race -short — for
+#                    iterating on epoch-reconfiguration changes
 #   node-smoke       just the multi-process TCP smoke test — a 4-node loopback
 #                    cluster of massbft-node OS processes with a kill/rejoin
 #                    round trip — for iterating on transport changes
@@ -31,6 +35,14 @@ partition-chaos)
   echo "OK"
   exit 0
   ;;
+membership-chaos)
+  echo "== membership chaos (full schedules: join+leave under load, determinism, crash overlap)"
+  go test -timeout 600s -run 'TestMembership' -v ./internal/core/
+  echo "== membership, reduced join/leave schedules (-race -short)"
+  go test -race -short -timeout 300s -run 'TestMembershipJoinReduced|TestMembershipLeaveReduced' -v ./internal/core/
+  echo "OK"
+  exit 0
+  ;;
 node-smoke)
   bash scripts/node_smoke.sh
   echo "OK"
@@ -49,7 +61,7 @@ gateway-smoke)
   ;;
 full) ;;
 *)
-  echo "unknown preset: $preset (want: full, partition-chaos, node-smoke, gateway-smoke)" >&2
+  echo "unknown preset: $preset (want: full, partition-chaos, membership-chaos, node-smoke, gateway-smoke)" >&2
   exit 2
   ;;
 esac
@@ -63,9 +75,10 @@ go build ./...
 echo "== go test"
 go test ./... -timeout 900s
 
-# The core shard includes TestPartitionFailoverReduced: the reduced WAN
-# partition + group-crash failover schedule runs under the race detector on
-# every pass (the full schedules skip in -short).
+# The core shard includes TestPartitionFailoverReduced and the reduced
+# membership join/leave schedules: WAN partition failover and certified
+# epoch reconfiguration both run under the race detector on every pass
+# (the full schedules skip in -short).
 echo "== go test -race -short (simnet, replication, core, pbft, trace, erasure, gf256, keys)"
 go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/ ./internal/erasure/ ./internal/gf256/ ./internal/keys/
 
@@ -95,5 +108,8 @@ bash scripts/node_smoke.sh
 
 echo "== node smoke, client mode (massbft-client through the gateways, mid-run kill)"
 bash scripts/node_smoke.sh client
+
+echo "== node smoke, membership mode (standby group joins via the admin trigger)"
+bash scripts/node_smoke.sh membership
 
 echo "OK"

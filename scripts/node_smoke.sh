@@ -16,13 +16,21 @@
 #              converging through timeout resubmission, and the gateway-*
 #              counters must show up in the survivors' status files.
 #
-# Run from the repository root: scripts/node_smoke.sh [client]
+#   membership a 6-node cluster (3 groups x 2 nodes) where the third group is
+#              provisioned standby. Node (0,0) carries -reconfigure to
+#              broadcast the admin join trigger mid-run; every process — the
+#              standby members included — must converge on the certified
+#              epoch 1 with active groups [0,1,2], and the joined group must
+#              bootstrap through checkpoint transfer and then commit entries
+#              of its own in prefix agreement with the old members.
+#
+# Run from the repository root: scripts/node_smoke.sh [client|membership]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="${1:-kill-rejoin}"
-case "$mode" in kill-rejoin | client) ;; *)
-  echo "unknown mode: $mode (want: kill-rejoin, client)" >&2
+case "$mode" in kill-rejoin | client | membership) ;; *)
+  echo "unknown mode: $mode (want: kill-rejoin, client, membership)" >&2
   exit 2
   ;;
 esac
@@ -98,6 +106,78 @@ assert shared > 0, "no shared trail heights"
 print(f"   agree: {sys.argv[1].split('-',1)[1]} vs {sys.argv[2].split('-',1)[1]} ({shared} shared heights)")
 PY
 }
+
+# ---------------------------------------------------------------------------
+# membership mode: standby group joins via the admin reconfigure trigger
+# ---------------------------------------------------------------------------
+if [[ "$mode" == membership ]]; then
+  # suspect_timeout_ms is high so a slow CI runner can stall a group without
+  # the failover machinery certifying a death mid-join.
+  cat > "$workdir/topo.json" <<EOF
+{
+  "groups": [2, 2, 2],
+  "standby_groups": 1,
+  "seed": 7,
+  "workload": "ycsb-a",
+  "batch_timeout_ms": 50,
+  "max_batch": 20,
+  "group_rate": [200, 200, 200],
+  "takeover_timeout_ms": 500,
+  "suspect_timeout_ms": 60000,
+  "repair_timeout_ms": 200,
+  "checkpoint_interval_ms": 300,
+  "rejoin_timeout_ms": 1000,
+  "nodes": [
+    {"group": 0, "index": 0, "addr": "127.0.0.1:$((base))"},
+    {"group": 0, "index": 1, "addr": "127.0.0.1:$((base+1))"},
+    {"group": 1, "index": 0, "addr": "127.0.0.1:$((base+2))"},
+    {"group": 1, "index": 1, "addr": "127.0.0.1:$((base+3))"},
+    {"group": 2, "index": 0, "addr": "127.0.0.1:$((base+4))"},
+    {"group": 2, "index": 1, "addr": "127.0.0.1:$((base+5))"}
+  ]
+}
+EOF
+
+  echo "== launch 6-node cluster, group 2 standby (ports $base-$((base+5)))"
+  start_node 0 0 -reconfigure join:2@8s >/dev/null
+  start_node 0 1 >/dev/null
+  start_node 1 0 >/dev/null
+  start_node 1 1 >/dev/null
+  start_node 2 0 >/dev/null
+  start_node 2 1 >/dev/null
+
+  echo "== phase 1: active groups commit; every process reports genesis membership"
+  wait_until 90 "active nodes at height >= 3 on epoch 0 with active [0,1]" \
+    "0-0:s['height'] >= 3 and s['epoch'] == 0 and s.get('active') == [0, 1]" \
+    "0-1:s['height'] >= 3 and s['epoch'] == 0 and s.get('active') == [0, 1]" \
+    "1-0:s['height'] >= 3 and s['epoch'] == 0 and s.get('active') == [0, 1]" \
+    "1-1:s['height'] >= 3 and s['epoch'] == 0 and s.get('active') == [0, 1]" \
+    "2-0:s['epoch'] == 0 and s.get('active') == [0, 1]" \
+    "2-1:s['epoch'] == 0 and s.get('active') == [0, 1]"
+
+  echo "== phase 2: join trigger fires at t=8s; epoch 1 must certify everywhere"
+  wait_until 120 "all six processes on certified epoch 1 with active [0,1,2]" \
+    "0-0:s['epoch'] == 1 and s.get('active') == [0, 1, 2]" \
+    "0-1:s['epoch'] == 1 and s.get('active') == [0, 1, 2]" \
+    "1-0:s['epoch'] == 1 and s.get('active') == [0, 1, 2]" \
+    "1-1:s['epoch'] == 1 and s.get('active') == [0, 1, 2]" \
+    "2-0:s['epoch'] == 1 and s.get('active') == [0, 1, 2]" \
+    "2-1:s['epoch'] == 1 and s.get('active') == [0, 1, 2]"
+
+  echo "== phase 3: joined group bootstrapped and commits entries of its own"
+  wait_until 30 "group 2 bootstrapped via checkpoint transfer" \
+    "2-0:(s.get('counters') or {}).get('standby-bootstrapped', 0) >= 1" \
+    "2-1:(s.get('counters') or {}).get('standby-bootstrapped', 0) >= 1"
+  wait_until 90 "joined group committing post-join load" \
+    "2-0:s['height'] >= 1 and s['committed'] > 0" \
+    "2-1:s['height'] >= 1 and s['committed'] > 0"
+  agree 2-0 2-1
+  agree 0-0 2-0
+  agree 1-0 2-0
+
+  echo "== node smoke (membership mode) OK"
+  exit 0
+fi
 
 # ---------------------------------------------------------------------------
 # client mode: gateway-driven load from massbft-client, SIGKILL mid-run
@@ -219,6 +299,11 @@ wait_until 90 "every node at height >= 5 with committed txns" \
   "0-1:s['height'] >= 5 and s['committed'] > 0" \
   "1-0:s['height'] >= 5 and s['committed'] > 0" \
   "1-1:s['height'] >= 5 and s['committed'] > 0"
+wait_until 30 "every node agrees on the genesis epoch and member set" \
+  "0-0:s['epoch'] == 0 and s.get('active') == [0, 1]" \
+  "0-1:s['epoch'] == 0 and s.get('active') == [0, 1]" \
+  "1-0:s['epoch'] == 0 and s.get('active') == [0, 1]" \
+  "1-1:s['epoch'] == 0 and s.get('active') == [0, 1]"
 agree 0-0 0-1
 agree 0-0 1-0
 agree 0-0 1-1
