@@ -120,10 +120,14 @@ func New(cfg Config, factory Factory) (*Cluster, error) {
 		return nil, err
 	}
 	reg.SetTrustAll(cfg.TrustAll)
-	lat := cfg.WANLatency
+	var latFn func(a, b int) simnet.Time
+	if lat := cfg.WANLatency; lat != nil {
+		latFn = func(a, b int) simnet.Time { return lat(a, b) }
+	}
 	nw := simnet.New(simnet.Config{
 		GroupSizes:     cfg.GroupSizes,
-		WANLatency:     func(a, b int) simnet.Time { return lat(a, b) },
+		WANLatency:     latFn,
+		Topology:       cfg.Topology,
 		LANLatency:     cfg.LANLatency,
 		WANBandwidth:   cfg.WANBandwidth,
 		LANBandwidth:   cfg.LANBandwidth,

@@ -173,12 +173,17 @@ type Config struct {
 	Seed int64
 
 	// Network: WANLatency(i,j) is the one-way latency between groups; nil
-	// uses NationwideLatency. Bandwidths are bytes/second per node.
+	// uses Topology (when set) and otherwise NationwideLatency. Bandwidths
+	// are bytes/second per node.
 	WANLatency   func(i, j int) time.Duration
 	LANLatency   time.Duration
 	WANBandwidth float64
 	LANBandwidth float64
 	Jitter       float64
+	// Topology, when set, supplies the inter-group latency matrix and
+	// per-group bandwidth tiers from a materialized geometry (e.g.
+	// simnet.GlobeTopology for 50+-region scale runs) instead of a callback.
+	Topology *simnet.Topology
 
 	// Batching: leaders cut an entry of up to MaxBatch transactions every
 	// BatchTimeout (the paper fixes 20 ms) while fewer than PipelineDepth
@@ -304,7 +309,7 @@ func (c Config) withDefaults() Config {
 	if c.Workload == "" {
 		c.Workload = "ycsb-a"
 	}
-	if c.WANLatency == nil {
+	if c.WANLatency == nil && c.Topology == nil {
 		c.WANLatency = NationwideLatency
 	}
 	if c.LANLatency == 0 {

@@ -323,7 +323,12 @@ func (n *Node) onRejoinResp(from keys.NodeID, resp *cluster.RejoinResp) {
 			} else {
 				n.maybeRoundReady(pe.ID, st)
 			}
-		} else if pe.ID.GID != n.g {
+		} else {
+			// Own-group entries are NOT exempt: the serving peer may have
+			// folded the entry after its local PBFT slot was delivered and
+			// compacted, in which case the content will never re-arrive via
+			// consensus — the fetch path is the only way to get it, and an
+			// unarmed committed entry wedges the round orderer forever.
 			st.firstStampAt = time.Duration(1)
 		}
 	}

@@ -377,6 +377,15 @@ func (in *Instance) onPrePrepare(from keys.NodeID, pp *PrePrepare) {
 	if pp.View != in.view || pp.Slot < in.execSlot {
 		return // stale view, or a slot already delivered (state was GC'd)
 	}
+	if in.vcTarget > in.view {
+		// Voted to leave this view: the view-change vote is a snapshot of our
+		// prepared set, so acquiring NEW prepared/committed state afterwards
+		// is unsafe — a slot could commit here that no vote reports, and the
+		// new view would then certify a different payload at the same slot
+		// (classic PBFT stops processing old-view phase messages after
+		// sending VIEW-CHANGE for exactly this reason).
+		return
+	}
 	if from != in.Leader(pp.View) && from != in.cfg.Self.ID {
 		return // only the leader may pre-prepare
 	}
@@ -430,6 +439,9 @@ func (in *Instance) onPrepare(p *Prepare) {
 	if p.View != in.view || p.Slot < in.execSlot || in.cfg.SkipPrepare {
 		return
 	}
+	if in.vcTarget > in.view {
+		return // voted to leave this view (see onPrePrepare)
+	}
 	if !in.verify(p.Sig, phaseMsg(phasePrepare, p.View, p.Slot, p.Digest)) {
 		return
 	}
@@ -465,6 +477,9 @@ func (in *Instance) sendCommit(slot uint64, d keys.Digest, st *slotState) {
 func (in *Instance) onCommit(c *Commit) {
 	if c.View != in.view || c.Slot < in.execSlot {
 		return
+	}
+	if in.vcTarget > in.view {
+		return // voted to leave this view (see onPrePrepare)
 	}
 	st := in.slot(c.Slot)
 	if st.prePrepare && st.digest != c.Digest {

@@ -1,0 +1,128 @@
+package simnet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestNoMapIterationInSchedulingPaths is a static determinism guard. Go map
+// iteration order is randomized per run, so a `range` over a map anywhere in
+// the emulator's scheduling or fault-injection paths silently breaks the
+// bit-for-bit reproducibility the whole benchmark harness rests on (the
+// CrashGroup/WANBytes sweeps used to iterate a map[NodeID]*Node and only
+// stayed deterministic by luck of single-threaded hashing — the dense node
+// table fixed that; this test keeps it fixed).
+//
+// The check is syntactic: it collects every map-typed name declared in the
+// package (struct fields, variables, parameters) and flags any range
+// statement in the guarded files whose subject resolves to one of those
+// names. Ranging over a map in these files requires extracting and sorting
+// the keys first — do that in a helper and range the sorted slice.
+func TestNoMapIterationInSchedulingPaths(t *testing.T) {
+	guarded := map[string]bool{
+		"simnet.go":   true,
+		"wheel.go":    true,
+		"faults.go":   true,
+		"topology.go": true,
+	}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	// Pass 1: every name in the package declared with a map type.
+	mapNames := map[string]bool{}
+	noteIdents := func(names []*ast.Ident, typ ast.Expr) {
+		if _, ok := typ.(*ast.MapType); !ok {
+			return
+		}
+		for _, id := range names {
+			mapNames[id.Name] = true
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.Field: // struct fields, params, results
+				noteIdents(d.Names, d.Type)
+			case *ast.ValueSpec:
+				noteIdents(d.Names, d.Type)
+			case *ast.AssignStmt: // x := make(map[...]...) / x := map[...]...{...}
+				for i, rhs := range d.Rhs {
+					if i >= len(d.Lhs) {
+						break
+					}
+					id, ok := d.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch r := rhs.(type) {
+					case *ast.CallExpr:
+						if fn, ok := r.Fun.(*ast.Ident); ok && fn.Name == "make" && len(r.Args) > 0 {
+							if _, isMap := r.Args[0].(*ast.MapType); isMap {
+								mapNames[id.Name] = true
+							}
+						}
+					case *ast.CompositeLit:
+						if _, isMap := r.Type.(*ast.MapType); isMap {
+							mapNames[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: range statements in the guarded files.
+	baseName := func(e ast.Expr) string {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				return x.Name
+			case *ast.SelectorExpr:
+				return x.Sel.Name
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return ""
+			}
+		}
+	}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		if !guarded[fname] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if name := baseName(rs.X); name != "" && mapNames[name] {
+				t.Errorf("%s: range over map-typed %q — map iteration order is nondeterministic; sort the keys first",
+					fset.Position(rs.Pos()), name)
+			}
+			return true
+		})
+	}
+}

@@ -11,10 +11,14 @@
 // every run is bit-for-bit reproducible given the same seed — which is what
 // lets the benchmark harness regenerate the paper's figures as stable
 // series.
+//
+// The event queue is a hierarchical indexed timer wheel (see wheel.go) with
+// pooled event objects and a dense group-indexed node table, sized for
+// O(10k)-node topologies; Config.LegacyHeap selects the original binary
+// heap, kept as the determinism oracle and benchmark baseline.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -50,12 +54,17 @@ type Config struct {
 	// GroupSizes[i] is the number of nodes in group i.
 	GroupSizes []int
 	// WANLatency returns the one-way latency between two distinct groups.
-	// When nil, DefaultWANLatency is used for every pair.
+	// When nil, Topology (if set) or DefaultWANLatency is used.
 	WANLatency func(fromGroup, toGroup int) Time
+	// Topology, when set, supplies the inter-group latency matrix and
+	// per-group bandwidth tiers from a materialized (copy-on-write) geometry
+	// instead of a callback; WANLatency takes precedence when both are set.
+	Topology *Topology
 	// LANLatency is the one-way latency inside a data center.
 	LANLatency Time
 	// WANBandwidth is the default per-node WAN bandwidth in bytes/second
-	// (each direction). Override per node with SetNodeBandwidth.
+	// (each direction). Override per node with SetNodeBandwidth, or per
+	// group with Topology bandwidth tiers.
 	WANBandwidth float64
 	// LANBandwidth is the per-node LAN bandwidth in bytes/second.
 	LANBandwidth float64
@@ -68,6 +77,11 @@ type Config struct {
 	// WAN latencies are multiplied by UnstableFactor (partial synchrony).
 	GST            Time
 	UnstableFactor float64
+	// LegacyHeap selects the pre-refactor binary-heap scheduler with
+	// per-event allocation. It is kept as the determinism oracle (both
+	// schedulers must produce bit-identical runs) and as the baseline the
+	// scale benchmark measures the timer wheel against.
+	LegacyHeap bool
 }
 
 // Defaults used when Config fields are zero.
@@ -77,32 +91,6 @@ const (
 	DefaultWANBandwidth = 20e6 / 8 // 20 Mbps in bytes/s, the paper's NIC limit
 	DefaultLANBandwidth = 2.5e9 / 8
 )
-
-type event struct {
-	at   Time
-	seq  uint64 // tie-breaker for determinism
-	node *Node  // nil for network-level events
-	fn   func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() (*event, bool) {
-	if len(h) == 0 {
-		return nil, false
-	}
-	return h[0], true
-}
 
 // iface is one direction of one network interface: a FIFO serializer for
 // bulk traffic plus a priority lane for small control messages (which pay
@@ -137,6 +125,11 @@ func (f *iface) transmitLane(now Time, size int, priority bool) (done Time) {
 	return f.free
 }
 
+// reset clears the interface's queue bookings (a rebooted machine's NIC
+// queues don't survive the reboot). The cumulative byte counter is traffic
+// accounting, not state, and is preserved.
+func (f *iface) reset() { f.free, f.prioFree = 0, 0 }
+
 // Node is one emulated machine.
 type Node struct {
 	ID      keys.NodeID
@@ -157,19 +150,26 @@ type Node struct {
 	msgsSent, msgsRecv int64
 }
 
-// ProbeSample describes one delivered message for the tracing layer: when
-// it was enqueued at the sender, when its uplink serialization finished,
-// when the (first) copy fully arrived at the receiver's downlink, how long
-// it waited behind earlier traffic in the sender's token-bucket lane, and
-// how far ahead the sender's bulk lane was booked at enqueue time (queue
-// depth). UplinkBytes samples the cumulative bytes through the sender's
-// uplink after this message (bytes-in-flight accounting).
+// ProbeSample describes one delivered message copy for the tracing layer:
+// when it was enqueued at the sender, when its uplink serialization
+// finished, when this copy fully arrived at the receiver's downlink, how
+// long it waited behind earlier traffic in the sender's token-bucket lane,
+// and how far ahead the sender's bulk lane was booked at enqueue time
+// (queue depth). UplinkBytes samples the cumulative bytes through the
+// sender's uplink after this message (bytes-in-flight accounting).
+//
+// Every delivered copy is probed: loopback sends fire a sample (Loopback
+// true, no NIC involvement, so Depart equals Enqueue), and a fault-layer
+// duplication fires a second sample for the duplicate copy (Duplicate
+// true) with that copy's own Arrive.
 type ProbeSample struct {
 	From, To    keys.NodeID
 	Payload     any
 	Size        int
 	WAN         bool
 	Priority    bool
+	Loopback    bool
+	Duplicate   bool
 	Enqueue     Time
 	Depart      Time
 	Arrive      Time
@@ -185,14 +185,25 @@ type SendProbe func(ProbeSample)
 
 // Network is the emulator.
 type Network struct {
-	cfg    Config
-	rng    *rand.Rand
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	nodes  map[keys.NodeID]*Node
+	cfg Config
+	rng *rand.Rand
+	now Time
+	seq uint64
+	// sched is the (at, seq)-ordered event queue: a hierarchical timer
+	// wheel, or the legacy binary heap when cfg.LegacyHeap is set.
+	sched scheduler
+	// groups is the dense node table, indexed [group][index]. Slices, not a
+	// map: O(1) lookup without hashing, and — load-bearing for determinism —
+	// every whole-network sweep (crash a group, account traffic) iterates in
+	// a fixed order.
+	groups [][]*Node
 	faults *faultState
 	probe  SendProbe
+
+	legacy     bool
+	freeEvents *event
+
+	crashDropped int64
 }
 
 // SetSendProbe installs a passive observer of message sends (tracing).
@@ -217,18 +228,31 @@ func New(cfg Config) *Network {
 		cfg.UnstableFactor = 10
 	}
 	nw := &Network{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[keys.NodeID]*Node),
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		legacy: cfg.LegacyHeap,
 	}
+	if cfg.LegacyHeap {
+		nw.sched = &heapSched{}
+	} else {
+		nw.sched = &timerWheel{}
+	}
+	nw.groups = make([][]*Node, len(cfg.GroupSizes))
 	for g, n := range cfg.GroupSizes {
+		wanBW := cfg.WANBandwidth
+		if cfg.Topology != nil {
+			if bw := cfg.Topology.GroupBandwidth(g); bw > 0 {
+				wanBW = bw
+			}
+		}
+		nw.groups[g] = make([]*Node, n)
 		for j := 0; j < n; j++ {
 			id := keys.NodeID{Group: g, Index: j}
-			nw.nodes[id] = &Node{
+			nw.groups[g][j] = &Node{
 				ID:      id,
 				nw:      nw,
-				wanUp:   iface{bandwidth: cfg.WANBandwidth},
-				wanDown: iface{bandwidth: cfg.WANBandwidth},
+				wanUp:   iface{bandwidth: wanBW},
+				wanDown: iface{bandwidth: wanBW},
 				lanUp:   iface{bandwidth: cfg.LANBandwidth},
 				lanDown: iface{bandwidth: cfg.LANBandwidth},
 			}
@@ -238,11 +262,31 @@ func New(cfg Config) *Network {
 }
 
 // Node returns the node with the given ID, or nil.
-func (nw *Network) Node(id keys.NodeID) *Node { return nw.nodes[id] }
+func (nw *Network) Node(id keys.NodeID) *Node {
+	if id.Group < 0 || id.Group >= len(nw.groups) {
+		return nil
+	}
+	row := nw.groups[id.Group]
+	if id.Index < 0 || id.Index >= len(row) {
+		return nil
+	}
+	return row[id.Index]
+}
+
+// NumGroups returns the number of groups.
+func (nw *Network) NumGroups() int { return len(nw.groups) }
+
+// GroupSize returns the number of nodes in group g (0 if out of range).
+func (nw *Network) GroupSize(g int) int {
+	if g < 0 || g >= len(nw.groups) {
+		return 0
+	}
+	return len(nw.groups[g])
+}
 
 // SetHandler installs the protocol handler for a node.
 func (nw *Network) SetHandler(id keys.NodeID, h Handler) {
-	n := nw.nodes[id]
+	n := nw.Node(id)
 	if n == nil {
 		panic(fmt.Sprintf("simnet: unknown node %v", id))
 	}
@@ -252,7 +296,7 @@ func (nw *Network) SetHandler(id keys.NodeID, h Handler) {
 // SetNodeBandwidth overrides the WAN bandwidth (both directions, bytes/s) of
 // one node; used by the Fig 14 heterogeneous-bandwidth experiment.
 func (nw *Network) SetNodeBandwidth(id keys.NodeID, bytesPerSec float64) {
-	n := nw.nodes[id]
+	n := nw.Node(id)
 	n.wanUp.bandwidth = bytesPerSec
 	n.wanDown.bandwidth = bytesPerSec
 }
@@ -260,31 +304,47 @@ func (nw *Network) SetNodeBandwidth(id keys.NodeID, bytesPerSec float64) {
 // SetOutboundFilter installs a Byzantine sender filter on a node. The filter
 // may mutate the message (tampering) or return false to drop it.
 func (nw *Network) SetOutboundFilter(id keys.NodeID, f func(*Message) bool) {
-	nw.nodes[id].outbound = f
+	nw.Node(id).outbound = f
 }
 
-// Crash marks a node as crashed: it stops sending, and messages and timers
-// addressed to it are discarded.
-func (nw *Network) Crash(id keys.NodeID) { nw.nodes[id].crashed = true }
+// Crash marks a node as crashed: it stops sending, messages and timers
+// addressed to it are discarded, and — because a rebooted machine's NIC
+// queues and CPU run queue do not survive the reboot — its interface lane
+// bookings and CPU debt are reset. Without the reset, a recovered node
+// would resume pre-crash serialization debt, and traffic sent at it while
+// it was down would congest its downlink far past the recovery.
+func (nw *Network) Crash(id keys.NodeID) { nw.Node(id).crash() }
+
+func (n *Node) crash() {
+	n.crashed = true
+	n.busyUntil = 0
+	n.wanUp.reset()
+	n.wanDown.reset()
+	n.lanUp.reset()
+	n.lanDown.reset()
+}
 
 // Recover clears a node's crashed flag.
-func (nw *Network) Recover(id keys.NodeID) { nw.nodes[id].crashed = false }
+func (nw *Network) Recover(id keys.NodeID) { nw.Node(id).crashed = false }
 
 // CrashGroup crashes every node in group g (data center outage, §VI-E).
+// Iterates the dense node table in index order (deterministic).
 func (nw *Network) CrashGroup(g int) {
-	for id, n := range nw.nodes {
-		if id.Group == g {
-			n.crashed = true
-		}
+	if g < 0 || g >= len(nw.groups) {
+		return
+	}
+	for _, n := range nw.groups[g] {
+		n.crash()
 	}
 }
 
-// RecoverGroup recovers every node in group g.
+// RecoverGroup recovers every node in group g in index order.
 func (nw *Network) RecoverGroup(g int) {
-	for id, n := range nw.nodes {
-		if id.Group == g {
-			n.crashed = false
-		}
+	if g < 0 || g >= len(nw.groups) {
+		return
+	}
+	for _, n := range nw.groups[g] {
+		n.crashed = false
 	}
 }
 
@@ -297,13 +357,15 @@ func (nw *Network) Schedule(at Time, fn func()) {
 	if at < nw.now {
 		at = nw.now
 	}
-	nw.push(&event{at: at, fn: fn})
+	e := nw.allocEvent()
+	e.at, e.kind, e.fn = at, evFunc, fn
+	nw.push(e)
 }
 
 func (nw *Network) push(e *event) {
 	e.seq = nw.seq
 	nw.seq++
-	heap.Push(&nw.queue, e)
+	nw.sched.push(e)
 }
 
 // Run processes events until virtual time `until` (inclusive). It returns
@@ -311,16 +373,17 @@ func (nw *Network) push(e *event) {
 func (nw *Network) Run(until Time) int {
 	processed := 0
 	for {
-		e, ok := nw.queue.Peek()
+		e, ok := nw.sched.peek()
 		if !ok || e.at > until {
 			break
 		}
-		heap.Pop(&nw.queue)
+		nw.sched.pop()
 		if e.at > nw.now {
 			nw.now = e.at
 		}
 		if e.node != nil {
 			if e.node.crashed {
+				nw.freeEvent(e)
 				continue
 			}
 			// CPU model: a busy node defers the event.
@@ -330,7 +393,12 @@ func (nw *Network) Run(until Time) int {
 				continue
 			}
 		}
-		e.fn()
+		if e.kind == evDeliver {
+			e.node.deliver(e.msg)
+		} else {
+			e.fn()
+		}
+		nw.freeEvent(e)
 		processed++
 	}
 	if until > nw.now {
@@ -343,11 +411,18 @@ func (nw *Network) Run(until Time) int {
 // timers never drain, so RunAll is only useful in unit tests.
 func (nw *Network) RunAll() int {
 	processed := 0
-	for len(nw.queue) > 0 {
-		processed += nw.Run(nw.queue[0].at)
+	for {
+		e, ok := nw.sched.peek()
+		if !ok {
+			break
+		}
+		processed += nw.Run(e.at)
 	}
 	return processed
 }
+
+// Pending returns the number of scheduled events not yet processed.
+func (nw *Network) Pending() int { return nw.sched.len() }
 
 func (nw *Network) latency(from, to keys.NodeID) Time {
 	var base Time
@@ -355,6 +430,8 @@ func (nw *Network) latency(from, to keys.NodeID) Time {
 		base = nw.cfg.LANLatency
 	} else if nw.cfg.WANLatency != nil {
 		base = nw.cfg.WANLatency(from.Group, to.Group)
+	} else if nw.cfg.Topology != nil {
+		base = nw.cfg.Topology.Latency(from.Group, to.Group)
 	} else {
 		base = DefaultWANLatency
 	}
@@ -368,11 +445,15 @@ func (nw *Network) latency(from, to keys.NodeID) Time {
 }
 
 // WANBytes returns the total bytes sent over WAN uplinks by nodes of group g
-// (or all groups when g < 0); used for Fig 10 traffic accounting.
+// (or all groups when g < 0); used for Fig 10 traffic accounting. Iterates
+// the dense node table in (group, index) order.
 func (nw *Network) WANBytes(g int) int64 {
 	var total int64
-	for id, n := range nw.nodes {
-		if g < 0 || id.Group == g {
+	for gi, row := range nw.groups {
+		if g >= 0 && gi != g {
+			continue
+		}
+		for _, n := range row {
 			total += n.wanUp.bytes
 		}
 	}
@@ -380,7 +461,12 @@ func (nw *Network) WANBytes(g int) int64 {
 }
 
 // NodeWANBytes returns bytes sent over one node's WAN uplink.
-func (nw *Network) NodeWANBytes(id keys.NodeID) int64 { return nw.nodes[id].wanUp.bytes }
+func (nw *Network) NodeWANBytes(id keys.NodeID) int64 { return nw.Node(id).wanUp.bytes }
+
+// CrashDropped returns how many messages were lost because their
+// destination was crashed at send time (the connection to a down machine is
+// torn; nothing is charged to either NIC).
+func (nw *Network) CrashDropped() int64 { return nw.crashDropped }
 
 // --- Node API (valid only from inside event handlers) ---
 
@@ -389,7 +475,7 @@ func (n *Node) Now() Time { return n.nw.now }
 
 // Send transmits payload of the given wire size to another node, modeling
 // serialization and propagation delay. Sends to crashed destinations are
-// silently dropped at delivery time.
+// lost at the sender (the connection is down), charging no bandwidth.
 func (n *Node) Send(to keys.NodeID, payload any, size int) {
 	n.send(to, payload, size, false)
 }
@@ -404,6 +490,13 @@ func (n *Node) SendPriority(to keys.NodeID, payload any, size int) {
 	n.send(to, payload, size, true)
 }
 
+// pushDeliver schedules an inline delivery event (no closure allocation).
+func (nw *Network) pushDeliver(at Time, dst *Node, msg Message) {
+	e := nw.allocEvent()
+	e.at, e.node, e.kind, e.msg = at, dst, evDeliver, msg
+	nw.push(e)
+}
+
 func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 	if n.crashed {
 		return
@@ -412,17 +505,33 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 	if n.outbound != nil && !n.outbound(&msg) {
 		return
 	}
-	dst := n.nw.nodes[to]
+	dst := n.nw.Node(to)
 	if dst == nil {
 		return
 	}
+	nw := n.nw
 	n.msgsSent++
 	if to == n.ID {
 		// Loopback: deliver after a minimal delay without touching NICs.
-		n.After(time.Microsecond, func() { n.deliver(msg) })
+		nw.pushDeliver(nw.now+time.Microsecond, n, msg)
+		if nw.probe != nil {
+			nw.probe(ProbeSample{
+				From: n.ID, To: to, Payload: msg.Payload, Size: msg.Size,
+				Loopback: true, Priority: priority,
+				Enqueue: nw.now, Depart: nw.now, Arrive: nw.now + time.Microsecond,
+			})
+		}
 		return
 	}
-	nw := n.nw
+	if dst.crashed {
+		// The destination machine is down, so the connection is torn: the
+		// message is lost before it leaves the sender's NIC (like a severed
+		// partition) and — critically — nothing is booked on the crashed
+		// node's downlink, so its post-recovery delivery latency does not
+		// depend on how much traffic was thrown at it while it was dark.
+		nw.crashDropped++
+		return
+	}
 	f := nw.faults
 	wan := to.Group != n.ID.Group
 	if f != nil && f.byz != nil {
@@ -477,21 +586,30 @@ func (n *Node) send(to keys.NodeID, payload any, size int, priority bool) {
 		} else {
 			arrEnd = dst.wanDown.transmitLane(arrStart, msg.Size, priority)
 		}
-		nw.push(&event{at: arrEnd, node: dst, fn: func() { dst.deliver(msg) }})
+		nw.pushDeliver(arrEnd, dst, msg)
 		return arrEnd
 	}
 	arrEnd := deliverCopy(arrStart)
+	var dupArrEnd Time
 	if dup {
 		f.duplicated++
-		deliverCopy(arrStart + f.dupDelay(lat))
+		dupArrEnd = deliverCopy(arrStart + f.dupDelay(lat))
 	}
 	if nw.probe != nil {
-		nw.probe(ProbeSample{
+		sample := ProbeSample{
 			From: n.ID, To: to, Payload: msg.Payload, Size: msg.Size,
 			WAN: wan, Priority: priority,
 			Enqueue: nw.now, Depart: departEnd, Arrive: arrEnd,
 			QueueWait: queueWait, Backlog: backlog, UplinkBytes: uplink.bytes,
-		})
+		}
+		nw.probe(sample)
+		if dup {
+			// The duplicate copy is a delivery of its own: report it with its
+			// own arrival so the trace layer sees every copy that lands.
+			sample.Duplicate = true
+			sample.Arrive = dupArrEnd
+			nw.probe(sample)
+		}
 	}
 }
 
@@ -506,7 +624,9 @@ func (n *Node) deliver(msg Message) {
 // After schedules fn on this node after delay d of virtual time. The timer is
 // discarded if the node is crashed when it fires.
 func (n *Node) After(d Time, fn func()) {
-	n.nw.push(&event{at: n.nw.now + d, node: n, fn: fn})
+	e := n.nw.allocEvent()
+	e.at, e.node, e.kind, e.fn = n.nw.now+d, n, evFunc, fn
+	n.nw.push(e)
 }
 
 // Charge models CPU cost: the node is busy for d, deferring subsequent

@@ -10,6 +10,7 @@ import (
 	"massbft/internal/core"
 	"massbft/internal/keys"
 	"massbft/internal/ledger"
+	"massbft/internal/simnet"
 	"massbft/internal/statedb"
 	"massbft/internal/trace"
 )
@@ -106,6 +107,15 @@ type Config struct {
 	LANLatency   time.Duration
 	WANBandwidth float64
 	LANBandwidth float64
+	// Globe replaces the named latency models with a procedurally generated
+	// planet-scale geometry: every group becomes a region placed on a sphere
+	// (seeded from Seed), one-way latencies follow great-circle fiber
+	// distance (RTTs span roughly 10-380 ms at 50 regions, bracketing both
+	// named models), and — unless WANBandwidth is set — regions cycle
+	// through 1 Gbps / 100 Mbps / 20 Mbps bandwidth tiers. This is the
+	// geometry for scaling the region count past the named models' envelope;
+	// an explicit Latency model takes precedence.
+	Globe bool
 
 	// BatchTimeout, MaxBatch, and PipelineDepth control the proposers.
 	BatchTimeout  time.Duration
@@ -243,12 +253,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Latency != nil {
 		lat = func(i, j int) time.Duration { return cfg.Latency(i, j) }
 	}
+	var topo *simnet.Topology
+	if cfg.Globe && cfg.Latency == nil {
+		topo = simnet.GlobeTopology(len(cfg.Groups), cfg.Seed)
+		if cfg.WANBandwidth == 0 {
+			topo.BandwidthTiers(1e9/8, 100e6/8, 20e6/8)
+		}
+	}
 	inner := cluster.Config{
 		GroupSizes:        cfg.Groups,
 		Opts:              opts,
 		Workload:          cfg.Workload,
 		Seed:              cfg.Seed,
 		WANLatency:        lat,
+		Topology:          topo,
 		LANLatency:        cfg.LANLatency,
 		WANBandwidth:      cfg.WANBandwidth,
 		LANBandwidth:      cfg.LANBandwidth,

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Runs the hot-path benchmark harness (scripts/bench) and validates the
-# emitted baseline. Run from anywhere; writes BENCH_hotpath.json at the repo
-# root by default.
+# Runs the benchmark harnesses and validates the emitted baselines: the
+# hot-path microbenchmarks (scripts/bench) and the simulator scale benchmark
+# (scripts/simnet-bench). Run from anywhere; writes BENCH_hotpath.json and
+# BENCH_simnet.json at the repo root by default.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [hotpath-output.json] [simnet-output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_hotpath.json}"
+simout="${2:-BENCH_simnet.json}"
 
 echo "== hot-path benchmarks -> $out"
 go run ./scripts/bench -out "$out"
 go run ./scripts/validate-bench "$out"
+
+echo "== simnet scale benchmarks -> $simout"
+go run ./scripts/simnet-bench -out "$simout"
+go run ./scripts/validate-simnet "$simout"

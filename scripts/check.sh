@@ -21,6 +21,11 @@
 #                    by massbft-client through the per-node gateways, with a
 #                    mid-run SIGKILL, plus the gateway baseline regeneration
 #                    and validation — for iterating on gateway changes
+#   scale-smoke      just the O(10k)-node scale surface — the giant-topology
+#                    scenario tests, the simnet scale benchmark regenerated to
+#                    a temp file and validated, and its deterministic section
+#                    diffed against the committed BENCH_simnet.json — for
+#                    iterating on scheduler/topology changes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,9 +64,20 @@ gateway-smoke)
   echo "OK"
   exit 0
   ;;
+scale-smoke)
+  echo "== scale scenario tests (10k-node schedule, wheel/heap oracle, crash+probe contracts, determinism guard)"
+  go test -timeout 600s -run 'TestScaleScenario|TestWheel|TestLegacyHeap|TestEventPool|TestCrash|TestProbe|TestNoMapIteration|TestSchedulerFingerprints' -v ./internal/simnet/
+  echo "== simnet scale benchmark (regenerate + validate + deterministic diff vs committed baseline)"
+  simfile="$(mktemp)"
+  go run ./scripts/simnet-bench -out "$simfile"
+  go run ./scripts/validate-simnet "$simfile" BENCH_simnet.json
+  rm -f "$simfile"
+  echo "OK"
+  exit 0
+  ;;
 full) ;;
 *)
-  echo "unknown preset: $preset (want: full, partition-chaos, membership-chaos, node-smoke, gateway-smoke)" >&2
+  echo "unknown preset: $preset (want: full, partition-chaos, membership-chaos, node-smoke, gateway-smoke, scale-smoke)" >&2
   exit 2
   ;;
 esac
@@ -82,11 +98,17 @@ go test ./... -timeout 900s
 echo "== go test -race -short (simnet, replication, core, pbft, trace, erasure, gf256, keys)"
 go test -race -short -timeout 600s ./internal/simnet/ ./internal/replication/ ./internal/core/ ./internal/pbft/ ./internal/trace/ ./internal/erasure/ ./internal/gf256/ ./internal/keys/
 
-echo "== bench smoke (hot-path harness + baseline validation)"
+echo "== bench smoke (hot-path + simnet harnesses, baseline validation)"
 go run ./scripts/validate-bench BENCH_hotpath.json
+go run ./scripts/validate-simnet BENCH_simnet.json
 benchfile="$(mktemp)"
-bash scripts/bench.sh "$benchfile"
-rm -f "$benchfile"
+simfile="$(mktemp)"
+bash scripts/bench.sh "$benchfile" "$simfile"
+# Timings are machine-dependent, but the deterministic section (event counts,
+# WAN bytes, scheduler checksums) must reproduce the committed baseline
+# bit-for-bit — any drift is a simulator behavior change.
+go run ./scripts/validate-simnet "$simfile" BENCH_simnet.json
+rm -f "$benchfile" "$simfile"
 
 # The gateway baseline is a virtual-time simulation, so the regenerated file
 # must match the committed one bit-for-bit — any drift is a behavior change.

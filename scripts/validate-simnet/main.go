@@ -1,0 +1,168 @@
+// Command validate-simnet checks a BENCH_simnet.json baseline (as written by
+// scripts/simnet-bench).
+//
+// One argument: structural validation — the schema tag matches, every
+// wheel-vs-heap determinism oracle reports a match, timings are positive, the
+// scheduler speedup at the realistic pending size clears a CI-safe floor, and
+// the 10k-node schedule finished inside the scale-smoke wall budget. The
+// floors are deliberately looser than the values in the committed baseline
+// (~9x scheduler speedup at 20k resident, ~0.75 allocs/event) — CI runners
+// are noisy shared machines — but still catch a regression that erases the
+// scale win.
+//
+// Two arguments: additionally require the two reports' deterministic sections
+// (event counts, delivery counts, WAN byte totals, scheduler checksums) to be
+// byte-for-byte identical. Timing sections are machine-dependent and are
+// never compared.
+//
+//	go run ./scripts/validate-simnet BENCH_simnet.json [other.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+const wantSchema = "massbft-simnet-bench/v1"
+
+const (
+	// speedupFloor applies to the scheduler microbenchmark at the smallest
+	// (realistic) resident size; the committed baseline records ~9x.
+	speedupFloor = 4.0
+	// allocCeiling applies to the wheel path's allocs/event on the 10k-node
+	// run; the committed baseline records ~0.75, the pre-refactor path ~1.6.
+	allocCeiling = 1.2
+	// wallBudgetMs is the scale-smoke budget for the 10k-node schedule. The
+	// committed baseline runs it in well under a second; a CI runner gets two
+	// orders of magnitude of slack before the scale claim is considered
+	// broken.
+	wallBudgetMs = 60_000
+	// minScaleEvents keeps the scale claim non-vacuous.
+	minScaleEvents = 100_000
+)
+
+type report struct {
+	Schema        string          `json:"schema"`
+	Deterministic json.RawMessage `json:"deterministic"`
+	Timing        struct {
+		Sched []struct {
+			Resident  int     `json:"resident"`
+			WheelNsOp float64 `json:"wheel_ns_op"`
+			HeapNsOp  float64 `json:"heap_ns_op"`
+			Speedup   float64 `json:"speedup"`
+		} `json:"sched"`
+		Scale struct {
+			Nodes          int     `json:"nodes"`
+			WallMs         float64 `json:"wall_ms"`
+			EventsPerSec   float64 `json:"events_per_sec"`
+			AllocsPerEvent float64 `json:"allocs_per_event"`
+		} `json:"scale_10k"`
+	} `json:"timing"`
+}
+
+type deterministic struct {
+	Oracle struct {
+		Events         int  `json:"events"`
+		WheelHeapMatch bool `json:"wheel_heap_match"`
+	} `json:"oracle"`
+	Scale struct {
+		Events         int  `json:"events"`
+		WheelHeapMatch bool `json:"wheel_heap_match"`
+	} `json:"scale"`
+	SchedChecksums []struct {
+		Resident int    `json:"resident"`
+		Checksum string `json:"checksum"`
+		Match    bool   `json:"wheel_heap_match"`
+	} `json:"sched_checksums"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "validate-simnet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string) (*report, *deterministic) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		fail("%s: %v", path, err)
+	}
+	if rep.Schema != wantSchema {
+		fail("%s: schema %q, want %q", path, rep.Schema, wantSchema)
+	}
+	var det deterministic
+	if err := json.Unmarshal(rep.Deterministic, &det); err != nil {
+		fail("%s: deterministic section: %v", path, err)
+	}
+	return &rep, &det
+}
+
+func main() {
+	if len(os.Args) != 2 && len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: validate-simnet <BENCH_simnet.json> [other.json]")
+		os.Exit(2)
+	}
+	rep, det := load(os.Args[1])
+
+	if !det.Oracle.WheelHeapMatch {
+		fail("%s: oracle scenario wheel/heap mismatch", os.Args[1])
+	}
+	if !det.Scale.WheelHeapMatch {
+		fail("%s: scale scenario wheel/heap mismatch", os.Args[1])
+	}
+	if det.Scale.Events < minScaleEvents {
+		fail("%s: scale run processed only %d events (< %d) — not a scale run",
+			os.Args[1], det.Scale.Events, minScaleEvents)
+	}
+	if len(det.SchedChecksums) == 0 {
+		fail("%s: no scheduler checksums", os.Args[1])
+	}
+	for _, c := range det.SchedChecksums {
+		if !c.Match {
+			fail("%s: scheduler checksum mismatch at resident=%d", os.Args[1], c.Resident)
+		}
+	}
+	if len(rep.Timing.Sched) == 0 {
+		fail("%s: no scheduler timings", os.Args[1])
+	}
+	for _, st := range rep.Timing.Sched {
+		if st.WheelNsOp <= 0 || st.HeapNsOp <= 0 {
+			fail("%s: non-positive scheduler timing at resident=%d", os.Args[1], st.Resident)
+		}
+	}
+	// The floor applies at the first (smallest, realistic) resident point.
+	if s := rep.Timing.Sched[0].Speedup; s < speedupFloor {
+		fail("%s: scheduler speedup %.2fx at resident=%d below floor %.1fx",
+			os.Args[1], s, rep.Timing.Sched[0].Resident, speedupFloor)
+	}
+	sc := rep.Timing.Scale
+	if sc.Nodes < 10_000 {
+		fail("%s: scale run has %d nodes, want >= 10000", os.Args[1], sc.Nodes)
+	}
+	if sc.WallMs <= 0 || sc.WallMs > wallBudgetMs {
+		fail("%s: 10k-node wall time %.0f ms outside (0, %d] budget", os.Args[1], sc.WallMs, wallBudgetMs)
+	}
+	if sc.AllocsPerEvent > allocCeiling {
+		fail("%s: %.2f allocs/event above ceiling %.2f", os.Args[1], sc.AllocsPerEvent, allocCeiling)
+	}
+
+	if len(os.Args) == 3 {
+		other, _ := load(os.Args[2])
+		a, err1 := json.Marshal(rep.Deterministic)
+		b, err2 := json.Marshal(other.Deterministic)
+		if err1 != nil || err2 != nil {
+			fail("re-marshal: %v %v", err1, err2)
+		}
+		if !bytes.Equal(a, b) {
+			fail("deterministic sections differ between %s and %s", os.Args[1], os.Args[2])
+		}
+		fmt.Printf("validate-simnet: deterministic sections of %s and %s identical\n", os.Args[1], os.Args[2])
+	}
+	fmt.Printf("validate-simnet: %s OK (sched %.1fx at %d resident, 10k nodes in %.0f ms, %.2f allocs/event)\n",
+		os.Args[1], rep.Timing.Sched[0].Speedup, rep.Timing.Sched[0].Resident, sc.WallMs, sc.AllocsPerEvent)
+}
