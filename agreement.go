@@ -1,0 +1,115 @@
+package massbft
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AgreementSummary is the compact verdict embedded in a massbft-node status
+// file when the node is given its peers' status files (-peers-status): the
+// process-deployment analogue of Cluster.AgreementReport.
+type AgreementSummary struct {
+	Verdict              AgreementVerdict `json:"verdict"`
+	FirstDivergentHeight uint64           `json:"first_divergent_height,omitempty"`
+	MinHeight            uint64           `json:"min_height"`
+	MaxHeight            uint64           `json:"max_height"`
+	// Peers is how many peer snapshots (self included) the verdict judged.
+	Peers int `json:"peers"`
+	// Laggards lists "g,i@height(-behind)" for nodes behind the frontier.
+	Laggards []string `json:"laggards,omitempty"`
+	// Detail is the human-readable rendering of the verdict.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ClassifyStatuses classifies agreement across massbft-node status
+// snapshots, using each node's ledger height, head, state digest, and
+// block-hash trail. It is the operator-facing counterpart of
+// Cluster.AgreementReport for process deployments, where whole ledgers are
+// not available — only the trail window (the last 32 block hashes) each
+// node publishes:
+//
+//   - any two snapshots holding different hashes at the same trailed height
+//     classify as forked (the lowest such height is reported);
+//   - differing heights with agreeing trail overlaps classify as wedged;
+//   - equal heights and heads with differing state digests classify as
+//     forked (execution divergence);
+//   - otherwise converged.
+//
+// A laggard more than a trail window behind the frontier cannot be proven
+// forked or clean from snapshots alone; it is classified wedged and left to
+// the caller to investigate (e.g. by re-checking once the gap shrinks).
+// Callers decide which snapshots are live enough to judge — a stale file
+// from a dead process should be filtered out beforehand.
+func ClassifyStatuses(sts []NodeStatus) AgreementSummary {
+	sum := AgreementSummary{Verdict: AgreementConverged, Peers: len(sts)}
+	if len(sts) == 0 {
+		sum.Detail = "converged: no snapshots"
+		return sum
+	}
+	for i, st := range sts {
+		if i == 0 || st.Height < sum.MinHeight {
+			sum.MinHeight = st.Height
+		}
+		if st.Height > sum.MaxHeight {
+			sum.MaxHeight = st.Height
+		}
+	}
+
+	// Fork scan over the published trail windows: collect every (height →
+	// hash) claim and look for conflicting claims at one height.
+	claims := map[uint64]map[string]int{}
+	for _, st := range sts {
+		for _, tp := range st.Trail {
+			m := claims[tp.Height]
+			if m == nil {
+				m = map[string]int{}
+				claims[tp.Height] = m
+			}
+			m[tp.Hash]++
+		}
+	}
+	heights := make([]uint64, 0, len(claims))
+	for h := range claims {
+		heights = append(heights, h)
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+	for _, h := range heights {
+		if len(claims[h]) > 1 {
+			sum.Verdict = AgreementForked
+			sum.FirstDivergentHeight = h
+			sum.Detail = fmt.Sprintf("forked: %d distinct blocks published at height %d", len(claims[h]), h)
+			return sum
+		}
+	}
+
+	if sum.MinHeight != sum.MaxHeight {
+		sum.Verdict = AgreementWedged
+		sum.FirstDivergentHeight = sum.MinHeight + 1
+		for _, st := range sts {
+			if st.Height < sum.MaxHeight {
+				sum.Laggards = append(sum.Laggards,
+					fmt.Sprintf("%d,%d@%d(-%d)", st.Group, st.Index, st.Height, sum.MaxHeight-st.Height))
+			}
+		}
+		sort.Strings(sum.Laggards)
+		sum.Detail = fmt.Sprintf("wedged: %d/%d nodes behind; first missing height %d (min %d < max %d); laggards: %s",
+			len(sum.Laggards), len(sts), sum.FirstDivergentHeight, sum.MinHeight, sum.MaxHeight,
+			strings.Join(sum.Laggards, " "))
+		return sum
+	}
+
+	// Equal heights, no trail conflicts: heads are part of the trail, so the
+	// chains agree — cross-check execution state.
+	states := map[string]int{}
+	for _, st := range sts {
+		states[st.State]++
+	}
+	if len(states) > 1 {
+		sum.Verdict = AgreementForked
+		sum.Detail = fmt.Sprintf("forked: identical ledgers but %d distinct state digests (execution divergence)", len(states))
+		return sum
+	}
+	sum.Detail = fmt.Sprintf("converged: %d nodes, height %d", len(sts), sum.MaxHeight)
+	return sum
+}

@@ -1,0 +1,70 @@
+package massbft
+
+import (
+	"strings"
+	"testing"
+)
+
+func statusWithTrail(g, i int, height uint64, hashes map[uint64]string, state string) NodeStatus {
+	st := NodeStatus{Group: g, Index: i, Height: height, State: state}
+	for h, hash := range hashes {
+		st.Trail = append(st.Trail, TrailPoint{Height: h, Hash: hash})
+	}
+	if h, ok := hashes[height]; ok {
+		st.Head = h
+	}
+	return st
+}
+
+func TestClassifyStatusesConverged(t *testing.T) {
+	trail := map[uint64]string{8: "aa", 9: "bb", 10: "cc"}
+	sts := []NodeStatus{
+		statusWithTrail(0, 0, 10, trail, "s1"),
+		statusWithTrail(0, 1, 10, trail, "s1"),
+		statusWithTrail(1, 0, 10, trail, "s1"),
+	}
+	sum := ClassifyStatuses(sts)
+	if sum.Verdict != AgreementConverged || sum.Peers != 3 || sum.MaxHeight != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestClassifyStatusesWedged(t *testing.T) {
+	sts := []NodeStatus{
+		statusWithTrail(0, 0, 10, map[uint64]string{8: "aa", 9: "bb", 10: "cc"}, "s1"),
+		statusWithTrail(1, 0, 9, map[uint64]string{8: "aa", 9: "bb"}, "s0"),
+	}
+	sum := ClassifyStatuses(sts)
+	if sum.Verdict != AgreementWedged {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.FirstDivergentHeight != 10 || len(sum.Laggards) != 1 || !strings.Contains(sum.Laggards[0], "1,0@9") {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestClassifyStatusesForked(t *testing.T) {
+	sts := []NodeStatus{
+		statusWithTrail(0, 0, 10, map[uint64]string{8: "aa", 9: "bb", 10: "cc"}, "s1"),
+		statusWithTrail(1, 0, 10, map[uint64]string{8: "aa", 9: "XX", 10: "YY"}, "s2"),
+	}
+	sum := ClassifyStatuses(sts)
+	if sum.Verdict != AgreementForked || sum.FirstDivergentHeight != 9 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestClassifyStatusesStateForked(t *testing.T) {
+	trail := map[uint64]string{9: "bb", 10: "cc"}
+	sts := []NodeStatus{
+		statusWithTrail(0, 0, 10, trail, "s1"),
+		statusWithTrail(1, 0, 10, trail, "s2"), // same chain, drifted state
+	}
+	sum := ClassifyStatuses(sts)
+	if sum.Verdict != AgreementForked || sum.FirstDivergentHeight != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !strings.Contains(sum.Detail, "state") {
+		t.Fatalf("detail = %q", sum.Detail)
+	}
+}

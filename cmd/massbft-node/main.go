@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +44,7 @@ func main() {
 		drain     = flag.Duration("drain", 2*time.Second, "graceful drain window on shutdown")
 		statusOut = flag.String("status", "", "write a status JSON snapshot to this file periodically")
 		statusInt = flag.Duration("status-interval", 500*time.Millisecond, "status file refresh interval")
+		peersGlob = flag.String("peers-status", "", "glob of the peers' status files; when set, each refresh classifies cross-node agreement (converged/wedged/forked) into this node's status file and divergence counters")
 		reconf    = flag.String("reconfigure", "", "admin membership trigger, \"join:G@DELAY\" or \"leave:G@DELAY\" (e.g. join:2@5s): after DELAY, broadcast the trigger for group G from this node")
 		verbose   = flag.Bool("v", false, "log transport lifecycle events")
 	)
@@ -88,7 +90,7 @@ func main() {
 
 	stopStatus := make(chan struct{})
 	if *statusOut != "" {
-		go statusWriter(node, *statusOut, *statusInt, stopStatus)
+		go statusWriter(node, *statusOut, *statusInt, *peersGlob, stopStatus)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -145,18 +147,56 @@ func parseReconfigure(s string) (op byte, group int, delay time.Duration, err er
 	return op, group, delay, nil
 }
 
-// statusWriter refreshes the status file until stopped.
-func statusWriter(node *massbft.ProcNode, path string, every time.Duration, stop <-chan struct{}) {
+// statusWriter refreshes the status file until stopped. With a peers glob,
+// each refresh also classifies cross-node agreement from the peer snapshots
+// and feeds the verdict back into the node (NoteAgreement), so the *next*
+// snapshot carries the verdict and the divergence counters.
+func statusWriter(node *massbft.ProcNode, path string, every time.Duration, peersGlob string, stop <-chan struct{}) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
+			if peersGlob != "" {
+				classifyPeers(node, path, peersGlob)
+			}
 			writeStatus(node, path)
 		case <-stop:
 			return
 		}
 	}
+}
+
+// classifyPeers reads every status snapshot matching the glob (the node's
+// own file included, when already written), folds in a fresh self snapshot,
+// and records the classified verdict on the node. Unreadable or torn files
+// are skipped — a dead peer's stale file still classifies (it will read as
+// a laggard), which is exactly what an operator wants to see.
+func classifyPeers(node *massbft.ProcNode, selfPath string, glob string) {
+	self, err := node.Status()
+	if err != nil {
+		return
+	}
+	sts := []massbft.NodeStatus{self}
+	paths, _ := filepath.Glob(glob)
+	for _, p := range paths {
+		if p == selfPath {
+			continue // the freshly sampled self snapshot replaces the file
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var st massbft.NodeStatus
+		if json.Unmarshal(raw, &st) != nil {
+			continue
+		}
+		if st.Group == self.Group && st.Index == self.Index {
+			continue
+		}
+		sts = append(sts, st)
+	}
+	node.NoteAgreement(massbft.ClassifyStatuses(sts))
 }
 
 // writeStatus snapshots the node and writes JSON atomically (tmp + rename),

@@ -62,9 +62,9 @@ func TestTransportSeamBitIdentical(t *testing.T) {
 		},
 		{
 			name: "massbft-faults", cfg: faulty,
-			committed: 98054, entries: 252, height: 290,
-			head:  "6857cc1b3dcc3a8473934a2a6ac545b02ee9f7587cfdef7a1a6ac2108c67141a",
-			state: "b2ad96965c8f837d17f2484e8cbd2f62d0493a58b2fa1234efb49a789b4b628f",
+			committed: 92601, entries: 238, height: 291,
+			head:  "25641578f74ab8639a7089c7e20e8d55e70031a41236065ea71046a75fda119e",
+			state: "6068113585108581fc7c9e191841bff48e68a6cc0e4df4d145ab4c108ee2dd5b",
 		},
 	}
 	for _, tc := range cases {

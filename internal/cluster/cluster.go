@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"massbft/internal/aria"
+	"massbft/internal/forensics"
 	"massbft/internal/gateway"
 	"massbft/internal/keys"
+	"massbft/internal/ledger"
 	"massbft/internal/metrics"
 	"massbft/internal/replication"
 	"massbft/internal/simnet"
@@ -416,6 +418,45 @@ func (c *Cluster) StateHash(id keys.NodeID) [32]byte {
 	}
 	var zero [32]byte
 	return zero
+}
+
+// AgreementReport classifies end-of-run agreement across the cluster's
+// ledgers (forensics.Classify): Converged, Wedged (identical prefixes, a
+// live node behind — liveness gap), or Forked (different blocks at the same
+// height — safety violation). Crashed nodes and nodes in groups listed in
+// deadGroups (e.g. a group whose death was certified by failover, or one
+// administratively removed — its survivors halt deliberately and would
+// otherwise read as laggards forever) are censused but never judged.
+// Detection outcomes land in the metrics counters "forked-detected",
+// "wedged-detected", and "agreement-first-div-height", so any harness that
+// surfaces counters surfaces the verdict too.
+func (c *Cluster) AgreementReport(deadGroups map[int]bool) forensics.Report {
+	type ledgered interface{ Ledger() *ledger.Ledger }
+	var nls []forensics.NodeLedger
+	for g, size := range c.Cfg.GroupSizes {
+		for j := 0; j < size; j++ {
+			id := keys.NodeID{Group: g, Index: j}
+			ln, ok := c.Nodes[id].(ledgered)
+			if !ok {
+				continue
+			}
+			sn := c.Net.Node(id)
+			live := sn != nil && !sn.Crashed() && !deadGroups[g]
+			nls = append(nls, forensics.NodeLedger{
+				ID: id, Ledger: ln.Ledger(), State: c.StateHash(id), Live: live,
+			})
+		}
+	}
+	rep := forensics.Classify(nls)
+	switch rep.Verdict {
+	case forensics.Forked:
+		c.Metrics.Inc("forked-detected")
+		c.Metrics.Set("agreement-first-div-height", int64(rep.FirstDivergentHeight))
+	case forensics.Wedged:
+		c.Metrics.Inc("wedged-detected")
+		c.Metrics.Set("agreement-first-div-height", int64(rep.FirstDivergentHeight))
+	}
+	return rep
 }
 
 // EntryIDFor is a convenience for tests.

@@ -110,6 +110,16 @@ const (
 	// is the join boundary S (the joined group proposes from seq S+1) or
 	// the leave cut (the departing stream's batches >= TS are fenced).
 	RecEpoch
+	// RecKeepalive is a liveness beacon with no protocol effect: a live meta
+	// leader emits one whenever its group's certified stream would otherwise
+	// idle past a fraction of SuspectTimeout, so stream silence implies group
+	// death rather than mere quiescence. Without it, a group whose ordering
+	// clock is stalled (e.g. stamps delayed behind congested WAN queues) stops
+	// producing records while demonstrably alive, and the quorum-witnessed
+	// failover certifies a false GroupDead — permanently wedging the group.
+	// Receivers treat the batch arrival itself as the liveness evidence; the
+	// record body is ignored. Stream is the emitting group; Entry/TS unused.
+	RecKeepalive
 )
 
 // Reconfigure op codes (Entry.GID of a RecEpoch, and ReconfigureMsg.Op).

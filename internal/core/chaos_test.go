@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"massbft/internal/cluster"
+	"massbft/internal/forensics"
 	"massbft/internal/keys"
 )
 
@@ -235,15 +236,13 @@ func drainLive(c *cluster.Cluster, skip map[int]bool) {
 }
 
 // assertLiveSafety checks the partition-safety invariants over live nodes:
-// every ledger verifies, all committed prefixes are identical block-for-block
-// at the minimum sealed height, all states are equal, and no conflicting
-// takeover stamps ever certified.
+// every ledger verifies, the forensics classifier reports full convergence
+// (a Forked verdict is a safety violation, a Wedged one a liveness gap that
+// outlasted the drain), and no conflicting takeover stamps ever certified.
 func assertLiveSafety(t *testing.T, c *cluster.Cluster, skip map[int]bool) {
 	t.Helper()
 	m := c.Metrics
-	var minH uint64
-	var ref *Node
-	nodes := map[keys.NodeID]*Node{}
+	sealed := false
 	for g, size := range c.Cfg.GroupSizes {
 		if skip[g] {
 			continue
@@ -251,28 +250,19 @@ func assertLiveSafety(t *testing.T, c *cluster.Cluster, skip map[int]bool) {
 		for j := 0; j < size; j++ {
 			id := keys.NodeID{Group: g, Index: j}
 			n := c.Nodes[id].(*Node)
-			nodes[id] = n
-			if ref == nil {
-				ref = n
+			if err := n.Ledger().Verify(); err != nil {
+				t.Fatalf("node %v ledger integrity: %v", id, err)
 			}
-			if h := n.Ledger().Height(); minH == 0 || h < minH {
-				minH = h
+			if n.Ledger().Height() > 0 {
+				sealed = true
 			}
 		}
 	}
-	if minH == 0 {
-		t.Fatalf("some live node sealed no blocks: %s", m.Summary())
+	if !sealed {
+		t.Fatalf("no live node sealed any blocks: %s", m.Summary())
 	}
-	refAt := ref.Ledger().Block(minH)
-	for id, n := range nodes {
-		l := n.Ledger()
-		if err := l.Verify(); err != nil {
-			t.Fatalf("node %v ledger integrity: %v", id, err)
-		}
-		b := l.Block(minH)
-		if b == nil || refAt == nil || b.Hash() != refAt.Hash() {
-			t.Fatalf("node %v committed prefix diverges at height %d: %s", id, minH, m.Summary())
-		}
+	if rep := c.AgreementReport(skip); rep.Verdict != forensics.Converged {
+		t.Fatalf("agreement forensics: %v\n%s", rep, m.Summary())
 	}
 	assertConsistency(t, c, skip)
 	if m.Counter("ts-conflicts") != 0 {

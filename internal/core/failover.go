@@ -95,6 +95,32 @@ func (n *Node) failoverQueued(kind, g int) bool {
 	return false
 }
 
+// keepaliveScan (meta leader only) keeps the group's certified stream audibly
+// alive while the group has nothing to say. The failover protocol equates
+// stream silence with death, which is only sound if a live group never falls
+// silent — yet a group whose clock is stalled (own-entry stamps delayed behind
+// congested WAN bulk queues) produces no records while its local and meta
+// instances are perfectly healthy, and the observers' death quorum certifies
+// a false GroupDead that wedges the group forever. A RecKeepalive every
+// quarter SuspectTimeout restores the invariant: receivers count the batch
+// arrival as liveness, so only genuine crash or partition silences a stream.
+func (n *Node) keepaliveScan(now time.Duration) {
+	if !n.meta.IsLeader() || n.leaving || n.cfg.SuspectTimeout == 0 {
+		return
+	}
+	if len(n.pendingRecs) > 0 {
+		return // the stream is about to extend anyway
+	}
+	if now-n.lastOwnStream <= n.cfg.SuspectTimeout/4 {
+		return
+	}
+	// Stamp at queue time, not certification: if the meta instance is slow the
+	// scan must not queue a fresh beacon every tick while one is in flight.
+	n.lastOwnStream = now
+	n.ctx.Metrics.Inc("keepalives-emitted")
+	n.emitRecord(cluster.Record{Kind: cluster.RecKeepalive, Stream: n.g})
+}
+
 // suspectScan emits (meta leader only) the suspicion half of the protocol:
 // a certified GroupSuspect when another group's stream has been silent past
 // SuspectTimeout, and a certified GroupRevoke withdrawing it if the stream

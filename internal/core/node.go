@@ -180,6 +180,18 @@ type Node struct {
 	// lastStreamTS/lastStreamAt track each group clock stream for takeover.
 	lastStreamTS map[int]uint64
 	lastStreamAt map[int]time.Duration
+	// lastOwnStream is the last time our own group's stream visibly extended
+	// (a certified own batch, or a queued keepalive awaiting certification);
+	// the keepalive scan emits a RecKeepalive when it idles too long.
+	lastOwnStream time.Duration
+	// lastForeignStamp is the last time a foreign group's stamp landed on one
+	// of our own entries; lastBulkFrom[g] the last time bulk replication data
+	// (a chunk batch or a full entry) arrived from origin g. The recovery
+	// scans read them as path-progress evidence: while the WAN is
+	// demonstrably delivering, retransmission collapses to the single oldest
+	// entry (recovery.go) instead of re-sending a whole stalled tail.
+	lastForeignStamp time.Duration
+	lastBulkFrom     map[int]time.Duration
 	// takeoverSent marks (stream, entry) stamps this node emitted on behalf
 	// of a certified-dead group; entries are GC'd at execution and the whole
 	// per-group map is reset when a death certifies (failover.go).
@@ -272,8 +284,19 @@ type archived struct {
 }
 
 // archiveRetain bounds how many executed sequence numbers per group stay
-// servable; older fetches fall back to state transfer (checkpointed rejoin).
-const archiveRetain = 512
+// servable. Like batchLogRetain, the window is a partition tolerance horizon,
+// not a single-loss buffer: a receiver severed from an origin misses the
+// origin's entire entry stream for the partition's duration, and must fetch
+// the missed suffix (Lemma V.1, with per-entry exponential backoff) after the
+// heal. Every live node evicts in lockstep — execution is totally ordered —
+// so an entry aged out of ALL archives before the laggard's fetch lands is
+// unservable forever and wedges the laggard's execution permanently (its
+// same-group peers are equally behind, so checkpointed rejoin cannot rescue
+// it). Retention therefore has to cover the longest ride-out partition plus
+// the post-heal fetch backlog drain, at the per-group commit ceiling
+// (~100-200 entries/s in the chaos configs), matching batchLogRetain's
+// horizon rather than the old 512 (≈4 s, which a 4 s partition overran).
+const archiveRetain = 2048
 
 func newNode(ctx *cluster.NodeCtx) *Node {
 	n := &Node{
@@ -290,6 +313,7 @@ func newNode(ctx *cluster.NodeCtx) *Node {
 		batchLog:     make(map[int]map[uint64]*cluster.MetaBatch),
 		lastStreamTS: make(map[int]uint64),
 		lastStreamAt: make(map[int]time.Duration),
+		lastBulkFrom: make(map[int]time.Duration),
 		takeoverSent: make(map[int]map[types.EntryID]bool),
 		suspecters:   make(map[int]map[int]uint64),
 		ownSuspects:  make(map[int]bool),

@@ -42,6 +42,7 @@ func (n *Node) flushTick() {
 // other groups (WAN); everyone applies it locally.
 func (n *Node) onMetaCommit(slot uint64, payload []byte, cert *keys.Certificate) {
 	n.lastMetaProgress = n.now()
+	n.lastOwnStream = n.lastMetaProgress
 	var recs []cluster.Record
 	if payload != nil {
 		var ok bool
@@ -202,6 +203,9 @@ func (n *Node) processRecords(origin int, recs []cluster.Record) {
 			n.onLeaveRecord(origin, rec)
 		case cluster.RecEpoch:
 			n.onEpochRecord(origin, rec)
+		case cluster.RecKeepalive:
+			// Liveness beacon: the batch arrival already refreshed
+			// lastStreamAt[origin] above; the record carries nothing else.
 		}
 	}
 }
@@ -235,6 +239,7 @@ func (n *Node) onTSRecord(origin int, rec cluster.Record) {
 	// A stamp from another group on one of OUR entries doubles as that
 	// group's accept (overlapped mode, §V-B).
 	if rec.Entry.GID == n.g && origin != n.g {
+		n.lastForeignStamp = n.now()
 		n.noteAccept(origin, rec.Entry)
 	}
 	if rec.Entry.Seq <= n.executedSeqOf(rec.Entry.GID) {
@@ -448,6 +453,7 @@ func (n *Node) takeoverTick() {
 	n.restampScan(now)
 	n.proposalRepairScan(now)
 	n.rebroadcastScan(now)
+	n.keepaliveScan(now)
 	if now < n.cfg.TakeoverTimeout*5 {
 		return // give every group time to start speaking
 	}

@@ -117,6 +117,7 @@ func (n *Node) onChunkBatch(from keys.NodeID, b *replication.ChunkBatch, fromRem
 // noteChunkArrival timestamps the first chunk of a foreign entry; the repair
 // timer measures bucket stall from this point.
 func (n *Node) noteChunkArrival(id types.EntryID) {
+	n.lastBulkFrom[id.GID] = n.now()
 	if n.cfg.RepairTimeout <= 0 {
 		return
 	}

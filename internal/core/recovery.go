@@ -24,6 +24,23 @@ func (n *Node) sortedEntryIDs() []types.EntryID {
 	return ids
 }
 
+// Progress-gated retransmission. The per-entry backoffs in the scans below
+// assume the round trip is shorter than their caps — which congestion breaks:
+// with multi-second NIC queues, every retry fires long before the copy it
+// retransmits could possibly have arrived, so the whole stalled tail (a full
+// pipeline window per group) is re-sent as bulk traffic that queues behind
+// the congestion delaying it. That positive feedback loop collapses a run:
+// backlogs grow without bound, the group clocks freeze behind seconds-late
+// stamps, and the failover layer eventually suspects the idle (but alive)
+// streams. The scans therefore distinguish SLOW from DEAD by observed
+// progress: while the relevant traffic is demonstrably still arriving
+// (chunks from the origin, foreign stamps on own entries), retransmission
+// collapses to the single oldest entry per scan — the only one the
+// contiguous clock and executor can block on — and the in-flight copies are
+// left to drain. Only when progress stops for a patience window (a genuine
+// partition, crash, or total loss burst) does the full unbounded sweep run,
+// exactly as it did before this gate existed.
+
 // backoff returns base << min(attempt, 4): exponential, capped at 16x.
 func backoff(base time.Duration, attempt int) time.Duration {
 	if attempt > 4 {
@@ -127,6 +144,7 @@ func (n *Node) fetchMissing(now time.Duration) {
 	if !n.local.IsLeader() {
 		patience *= 3
 	}
+	budget := make(map[int]int)
 	for _, id := range n.sortedEntryIDs() {
 		st := n.entries[id]
 		if st.content || st.firstStampAt == 0 || st.executed {
@@ -142,6 +160,16 @@ func (n *Node) fetchMissing(now time.Duration) {
 		if now-st.firstStampAt < pat || now < st.nextFetchAt {
 			continue
 		}
+		// Progress gate (see the comment atop this file), checked after the
+		// time gates so a skipped entry keeps its backoff state untouched:
+		// while chunk traffic from this origin is still arriving, the tail's
+		// missing copies are overwhelmingly in flight behind it — fetch only
+		// the oldest per scan and let the pipe drain instead of stuffing it
+		// with duplicate full-entry replies.
+		if lb := n.lastBulkFrom[id.GID]; lb != 0 && now-lb < pat && budget[id.GID] >= 1 {
+			continue
+		}
+		budget[id.GID]++
 		attempt := st.fetchAttempts
 		st.fetchAttempts++
 		st.nextFetchAt = now + backoff(base, attempt)
@@ -179,7 +207,9 @@ func (n *Node) fetchTarget(id types.EntryID, st *entrySt, attempt int) keys.Node
 	}
 	sort.Ints(cands[1:])
 	g := cands[attempt%len(cands)]
-	idx := (attempt / len(cands)) % n.cfg.GroupSizes[g]
+	// Requester-offset rotation: spread concurrent fetchers over the serving
+	// group's members (and their uplinks) rather than hammering member 0.
+	idx := (n.id.Index + attempt/len(cands)) % n.cfg.GroupSizes[g]
 	target := keys.NodeID{Group: g, Index: idx}
 	if target == n.id {
 		target.Index = (idx + 1) % n.cfg.GroupSizes[g]
@@ -240,6 +270,7 @@ func (n *Node) instanceRepair(in *pbft.Instance, w *pbftWatch, now time.Duration
 // one rotating sender-group node are asked per attempt, with exponential
 // backoff.
 func (n *Node) chunkRepairScan(now time.Duration) {
+	budget := make(map[int]int)
 	for _, id := range n.sortedEntryIDs() {
 		st := n.entries[id]
 		if st.content || st.executed || st.firstChunkAt == 0 || id.GID == n.g {
@@ -255,6 +286,15 @@ func (n *Node) chunkRepairScan(now time.Duration) {
 		if !ok || len(missing) == 0 {
 			continue
 		}
+		// Progress gate: chunks from this origin still arriving means the
+		// stalled buckets' remainders are mostly queued behind them, not
+		// lost — NACK only the oldest per scan. (Backoff state untouched, so
+		// the next scan retries oldest-first.)
+		if lb := n.lastBulkFrom[id.GID]; lb != 0 &&
+			now-lb < n.cfg.RepairTimeout && budget[id.GID] >= 1 {
+			continue
+		}
+		budget[id.GID]++
 		attempt := st.repairAttempts
 		st.repairAttempts++
 		st.nextRepairAt = now + backoff(n.cfg.RepairTimeout, attempt)
@@ -269,8 +309,12 @@ func (n *Node) chunkRepairScan(now time.Duration) {
 			n.ctx.Metrics.Inc("repair-reqs")
 		}
 		// One alternate sender-group node (rotated, so a crashed or
-		// partitioned sender is skipped on the next attempt).
-		sender := keys.NodeID{Group: id.GID, Index: attempt % n.cfg.GroupSizes[id.GID]}
+		// partitioned sender is skipped on the next attempt). The rotation
+		// starts at the requester's own index so concurrent requesters spread
+		// over the sender group's uplinks instead of all hitting member 0 —
+		// which is also the leader, whose uplink is the busiest link there is.
+		sender := keys.NodeID{Group: id.GID,
+			Index: (n.id.Index + attempt) % n.cfg.GroupSizes[id.GID]}
 		n.ctx.Net.SendPriority(sender, req, req.WireSize())
 		n.ctx.Metrics.Inc("repair-reqs")
 	}
@@ -314,7 +358,8 @@ func (n *Node) streamRepairScan(now time.Duration) {
 			n.ctx.Net.SendPriority(peer, req, req.WireSize())
 			n.ctx.Metrics.Inc("stream-repair-reqs")
 		}
-		src := keys.NodeID{Group: g, Index: attempt % n.cfg.GroupSizes[g]}
+		src := keys.NodeID{Group: g,
+			Index: (n.id.Index + attempt) % n.cfg.GroupSizes[g]}
 		if n.deadGroups[g] {
 			// The origin is dead; rotate over live foreign groups instead —
 			// every group logged the batches it relayed (batchLog), and the
@@ -463,6 +508,7 @@ func (n *Node) rebroadcastScan(now time.Duration) {
 		return
 	}
 	quorum := (n.ng-1)/2 + 1
+	sent := 0
 	for _, id := range n.sortedEntryIDs() {
 		st := n.entries[id]
 		if id.GID != n.g || !st.content || st.executed || st.committed || st.commitSeen {
@@ -474,6 +520,17 @@ func (n *Node) rebroadcastScan(now time.Duration) {
 		if now-st.contentAt < patience || now < st.nextRebroadcastAt {
 			continue
 		}
+		// Progress gate: foreign stamps still landing on our entries prove
+		// the WAN paths are delivering — the unstamped tail's chunks are in
+		// flight or curable by the receivers' NACKs, and a full-entry re-send
+		// would only deepen the congestion delaying them. Keep the oldest
+		// entry's rebroadcast as the liveness safety net; a genuine partition
+		// (no stamps at all for a patience window) gets the full sweep, which
+		// is what refills every receiver group promptly after a heal.
+		if n.lastForeignStamp != 0 && now-n.lastForeignStamp < patience && sent >= 1 {
+			break // oldest-first; the tail rides the next tick
+		}
+		sent++
 		st.rebroadcastAttempts++
 		st.nextRebroadcastAt = now + backoff(patience, st.rebroadcastAttempts)
 		msg := &cluster.EntryWAN{E: &replication.EntryMsg{Entry: st.entry, Cert: st.cert}}

@@ -108,6 +108,7 @@ func (n *Node) Rejoin() {
 	n.lastTick = now
 	n.lastLocalProgress = now
 	n.lastMetaProgress = now
+	n.lastOwnStream = now
 	n.inFlight = 0
 	n.pendingRecs = nil
 	if n.selfStandby {

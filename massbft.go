@@ -8,6 +8,7 @@ import (
 
 	"massbft/internal/cluster"
 	"massbft/internal/core"
+	"massbft/internal/forensics"
 	"massbft/internal/keys"
 	"massbft/internal/ledger"
 	"massbft/internal/simnet"
@@ -459,6 +460,137 @@ func (c *Cluster) Checkpoint(group, index int, state, chain io.Writer) error {
 		return err
 	}
 	return n.Ledger().Save(chain)
+}
+
+// AgreementVerdict classifies end-of-run (dis)agreement across replicas.
+type AgreementVerdict string
+
+const (
+	// AgreementConverged: every live node holds an identical ledger and
+	// state digest.
+	AgreementConverged AgreementVerdict = AgreementVerdict(forensics.Converged)
+	// AgreementWedged: all live ledgers agree block-for-block on their
+	// common prefix, but at least one node stopped short of the longest
+	// chain — a liveness gap. Draining longer may heal it; a reproducible
+	// wedge is a recovery-path bug.
+	AgreementWedged AgreementVerdict = AgreementVerdict(forensics.Wedged)
+	// AgreementForked: two live nodes sealed different blocks at the same
+	// height — a safety violation. No amount of draining can heal a fork.
+	AgreementForked AgreementVerdict = AgreementVerdict(forensics.Forked)
+)
+
+// NodeAgreement is one node's entry in an AgreementReport census.
+type NodeAgreement struct {
+	Group, Index int
+	// Live is false for crashed nodes; they are reported but never judged.
+	Live   bool
+	Height uint64
+	Head   [32]byte
+	State  [32]byte
+	// Behind is the gap to the tallest live ledger (0 at the frontier).
+	Behind uint64
+}
+
+// ForkBranch is one side of a fork: the block sealed at the first divergent
+// height, its commit provenance, and the nodes holding it.
+type ForkBranch struct {
+	Hash [32]byte
+	// EntryGroup/EntrySeq identify the consensus entry the divergent block
+	// seals — the starting point for root-causing the safety violation.
+	EntryGroup int
+	EntrySeq   uint64
+	Holders    []NodeAgreement
+}
+
+// AgreementReport is the classified outcome of an agreement check (see
+// Cluster.AgreementReport).
+type AgreementReport struct {
+	Verdict AgreementVerdict
+	// FirstDivergentHeight is the lowest height at which live ledgers
+	// disagree: for Forked, the bisected height where different blocks were
+	// sealed; for Wedged, the first height missing on the shortest ledger.
+	// Zero when converged.
+	FirstDivergentHeight uint64
+	// MinHeight and MaxHeight span the live nodes' sealed heights.
+	MinHeight, MaxHeight uint64
+	// Branches holds the conflicting blocks (Forked only).
+	Branches []ForkBranch
+	// Laggards lists live nodes behind MaxHeight (Wedged only), furthest
+	// behind first.
+	Laggards []NodeAgreement
+	// Nodes is the full census, crashed nodes included.
+	Nodes []NodeAgreement
+
+	rendered string
+}
+
+// String renders the verdict as a one-paragraph summary for logs.
+func (r AgreementReport) String() string { return r.rendered }
+
+// AgreementReport drains nothing and judges the cluster as it stands:
+// per-node ledger prefix walks classify the run as converged, wedged
+// (liveness gap: identical prefixes, some node behind), or forked (safety
+// violation: different blocks at the same height, located by bisection).
+// Call after Drain, or use DrainToAgreement for the common
+// drain-until-converged loop. Each call also updates the
+// "forked-detected"/"wedged-detected"/"agreement-first-div-height" counters
+// (see Counter).
+func (c *Cluster) AgreementReport() AgreementReport {
+	return convertReport(c.inner.AgreementReport(nil))
+}
+
+// DrainToAgreement repeatedly drains in `step` increments (default 500ms)
+// until the live nodes converge, a fork is detected (forks never heal, so
+// waiting is pointless), or `budget` of virtual time elapses; it returns the
+// final classified report. This is the principled version of "drain a while
+// and compare state hashes": a wedge that outlasts the budget reports
+// which nodes are behind and from what height, instead of a bare mismatch.
+func (c *Cluster) DrainToAgreement(step, budget time.Duration) AgreementReport {
+	if step <= 0 {
+		step = 500 * time.Millisecond
+	}
+	var rep AgreementReport
+	for spent := time.Duration(0); ; {
+		c.Drain(step)
+		spent += step
+		rep = c.AgreementReport()
+		if rep.Verdict != AgreementWedged || spent+step > budget {
+			return rep
+		}
+	}
+}
+
+func convertReport(rep forensics.Report) AgreementReport {
+	conv := func(st forensics.NodeStatus) NodeAgreement {
+		return NodeAgreement{
+			Group: st.ID.Group, Index: st.ID.Index, Live: st.Live,
+			Height: st.Height, Head: st.Head, State: st.State, Behind: st.Behind,
+		}
+	}
+	out := AgreementReport{
+		Verdict:              AgreementVerdict(rep.Verdict),
+		FirstDivergentHeight: rep.FirstDivergentHeight,
+		MinHeight:            rep.MinHeight,
+		MaxHeight:            rep.MaxHeight,
+		rendered:             rep.String(),
+	}
+	byID := map[keys.NodeID]NodeAgreement{}
+	for _, st := range rep.Nodes {
+		na := conv(st)
+		byID[st.ID] = na
+		out.Nodes = append(out.Nodes, na)
+	}
+	for _, st := range rep.Laggards {
+		out.Laggards = append(out.Laggards, conv(st))
+	}
+	for _, br := range rep.Branches {
+		fb := ForkBranch{Hash: br.Hash, EntryGroup: br.Entry.GID, EntrySeq: br.Entry.Seq}
+		for _, id := range br.Holders {
+			fb.Holders = append(fb.Holders, byID[id])
+		}
+		out.Branches = append(out.Branches, fb)
+	}
+	return out
 }
 
 // Ledger returns one node's ledger head; use it to assert that replicas

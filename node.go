@@ -248,6 +248,9 @@ type ProcNode struct {
 	gw   *gateway.Gateway // client front end, nil unless configured
 	gws  *gwServer        // client-facing gateway listener, nil unless configured
 	logf func(format string, args ...any)
+	// agreement is the latest NoteAgreement verdict (event-loop confined,
+	// like the collector).
+	agreement *AgreementSummary
 }
 
 // logfSafe logs through the configured sink, tolerating the zero value.
@@ -299,6 +302,11 @@ type NodeStatus struct {
 
 	Counters  map[string]int64 `json:"counters,omitempty"`
 	Transport tcp.Stats        `json:"transport"`
+
+	// Agreement carries the latest cross-node verdict when the operator
+	// wired peer snapshots in (NoteAgreement / massbft-node -peers-status);
+	// nil when no classification has run on this node.
+	Agreement *AgreementSummary `json:"agreement,omitempty"`
 }
 
 // StartNode builds and starts one protocol node over TCP. The returned node
@@ -512,6 +520,29 @@ func (n *ProcNode) Reconfigure(op byte, group int) {
 	})
 }
 
+// NoteAgreement records an operator-computed cross-node agreement verdict
+// (ClassifyStatuses over this node's and its peers' status snapshots) on the
+// node: the verdict lands in the next Status() snapshot, and the divergence
+// counters — "forked-detected", "wedged-detected",
+// "agreement-first-div-height" — land in the metrics collector so they
+// surface through the status file's counters map alongside the protocol's
+// recovery counters.
+func (n *ProcNode) NoteAgreement(sum AgreementSummary) {
+	n.ep.After(0, func() {
+		n.agreement = &sum
+		switch sum.Verdict {
+		case AgreementForked:
+			n.col.Inc("forked-detected")
+			n.col.Set("agreement-first-div-height", int64(sum.FirstDivergentHeight))
+		case AgreementWedged:
+			n.col.Inc("wedged-detected")
+			n.col.Set("agreement-first-div-height", int64(sum.FirstDivergentHeight))
+		default:
+			n.col.Set("agreement-first-div-height", 0)
+		}
+	})
+}
+
 // Status samples the node's protocol state on its event loop (so the
 // snapshot is internally consistent) plus the transport counters.
 func (n *ProcNode) Status() (NodeStatus, error) {
@@ -544,6 +575,7 @@ func (n *ProcNode) Status() (NodeStatus, error) {
 			Aborted:   n.col.Aborted(),
 			Entries:   n.col.Entries(),
 			Counters:  n.col.Counters(),
+			Agreement: n.agreement,
 		}
 		if ei, ok := n.node.(interface{ EpochInfo() (uint64, []int) }); ok {
 			st.Epoch, st.Active = ei.EpochInfo()

@@ -26,6 +26,11 @@
 #                    a temp file and validated, and its deterministic section
 #                    diffed against the committed BENCH_simnet.json — for
 #                    iterating on scheduler/topology changes
+#   divergence-sweep just the agreement-forensics sweep — the combined-fault
+#                    demo preset (WAN drop + LAN drop + dup + jitter) across a
+#                    seed range, each run drained to a classified verdict
+#                    (converged / wedged / forked); any forked verdict fails —
+#                    for iterating on recovery/retransmission changes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,9 +80,15 @@ scale-smoke)
   echo "OK"
   exit 0
   ;;
+divergence-sweep)
+  echo "== divergence sweep (combined-fault preset, seeds 1-5, classified verdicts)"
+  go run ./scripts/divergence-sweep -seeds 1-5 -duration 6s -drain 8s -fail-on-wedge
+  echo "OK"
+  exit 0
+  ;;
 full) ;;
 *)
-  echo "unknown preset: $preset (want: full, partition-chaos, membership-chaos, node-smoke, gateway-smoke, scale-smoke)" >&2
+  echo "unknown preset: $preset (want: full, partition-chaos, membership-chaos, node-smoke, gateway-smoke, scale-smoke, divergence-sweep)" >&2
   exit 2
   ;;
 esac

@@ -52,6 +52,7 @@ start_node() { # group index extra-args...
   local g=$1 i=$2; shift 2
   "$workdir/massbft-node" -topology "$workdir/topo.json" -group "$g" -index "$i" \
     -status "$workdir/status-$g-$i.json" -status-interval 200ms \
+    -peers-status "$workdir/status-*.json" \
     "$@" >"$workdir/log-$g-$i.txt" 2>&1 &
   pids+=($!)
   disown   # keep SIGKILL cleanup out of the job-control chatter
@@ -307,6 +308,9 @@ wait_until 30 "every node agrees on the genesis epoch and member set" \
 agree 0-0 0-1
 agree 0-0 1-0
 agree 0-0 1-1
+wait_until 30 "cross-node agreement classifier runs and reports no fork" \
+  "0-0:(s.get('agreement') or {}).get('verdict') in ('converged', 'wedged')" \
+  "1-0:(s.get('agreement') or {}).get('verdict') in ('converged', 'wedged')"
 
 echo "== phase 2: SIGKILL node (1,1)"
 h_at_kill=$(status 1-1 "s['height']")
@@ -331,5 +335,8 @@ wait_until 30 "restarted node re-dialed its peers" \
   "1-1:s['transport']['Connects'] > 0"
 wait_until 60 "a survivor reconnected (backoff loop re-established the link)" \
   "1-0:s['transport']['Reconnects'] > 0"
+wait_until 30 "agreement classifier saw no fork through the kill and rejoin" \
+  "0-0:(s.get('agreement') or {}).get('verdict') in ('converged', 'wedged') and (s.get('counters') or {}).get('forked-detected', 0) == 0" \
+  "1-1:(s.get('counters') or {}).get('forked-detected', 0) == 0"
 
 echo "== node smoke OK"
